@@ -1,0 +1,67 @@
+// Ablation: batched sampling (Sec. III-F).
+//
+// GPU inference prefers batches, so ExSample can draw B Thompson samples per
+// belief refresh instead of one. Batching delays feedback (the statistics
+// only update after each frame's detections return), so very large B should
+// cost some sample efficiency. This bench sweeps B and reports (a) median
+// samples to 50% recall and (b) the number of belief refreshes — the measure
+// of per-frame scheduling overhead batching removes.
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  const int runs = config.Runs(5, 15);
+  const uint64_t kFrames = 4'000'000;
+  const uint64_t kInstances = 1000;
+  const uint64_t kMax = 400'000;
+
+  auto workload =
+      Workload::Simulated(kFrames, 64, kInstances, 300.0, 1.0 / 32, config.seed);
+  const uint64_t target = RecallCount(kInstances, 0.5);
+
+  std::printf("=== Ablation: batch size B (Sec. III-F) ===\n");
+  std::printf("%d runs; updates to (n, N1) are additive, so batched state\n"
+              "matches unbatched bookkeeping exactly (commutativity).\n\n",
+              runs);
+
+  common::TextTable table;
+  table.SetHeader({"B", "median samples to 50%", "belief refreshes",
+                   "efficiency vs B=1"});
+  std::optional<double> base_median;
+  for (size_t batch : {1, 4, 16, 64, 256}) {
+    std::vector<query::QueryTrace> traces;
+    for (int run = 0; run < runs; ++run) {
+      core::ExSampleOptions options;
+      options.batch_size = batch;
+      options.seed = config.seed + 100 + run;
+      core::ExSampleStrategy s(&workload->chunking, options);
+      traces.push_back(RunOracleQuery(workload->truth, 0, &s, target, kMax));
+    }
+    const auto median = query::MedianSamplesToRecall(traces, 0.5);
+    if (batch == 1) base_median = median;
+    std::string efficiency = "-";
+    if (median && base_median && *median > 0.0) {
+      efficiency = common::FormatRatio(*base_median / *median);
+    }
+    const std::string refreshes =
+        median ? std::to_string(static_cast<uint64_t>(
+                     std::ceil(*median / static_cast<double>(batch))))
+               : "-";
+    table.AddRow({std::to_string(batch), OrDash(median), refreshes, efficiency});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nexpected shape: small B costs nothing; even B=64+ stays within\n"
+              "a modest factor of B=1 while cutting scheduling work by B.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

@@ -1,0 +1,114 @@
+#ifndef EXSAMPLE_BENCH_BENCH_COMMON_H_
+#define EXSAMPLE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the reproduction bench binaries. Each binary runs a
+// reduced-scale configuration by default so the whole suite finishes in
+// minutes; pass --full for paper-scale parameters (documented per bench).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exsample/exsample.h"
+
+namespace exsample {
+namespace bench {
+
+/// Command-line configuration shared by the bench binaries.
+struct BenchConfig {
+  bool full = false;
+  uint64_t seed = 1;
+  int runs_override = -1;
+
+  static BenchConfig Parse(int argc, char** argv) {
+    BenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) config.full = true;
+      if (std::strncmp(argv[i], "--seed=", 7) == 0) config.seed = std::atoll(argv[i] + 7);
+      if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+        config.runs_override = std::atoi(argv[i] + 7);
+      }
+    }
+    return config;
+  }
+
+  int Runs(int reduced, int full_runs) const {
+    if (runs_override > 0) return runs_override;
+    return full ? full_runs : reduced;
+  }
+};
+
+/// A self-owning synthetic workload (repository + chunking + ground truth).
+struct Workload {
+  video::VideoRepository repo;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+
+  Workload(video::VideoRepository r, video::Chunking c, scene::GroundTruth t)
+      : repo(std::move(r)), chunking(std::move(c)), truth(std::move(t)) {}
+
+  /// The Sec. IV simulation scene: `instances` objects with LogNormal
+  /// durations (mean `duration`) placed by a Normal with 95% of the mass in
+  /// the middle `skew_fraction` of `frames` (1.0 = no skew), split into
+  /// `chunks` equal chunks.
+  static std::unique_ptr<Workload> Simulated(uint64_t frames, size_t chunks,
+                                             uint64_t instances, double duration,
+                                             double skew_fraction, uint64_t seed) {
+    common::Rng rng(seed);
+    auto chunking = video::MakeFixedCountChunks(frames, chunks).value();
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec cls;
+    cls.instance_count = instances;
+    cls.duration.mean_frames = duration;
+    cls.duration.sigma_log = 0.8;  // ~50..5000 spread around mean 700 (Fig. 3).
+    cls.placement = skew_fraction >= 1.0
+                        ? scene::PlacementSpec::Uniform()
+                        : scene::PlacementSpec::NormalCenter(skew_fraction);
+    spec.classes.push_back(cls);
+    return std::make_unique<Workload>(
+        video::VideoRepository::SingleClip(frames), std::move(chunking),
+        std::move(scene::GenerateScene(spec, &chunking, rng)).value());
+  }
+};
+
+/// Runs one strategy with a perfect class-filtered detector and the oracle
+/// discriminator until `target` distinct instances or `max_samples`.
+inline query::QueryTrace RunOracleQuery(const scene::GroundTruth& truth,
+                                        int32_t class_id,
+                                        query::SearchStrategy* strategy,
+                                        uint64_t target, uint64_t max_samples) {
+  detect::SimulatedDetector detector(&truth,
+                                     detect::DetectorOptions::Perfect(class_id));
+  track::OracleDiscriminator discrim;
+  query::RunnerOptions options;
+  options.recall_class = class_id;
+  options.true_distinct_target = target;
+  options.max_samples = max_samples;
+  query::QueryRunner runner(&truth, &detector, &discrim, options);
+  return runner.Run(strategy);
+}
+
+/// Instance count corresponding to a recall fraction (matches
+/// QueryTrace::RecallTargetCount).
+inline uint64_t RecallCount(uint64_t total, double recall) {
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(recall * static_cast<double>(total))));
+}
+
+/// Formats an optional count/ratio for table cells.
+inline std::string OrDash(const std::optional<double>& v, const char* fmt = "%.0f") {
+  if (!v.has_value()) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, *v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace exsample
+
+#endif  // EXSAMPLE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,135 @@
+// Reproduces Fig. 2 (Sec. III-D): empirical validation of the Gamma belief
+// Eq. III.4 against the true sampling distribution of R(n+1).
+//
+// Setup mirrors the paper: 1000 LogNormal p_i (mean 3e-3, stddev 8e-3, max
+// 0.15), repeated simulated sampling runs up to n = 180,000. For each of the
+// paper's six (n, N1) panels we histogram the true R(n+1) over runs whose
+// observed N1 matches, and compare against Gamma(N1 + 0.1, n + 1).
+//
+// Default: 3000 runs (--full: 10000, the paper's count).
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+struct Panel {
+  uint64_t n;
+  uint64_t n1;
+};
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  const int runs = config.Runs(3000, 10000);
+
+  common::Rng rng(config.seed);
+  const std::vector<double> probs =
+      sim::LogNormalProbabilities(1000, 3e-3, 8e-3, 0.15, rng);
+  sim::BernoulliOccupancyModel model(probs);
+
+  std::printf("=== Fig. 2: belief validation (Sec. III-D) ===\n");
+  std::printf("population: N=1000 LogNormal p_i; min=%.2g max=%.2g mean=%.2g\n",
+              *std::min_element(probs.begin(), probs.end()), model.MaxP(),
+              model.MeanP());
+  std::printf("runs: %d\n\n", runs);
+
+  // The paper's six panels. Exact N1 matches are rare for the early-n panels
+  // (N1 ~ 120), so we accept a +/-2 window there and exact elsewhere.
+  const std::vector<Panel> panels{{82, 0},     {100, 0},    {14093, 58},
+                                  {120911, 4}, {172085, 5}, {179601, 0}};
+  // For the n<=100 panels the paper observed N1 near E[N1(n)]; recompute the
+  // representative N1 from the model instead of hard-coding.
+  std::vector<Panel> resolved = panels;
+  resolved[0].n1 = static_cast<uint64_t>(std::llround(model.ExpectedN1(82)));
+  resolved[1].n1 = static_cast<uint64_t>(std::llround(model.ExpectedN1(100)));
+
+  std::vector<uint64_t> query_points;
+  for (const Panel& p : resolved) query_points.push_back(p.n);
+  std::sort(query_points.begin(), query_points.end());
+
+  // Collect (per panel) the true R(n+1) of matching runs.
+  std::vector<std::vector<double>> matching(resolved.size());
+  for (int run = 0; run < runs; ++run) {
+    const auto records = model.RunAtPoints(query_points, rng);
+    for (size_t i = 0; i < resolved.size(); ++i) {
+      for (const auto& rec : records) {
+        if (rec.n != resolved[i].n) continue;
+        const uint64_t window = resolved[i].n1 > 20 ? 2 : 0;
+        if (rec.n1 + window >= resolved[i].n1 && rec.n1 <= resolved[i].n1 + window) {
+          matching[i].push_back(rec.r_next);
+        }
+      }
+    }
+  }
+
+  common::TextTable table;
+  table.SetHeader({"n", "N1", "matches", "true R: median [q05, q95]",
+                   "belief: mean [q05, q95]", "covered"});
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    const Panel& panel = resolved[i];
+    const stats::GammaBelief belief =
+        core::MakeBelief(panel.n1, panel.n, core::BeliefParams{});
+    std::vector<double>& values = matching[i];
+    char true_cell[96] = "-";
+    char covered_cell[32] = "-";
+    if (!values.empty()) {
+      const double med = common::Quantile(values, 0.5);
+      const double q05 = common::Quantile(values, 0.05);
+      const double q95 = common::Quantile(values, 0.95);
+      std::snprintf(true_cell, sizeof(true_cell), "%.3g [%.3g, %.3g]", med, q05, q95);
+      // Coverage of the central 98% belief interval (paper reports ~80% for
+      // its 95% bound on BDD MOT).
+      const double lo = belief.Quantile(0.01);
+      const double hi = belief.Quantile(0.99);
+      int covered = 0;
+      for (double r : values) {
+        if (r >= lo && r <= hi) ++covered;
+      }
+      std::snprintf(covered_cell, sizeof(covered_cell), "%.0f%%",
+                    100.0 * covered / static_cast<double>(values.size()));
+    }
+    char belief_cell[96];
+    std::snprintf(belief_cell, sizeof(belief_cell), "%.3g [%.3g, %.3g]",
+                  belief.Mean(), belief.Quantile(0.05), belief.Quantile(0.95));
+    table.AddRow({std::to_string(panel.n), std::to_string(panel.n1),
+                  std::to_string(values.size()), true_cell, belief_cell,
+                  covered_cell});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // One detailed panel: histogram of true R(n+1) with the belief density,
+  // mirroring the visual comparison of Fig. 2 (mid-range n fits well).
+  const size_t detail = 2;  // n=14093, N1=58.
+  if (!matching[detail].empty()) {
+    const Panel& panel = resolved[detail];
+    const stats::GammaBelief belief =
+        core::MakeBelief(panel.n1, panel.n, core::BeliefParams{});
+    const double lo = common::Quantile(matching[detail], 0.005);
+    const double hi = common::Quantile(matching[detail], 0.995) * 1.05;
+    auto hist = stats::Histogram::Make(lo, hi, 18).value();
+    for (double r : matching[detail]) hist.Add(r);
+    std::printf("panel n=%llu N1=%llu: true R(n+1) histogram (#) vs belief "
+                "density (column 'pdf'):\n",
+                static_cast<unsigned long long>(panel.n),
+                static_cast<unsigned long long>(panel.n1));
+    for (size_t b = 0; b < hist.NumBins(); ++b) {
+      const double x = hist.BinLeft(b) + hist.BinWidth() / 2;
+      std::printf("%10.3e | %-30s pdf=%.1f\n", x,
+                  std::string(static_cast<size_t>(std::min(
+                                  30.0, hist.Density(b) * hist.BinWidth() * 300)),
+                              '#')
+                      .c_str(),
+                  belief.Pdf(x));
+    }
+  }
+  std::printf("\nPASS criteria (paper): mid-range n fits well; early n (<=100) "
+              "belief is wider than truth; N1=0 panels keep non-zero mass.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

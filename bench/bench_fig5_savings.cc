@@ -1,0 +1,100 @@
+// Reproduces Fig. 5 (Sec. V-C): time-savings ratio of ExSample over random
+// sampling for every (dataset, class) query of the evaluation, at recall
+// levels 0.1, 0.5, and 0.9.
+//
+// Datasets are the six emulations of Sec. V-A (sizes, chunk structures, and
+// published N / skew values where the paper reports them). Ratios are
+// medians over runs, computed on seconds at the paper's 20 fps detector rate.
+// Paper's headline numbers for comparison: max ~6x, worst ~0.75x (amsterdam/
+// boat), geometric mean 1.9x across all queries.
+//
+// Default: 2 runs at 1/10 linear scale (--full: 5 runs at 1/4 scale). Sample
+// counts are approximately scale-invariant (see datasets/presets.h).
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  const int runs = config.Runs(2, 5);
+  const double scale = config.full ? 0.25 : 0.1;
+  const std::vector<double> recalls{0.1, 0.5, 0.9};
+
+  std::printf("=== Fig. 5: savings ratio ExSample vs random, all queries ===\n");
+  std::printf("%d runs per strategy, datasets at %.2f linear scale\n\n", runs, scale);
+
+  common::TextTable table;
+  table.SetHeader({"dataset", "class", "N", "savings@.1", "savings@.5",
+                   "savings@.9"});
+  std::vector<double> all_ratios;
+  double worst = 1e9, best = 0.0;
+  std::string worst_name, best_name;
+
+  for (const datasets::DatasetSpec& spec : datasets::AllDatasetSpecs()) {
+    auto built = datasets::BuiltDataset::Build(spec, config.seed, scale);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build %s failed: %s\n", spec.name.c_str(),
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const datasets::BuiltDataset& ds = built.value();
+    for (const datasets::QuerySpec& q : ds.spec().queries) {
+      const uint64_t n_total = ds.truth().NumInstances(q.class_id);
+      const uint64_t target = RecallCount(n_total, recalls.back());
+      std::vector<query::QueryTrace> random_runs, exsample_runs;
+      for (int run = 0; run < runs; ++run) {
+        samplers::UniformRandomStrategy random(&ds.repo(),
+                                               config.seed + 300 + run);
+        random_runs.push_back(RunOracleQuery(ds.truth(), q.class_id, &random,
+                                             target, ds.repo().TotalFrames()));
+        core::ExSampleOptions options;
+        options.seed = config.seed + 400 + run;
+        core::ExSampleStrategy strategy(&ds.chunking(), options);
+        exsample_runs.push_back(RunOracleQuery(ds.truth(), q.class_id, &strategy,
+                                               target, ds.repo().TotalFrames()));
+      }
+      std::vector<std::string> row{spec.name, q.class_name,
+                                   common::FormatCount(q.instance_count)};
+      for (double recall : recalls) {
+        const auto ratio = query::SavingsRatio(random_runs, exsample_runs, recall);
+        row.push_back(ratio ? common::FormatRatio(*ratio) : "-");
+        if (ratio) {
+          all_ratios.push_back(*ratio);
+          const std::string name = spec.name + "/" + q.class_name;
+          if (*ratio < worst) {
+            worst = *ratio;
+            worst_name = name;
+          }
+          if (*ratio > best) {
+            best = *ratio;
+            best_name = name;
+          }
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  std::printf("\nsummary over %zu (query, recall) ratios:\n", all_ratios.size());
+  std::printf("  geometric mean: %s   (paper: 1.9x)\n",
+              common::FormatRatio(common::GeometricMean(all_ratios)).c_str());
+  std::printf("  best:  %s (%s)      (paper: ~6x)\n",
+              common::FormatRatio(best).c_str(), best_name.c_str());
+  std::printf("  worst: %s (%s)   (paper: 0.75x, amsterdam/boat)\n",
+              common::FormatRatio(worst).c_str(), worst_name.c_str());
+  std::printf("  p10: %s  p90: %s      (paper: 1.2x / 3.7x)\n",
+              common::FormatRatio(common::Quantile(all_ratios, 0.1)).c_str(),
+              common::FormatRatio(common::Quantile(all_ratios, 0.9)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// Reproduces Fig. 6 (Sec. V-C): per-chunk instance distributions, the skew
+// metric S, and the realized savings for the paper's five representative
+// queries:
+//   A dashcam/bicycle      (paper: N=249,   S=14,  savings 7x)
+//   B bdd1k/motor          (paper: N=509,   S=19,  savings 2x)
+//   C night street/person  (paper: N=2078,  S=4.5, savings 3x)
+//   D archie/car           (paper: N=33546, S=1.1, savings 1x)
+//   E amsterdam/boat       (paper: N=588,   S=1.6, savings 0.9x)
+//
+// For each query we print N, K50 (the minimum chunk set covering half the
+// instances — the blue bars), measured S, a sorted chunk-count profile, and
+// the measured savings at 0.5 recall.
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+struct Representative {
+  const char* label;
+  datasets::DatasetSpec (*spec)();
+  const char* class_name;
+  double paper_s;
+  double paper_savings;
+};
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  const int runs = config.Runs(3, 7);
+  const double scale = config.full ? 0.25 : 0.1;
+
+  const std::vector<Representative> reps{
+      {"A dashcam/bicycle", &datasets::DashcamSpec, "bicycle", 14.0, 7.0},
+      {"B bdd1k/motor", &datasets::Bdd1kSpec, "motor", 19.0, 2.0},
+      {"C night street/person", &datasets::NightStreetSpec, "person", 4.5, 3.0},
+      {"D archie/car", &datasets::ArchieSpec, "car", 1.1, 1.0},
+      {"E amsterdam/boat", &datasets::AmsterdamSpec, "boat", 1.6, 0.9},
+  };
+
+  std::printf("=== Fig. 6: instance skew and savings, representative queries ===\n\n");
+  for (const Representative& rep : reps) {
+    auto built = datasets::BuiltDataset::Build(rep.spec(), config.seed, scale);
+    if (!built.ok()) return 1;
+    const datasets::BuiltDataset& ds = built.value();
+    const datasets::QuerySpec* q = ds.spec().FindQuery(rep.class_name);
+
+    const auto counts = scene::ChunkInstanceCounts(ds.truth().Trajectories(),
+                                                   ds.chunking(), q->class_id);
+    const size_t k50 = scene::MinChunksCoveringHalf(counts);
+    const double s = scene::SkewMetric(counts);
+
+    // Measured savings at 0.5 recall.
+    const uint64_t n_total = ds.truth().NumInstances(q->class_id);
+    const uint64_t target = RecallCount(n_total, 0.5);
+    std::vector<query::QueryTrace> random_runs, ex_runs;
+    for (int run = 0; run < runs; ++run) {
+      samplers::UniformRandomStrategy random(&ds.repo(), config.seed + 600 + run);
+      random_runs.push_back(RunOracleQuery(ds.truth(), q->class_id, &random,
+                                           target, ds.repo().TotalFrames()));
+      core::ExSampleOptions options;
+      options.seed = config.seed + 700 + run;
+      core::ExSampleStrategy strategy(&ds.chunking(), options);
+      ex_runs.push_back(RunOracleQuery(ds.truth(), q->class_id, &strategy, target,
+                                       ds.repo().TotalFrames()));
+    }
+    const auto ratio = query::SavingsRatio(random_runs, ex_runs, 0.5);
+
+    std::printf("%-22s N=%-7llu K50=%-4zu S=%-5.2f (paper S=%.1f)  savings=%s "
+                "(paper %.1fx)\n",
+                rep.label, static_cast<unsigned long long>(n_total), k50, s,
+                rep.paper_s, ratio ? common::FormatRatio(*ratio).c_str() : "-",
+                rep.paper_savings);
+
+    // Sorted per-chunk profile (descending), bucketed to <= 40 columns wide.
+    std::vector<uint64_t> sorted(counts);
+    std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+    const uint64_t peak = std::max<uint64_t>(1, sorted.front());
+    const size_t cols = std::min<size_t>(sorted.size(), 40);
+    std::printf("  chunk profile (sorted, %zu of %zu chunks): ", cols, sorted.size());
+    const char* ramp = " .:-=+*#%@";
+    for (size_t i = 0; i < cols; ++i) {
+      // Sample the sorted list evenly.
+      const uint64_t value = sorted[i * sorted.size() / cols];
+      const size_t level =
+          static_cast<size_t>(9.0 * static_cast<double>(value) /
+                              static_cast<double>(peak));
+      std::putchar(ramp[level]);
+    }
+    std::printf("\n\n");
+  }
+  std::printf("expected shape (paper Fig. 6): savings track S — high-skew\n"
+              "queries (A, and B when chunk count does not dilute it) save the\n"
+              "most; near-uniform queries (D, E) stay close to random.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

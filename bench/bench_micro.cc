@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark): the per-operation costs that determine
+// how much CPU overhead ExSample adds on top of the detector.
+//
+// The paper's premise is that the detector dominates (50 ms/frame at 20 fps);
+// these benchmarks verify the sampling machinery is orders of magnitude
+// cheaper — a Thompson step over 128 chunks should cost microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "exsample/exsample.h"
+
+namespace exsample {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_GammaSample(benchmark::State& state) {
+  common::Rng rng(2);
+  const double shape = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Gamma(shape, 1.0));
+  }
+}
+BENCHMARK(BM_GammaSample)->Arg(1)->Arg(10)->Arg(100);  // shape .1, 1, 10.
+
+void BM_GammaQuantile(benchmark::State& state) {
+  const stats::GammaBelief belief(5.1, 101.0);
+  double q = 0.001;
+  for (auto _ : state) {
+    q += 0.0001;
+    if (q >= 0.999) q = 0.001;
+    benchmark::DoNotOptimize(belief.Quantile(q));
+  }
+}
+BENCHMARK(BM_GammaQuantile);
+
+void BM_ThompsonPick(benchmark::State& state) {
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  core::ChunkStatsTable stats(chunks);
+  common::Rng rng(3);
+  for (size_t j = 0; j < chunks; ++j) {
+    for (int i = 0; i < 10; ++i) {
+      stats.Update(j, rng.Bernoulli(0.1) ? 1 : 0, 0);
+    }
+  }
+  core::ThompsonPolicy policy;
+  std::vector<bool> eligible(chunks, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.PickChunk(stats, eligible, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * chunks);
+}
+BENCHMARK(BM_ThompsonPick)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BayesUcbPick(benchmark::State& state) {
+  const size_t chunks = static_cast<size_t>(state.range(0));
+  core::ChunkStatsTable stats(chunks);
+  common::Rng rng(4);
+  for (size_t j = 0; j < chunks; ++j) stats.Update(j, 1, 0);
+  core::BayesUcbPolicy policy;
+  std::vector<bool> eligible(chunks, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.PickChunk(stats, eligible, rng));
+  }
+}
+BENCHMARK(BM_BayesUcbPick)->Arg(128);
+
+void BM_PermutationLookup(benchmark::State& state) {
+  common::RandomPermutation perm(1'000'003, 5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm(i));
+    if (++i >= 1'000'003) i = 0;
+  }
+}
+BENCHMARK(BM_PermutationLookup);
+
+void BM_StratifiedSamplerNext(benchmark::State& state) {
+  core::StratifiedFrameSampler sampler(0, 1'000'000'000, 7);
+  common::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Next(rng));
+  }
+}
+BENCHMARK(BM_StratifiedSamplerNext);
+
+void BM_IntervalIndexQuery(benchmark::State& state) {
+  common::Rng rng(7);
+  scene::SceneSpec spec;
+  spec.total_frames = 16'000'000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 2000;
+  cls.duration.mean_frames = 700.0;
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  uint64_t frame = 0;
+  uint64_t count = 0;
+  for (auto _ : state) {
+    frame = (frame + 7919 * 1013) % spec.total_frames;
+    truth.ForEachVisible(frame, [&count](const scene::Trajectory&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_IntervalIndexQuery);
+
+void BM_DetectorDetect(benchmark::State& state) {
+  common::Rng rng(8);
+  scene::SceneSpec spec;
+  spec.total_frames = 1'000'000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 1000;
+  cls.duration.mean_frames = 500.0;
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  detect::SimulatedDetector detector(&truth, detect::DetectorOptions{});
+  uint64_t frame = 0;
+  for (auto _ : state) {
+    frame = (frame + 104729) % spec.total_frames;
+    benchmark::DoNotOptimize(detector.Detect(frame));
+  }
+}
+BENCHMARK(BM_DetectorDetect);
+
+void BM_DiscriminatorObserve(benchmark::State& state) {
+  common::Rng rng(9);
+  scene::SceneSpec spec;
+  spec.total_frames = 1'000'000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 1000;
+  cls.duration.mean_frames = 500.0;
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  detect::SimulatedDetector detector(&truth, detect::DetectorOptions{});
+  track::IouTrackerDiscriminator discrim(&truth, {});
+  uint64_t frame = 0;
+  for (auto _ : state) {
+    frame = (frame + 104729) % spec.total_frames;
+    benchmark::DoNotOptimize(discrim.Observe(frame, detector.Detect(frame)));
+  }
+}
+BENCHMARK(BM_DiscriminatorObserve);
+
+void BM_SimplexProjection(benchmark::State& state) {
+  common::Rng rng(10);
+  std::vector<double> v(static_cast<size_t>(state.range(0)));
+  for (double& x : v) x = rng.Normal(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::ProjectToSimplex(v));
+  }
+}
+BENCHMARK(BM_SimplexProjection)->Arg(128)->Arg(1024);
+
+void BM_BernoulliModelRun(benchmark::State& state) {
+  common::Rng rng(11);
+  const auto probs = sim::LogNormalProbabilities(1000, 3e-3, 8e-3, 0.15, rng);
+  sim::BernoulliOccupancyModel model(probs);
+  const std::vector<uint64_t> points{100, 10000, 180000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.RunAtPoints(points, rng));
+  }
+}
+BENCHMARK(BM_BernoulliModelRun);
+
+}  // namespace
+}  // namespace exsample
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Chunk tuning: how the number of chunks — ExSample's one user-chosen knob —
+// affects search cost (the user-facing version of the paper's Sec. IV-C).
+//
+// Too few chunks cap the exploitable skew (2 chunks can never save more than
+// 2x); too many dilute the per-chunk statistics (each chunk needs samples
+// before its estimate means anything). The sweet spot is wide: the paper
+// varies M across three orders of magnitude and still beats random.
+
+#include <cstdio>
+
+#include "exsample/exsample.h"
+
+int main() {
+  using namespace exsample;
+
+  const uint64_t kFrames = 1 << 20;
+  common::Rng rng(13);
+
+  // A skewed scene: 95% of 500 objects inside 1/32 of the timeline.
+  scene::SceneSpec spec;
+  spec.total_frames = kFrames;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 500;
+  cls.duration.mean_frames = 200.0;
+  cls.placement = scene::PlacementSpec::NormalCenter(1.0 / 32.0);
+  spec.classes.push_back(cls);
+  auto truth = scene::GenerateScene(spec, nullptr, rng);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "scene failed: %s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  video::VideoRepository repo = video::VideoRepository::SingleClip(kFrames);
+
+  const uint64_t target = 250;  // 50% recall.
+  std::printf("scene: %llu frames, 500 instances concentrated in 1/32 of the "
+              "timeline; goal: %llu distinct instances\n\n",
+              static_cast<unsigned long long>(kFrames),
+              static_cast<unsigned long long>(target));
+
+  common::TextTable table;
+  table.SetHeader({"chunks", "median frames to 50% recall", "vs random"});
+  std::optional<double> random_baseline;
+
+  for (size_t chunks : {1, 2, 16, 128, 1024}) {
+    std::vector<query::QueryTrace> runs;
+    auto chunking = video::MakeFixedCountChunks(kFrames, chunks).value();
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      detect::SimulatedDetector detector(&truth.value(),
+                                         detect::DetectorOptions::Perfect(0));
+      track::OracleDiscriminator discrim;
+      query::RunnerOptions opts;
+      opts.true_distinct_target = target;
+      opts.max_samples = kFrames;
+      query::QueryRunner runner(&truth.value(), &detector, &discrim, opts);
+      core::ExSampleOptions ex_opts;
+      ex_opts.seed = 1000 + seed;
+      core::ExSampleStrategy strategy(&chunking, ex_opts);
+      runs.push_back(runner.Run(&strategy));
+    }
+    const auto median = query::MedianSamplesToRecall(runs, 0.5);
+    if (chunks == 1 && median) random_baseline = median;  // M=1 == random.
+    std::string versus = "-";
+    if (median && random_baseline) {
+      versus = common::FormatRatio(*random_baseline / *median);
+    }
+    table.AddRow({std::to_string(chunks),
+                  median ? common::FormatCount(static_cast<uint64_t>(*median)) : "-",
+                  versus});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("one chunk IS random sampling; the savings plateau spans ~16-128\n"
+              "chunks and erodes at 1024 where per-chunk evidence gets thin.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// City surveillance: static-camera search on the amsterdam dataset emulation.
+//
+// Demonstrates two regimes the paper analyzes:
+//   * "boat" — long-lived objects with almost no temporal skew (published
+//     S = 1.6). This is the paper's worst case for ExSample (0.75x): random
+//     is already near-optimal, and the example shows ExSample staying close
+//     rather than winning.
+//   * "motorcycle" — rare and moderately skewed, where adaptation helps.
+// It also contrasts both with the proxy-scan cost (the Table I argument).
+
+#include <cstdio>
+
+#include "exsample/exsample.h"
+
+namespace {
+
+using namespace exsample;
+
+struct QueryResult {
+  std::string strategy;
+  std::optional<double> t10, t50, t90;
+};
+
+QueryResult RunOne(const datasets::BuiltDataset& ds, int32_t class_id,
+                   query::SearchStrategy* strategy) {
+  detect::DetectorOptions det_opts;
+  det_opts.target_class = class_id;
+  detect::SimulatedDetector detector(&ds.truth(), det_opts);
+  track::OracleDiscriminator discriminator;
+  query::RunnerOptions opts;
+  opts.recall_class = class_id;
+  opts.true_distinct_target =
+      ds.truth().NumInstances(class_id) * 9 / 10 + 1;
+  opts.max_samples = ds.repo().TotalFrames();
+  query::QueryRunner runner(&ds.truth(), &detector, &discriminator, opts);
+  const query::QueryTrace trace = runner.Run(strategy);
+  return QueryResult{trace.strategy_name, trace.SecondsToRecall(0.1),
+                     trace.SecondsToRecall(0.5), trace.SecondsToRecall(0.9)};
+}
+
+std::string Fmt(const std::optional<double>& seconds) {
+  return seconds ? common::FormatDuration(*seconds) : "-";
+}
+
+}  // namespace
+
+int main() {
+  using namespace exsample;
+
+  std::printf("building amsterdam dataset emulation (1/20 scale)...\n");
+  auto built = datasets::BuiltDataset::Build(datasets::AmsterdamSpec(), /*seed=*/3,
+                                             /*scale=*/0.05);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const datasets::BuiltDataset& ds = built.value();
+
+  // Cost of a proxy scoring scan over the full (unscaled) dataset.
+  const double scan_seconds =
+      datasets::AmsterdamSpec().ProxyScanSeconds(query::kProxyScanFps);
+  std::printf("proxy scoring scan of the full dataset would take: %s\n\n",
+              common::FormatDuration(scan_seconds).c_str());
+
+  for (const char* class_name : {"boat", "motorcycle"}) {
+    const datasets::QuerySpec* q = ds.spec().FindQuery(class_name);
+    const auto counts = scene::ChunkInstanceCounts(ds.truth().Trajectories(),
+                                                   ds.chunking(), q->class_id);
+    std::printf("=== query: '%s' (N = %llu, measured chunk skew S = %.2f) ===\n",
+                class_name, static_cast<unsigned long long>(q->instance_count),
+                scene::SkewMetric(counts));
+
+    samplers::UniformRandomStrategy random(&ds.repo(), 31);
+    core::ExSampleStrategy exsample(&ds.chunking());
+
+    common::TextTable table;
+    table.SetHeader({"strategy", "to 10%", "to 50%", "to 90%"});
+    for (query::SearchStrategy* s :
+         std::initializer_list<query::SearchStrategy*>{&random, &exsample}) {
+      const QueryResult r = RunOne(ds, q->class_id, s);
+      table.AddRow({r.strategy, Fmt(r.t10), Fmt(r.t50), Fmt(r.t90)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf(
+      "note: every row above finishes long before the %s proxy scan —\n"
+      "sampling strategies return results immediately, proxies cannot.\n",
+      common::FormatDuration(scan_seconds).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "common/geometry.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace exsample {
+namespace common {
+
+Box Box::ScaledAboutCenter(double factor) const {
+  assert(factor > 0.0);
+  const double nw = w * factor;
+  const double nh = h * factor;
+  return Box{CenterX() - nw / 2.0, CenterY() - nh / 2.0, nw, nh};
+}
+
+std::string Box::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.4f,%.4f,%.4f,%.4f]", x, y, w, h);
+  return buf;
+}
+
+Box Intersect(const Box& a, const Box& b) {
+  const double x0 = std::max(a.x, b.x);
+  const double y0 = std::max(a.y, b.y);
+  const double x1 = std::min(a.x + a.w, b.x + b.w);
+  const double y1 = std::min(a.y + a.h, b.y + b.h);
+  return Box{x0, y0, x1 - x0, y1 - y0};
+}
+
+double Iou(const Box& a, const Box& b) {
+  if (!a.IsValid() || !b.IsValid()) return 0.0;
+  const Box inter = Intersect(a, b);
+  if (!inter.IsValid()) return 0.0;
+  const double inter_area = inter.Area();
+  const double union_area = a.Area() + b.Area() - inter_area;
+  if (union_area <= 0.0) return 0.0;
+  return inter_area / union_area;
+}
+
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,57 @@
+#ifndef EXSAMPLE_COMMON_GEOMETRY_H_
+#define EXSAMPLE_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <string>
+
+namespace exsample {
+namespace common {
+
+/// \brief An axis-aligned bounding box in normalized image coordinates.
+///
+/// `(x, y)` is the top-left corner; `w`/`h` are width and height. The library
+/// works in a normalized [0,1]x[0,1] image plane, but nothing below depends on
+/// that convention.
+struct Box {
+  double x = 0.0;
+  double y = 0.0;
+  double w = 0.0;
+  double h = 0.0;
+
+  /// \brief Box area (0 for degenerate boxes).
+  double Area() const { return std::max(0.0, w) * std::max(0.0, h); }
+
+  /// \brief True when the box has positive area.
+  bool IsValid() const { return w > 0.0 && h > 0.0; }
+
+  /// \brief Center x coordinate.
+  double CenterX() const { return x + w / 2.0; }
+  /// \brief Center y coordinate.
+  double CenterY() const { return y + h / 2.0; }
+
+  /// \brief Returns this box translated by (dx, dy).
+  Box Translated(double dx, double dy) const { return Box{x + dx, y + dy, w, h}; }
+
+  /// \brief Returns this box scaled about its center by `factor` (> 0).
+  Box ScaledAboutCenter(double factor) const;
+
+  /// \brief Compact debug representation "[x,y,w,h]".
+  std::string ToString() const;
+
+  bool operator==(const Box& other) const {
+    return x == other.x && y == other.y && w == other.w && h == other.h;
+  }
+};
+
+/// \brief Intersection box of `a` and `b` (degenerate when disjoint).
+Box Intersect(const Box& a, const Box& b);
+
+/// \brief Intersection-over-union of two boxes, in [0, 1].
+///
+/// Returns 0 when either box is degenerate.
+double Iou(const Box& a, const Box& b);
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_GEOMETRY_H_

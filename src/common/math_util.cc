@@ -1,0 +1,92 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace exsample {
+namespace common {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = Clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double> Linspace(double lo, double hi, size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (count == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (size_t i = 0; i < count; ++i) out.push_back(lo + step * static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> Logspace(double lo, double hi, size_t count) {
+  assert(lo > 0.0 && hi > 0.0);
+  std::vector<double> logs = Linspace(std::log(lo), std::log(hi), count);
+  for (double& v : logs) v = std::exp(v);
+  return logs;
+}
+
+bool AlmostEqual(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+double Clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+double PowOneMinus(double p, double n) {
+  if (p >= 1.0) return 0.0;
+  if (p <= 0.0) return 1.0;
+  return std::exp(n * std::log1p(-p));
+}
+
+double LogNormalMuForMean(double mean, double sigma_log) {
+  assert(mean > 0.0);
+  return std::log(mean) - sigma_log * sigma_log / 2.0;
+}
+
+}  // namespace common
+}  // namespace exsample

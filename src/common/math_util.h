@@ -1,0 +1,54 @@
+#ifndef EXSAMPLE_COMMON_MATH_UTIL_H_
+#define EXSAMPLE_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exsample {
+namespace common {
+
+/// \brief Arithmetic mean of `values` (0 for an empty vector).
+double Mean(const std::vector<double>& values);
+
+/// \brief Unbiased sample variance of `values` (0 when fewer than 2 values).
+double SampleVariance(const std::vector<double>& values);
+
+/// \brief Square root of `SampleVariance`.
+double SampleStdDev(const std::vector<double>& values);
+
+/// \brief Geometric mean of strictly positive values (0 if any value <= 0 or
+/// the vector is empty).
+double GeometricMean(const std::vector<double>& values);
+
+/// \brief Median of `values` (copies and sorts; 0 for an empty vector).
+double Median(std::vector<double> values);
+
+/// \brief Linear-interpolation quantile of `values` for `q` in [0, 1].
+///
+/// Copies and sorts the input. Uses the common "linear between closest ranks"
+/// definition (R type 7). Returns 0 for an empty vector.
+double Quantile(std::vector<double> values, double q);
+
+/// \brief `count` evenly spaced values covering [lo, hi] inclusive.
+std::vector<double> Linspace(double lo, double hi, size_t count);
+
+/// \brief `count` log-spaced values covering [lo, hi] inclusive (lo, hi > 0).
+std::vector<double> Logspace(double lo, double hi, size_t count);
+
+/// \brief True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-12);
+
+/// \brief Clamps `v` into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+/// \brief Computes `(1 - p)^n` accurately for tiny `p` via expm1/log1p.
+double PowOneMinus(double p, double n);
+
+/// \brief Converts a LogNormal's target arithmetic mean and the sigma of the
+/// underlying normal into the normal's mu: mu = ln(mean) - sigma^2 / 2.
+double LogNormalMuForMean(double mean, double sigma_log);
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_MATH_UTIL_H_

@@ -1,0 +1,43 @@
+#include "common/permutation.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace exsample {
+namespace common {
+
+RandomPermutation::RandomPermutation(uint64_t n, uint64_t key) : n_(n) {
+  assert(n > 0);
+  // Smallest even bit width whose domain covers n (at least 2 bits so both
+  // Feistel halves are non-trivial). Cycle-walking maps the enclosing domain
+  // back onto [0, n); because the domain is at most 4n, the expected number
+  // of walk steps per lookup is below 4.
+  uint32_t bits = 2;
+  while (bits < 64 && (uint64_t{1} << bits) < n) bits += 2;
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  for (int r = 0; r < 4; ++r) keys_[r] = HashCombine(key, static_cast<uint64_t>(r));
+}
+
+uint64_t RandomPermutation::Feistel(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (int r = 0; r < 4; ++r) {
+    const uint64_t f = HashCombine(keys_[r], right) & half_mask_;
+    const uint64_t next_right = left ^ f;
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t RandomPermutation::operator()(uint64_t i) const {
+  assert(i < n_);
+  uint64_t x = Feistel(i);
+  while (x >= n_) x = Feistel(x);
+  return x;
+}
+
+}  // namespace common
+}  // namespace exsample

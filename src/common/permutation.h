@@ -1,0 +1,40 @@
+#ifndef EXSAMPLE_COMMON_PERMUTATION_H_
+#define EXSAMPLE_COMMON_PERMUTATION_H_
+
+#include <cstdint>
+
+namespace exsample {
+namespace common {
+
+/// \brief A pseudo-random bijection on [0, n) with O(1) memory.
+///
+/// Built from a 4-round Feistel network over the smallest even-bit-width
+/// domain covering n, with cycle-walking to stay inside [0, n). Enumerating
+/// `perm(0), perm(1), ...` visits every value in [0, n) exactly once in
+/// pseudo-random order — this is how the library samples frames *without
+/// replacement* from multi-million-frame repositories without materializing
+/// a shuffled index vector.
+class RandomPermutation {
+ public:
+  /// Constructs a permutation of [0, n) keyed by `key`. n must be > 0.
+  RandomPermutation(uint64_t n, uint64_t key);
+
+  /// \brief The image of `i` (requires i < n).
+  uint64_t operator()(uint64_t i) const;
+
+  /// \brief Domain size.
+  uint64_t size() const { return n_; }
+
+ private:
+  uint64_t Feistel(uint64_t x) const;
+
+  uint64_t n_;
+  uint32_t half_bits_;   // Bits per Feistel half.
+  uint64_t half_mask_;
+  uint64_t keys_[4];
+};
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_PERMUTATION_H_

@@ -1,0 +1,134 @@
+#ifndef EXSAMPLE_COMMON_STATUS_H_
+#define EXSAMPLE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace exsample {
+namespace common {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across its public API. Fallible
+/// operations return `Status` (or `Result<T>` when they also produce a value),
+/// following the RocksDB / Arrow idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error outcome with an optional message.
+///
+/// `Status::OK()` is cheap (no allocation). Error statuses carry a message
+/// describing what went wrong; callers are expected to check `ok()` before
+/// using any associated outputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief Returns the OK status.
+  static Status OK() { return Status(); }
+  /// \brief Returns an InvalidArgument error with the given message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// \brief Returns a NotFound error with the given message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// \brief Returns an OutOfRange error with the given message.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// \brief Returns a FailedPrecondition error with the given message.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// \brief Returns an Internal error with the given message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// \brief True when the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// \brief The status code.
+  StatusCode code() const { return code_; }
+  /// \brief The error message (empty for OK).
+  const std::string& message() const { return message_; }
+  /// \brief Formats the status as "CODE: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Modeled after `arrow::Result`. Access to the value asserts success in
+/// debug builds; callers should branch on `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : inner_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(inner_).ok());
+  }
+
+  /// \brief True when a value is present.
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  /// \brief The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(inner_);
+  }
+
+  /// \brief Borrows the value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  /// \brief Borrows the value mutably. Requires `ok()`.
+  T& value() & {
+    assert(ok());
+    return std::get<T>(inner_);
+  }
+  /// \brief Moves the value out. Requires `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(inner_));
+  }
+
+  /// \brief Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(inner_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_STATUS_H_

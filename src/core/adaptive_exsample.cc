@@ -1,0 +1,133 @@
+#include "core/adaptive_exsample.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "stats/gamma_belief.h"
+
+namespace exsample {
+namespace core {
+
+AdaptiveExSampleStrategy::AdaptiveExSampleStrategy(uint64_t total_frames,
+                                                   AdaptiveExSampleOptions options)
+    : total_frames_(total_frames), options_(options), rng_(options.seed) {
+  assert(total_frames_ > 0);
+  const size_t m = std::max<size_t>(1, std::min<uint64_t>(options_.initial_chunks,
+                                                          total_frames_));
+  chunks_.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    DynChunk chunk;
+    chunk.begin = total_frames_ * i / m;
+    chunk.end = total_frames_ * (i + 1) / m;
+    chunk.sampler = MakeSampler(chunk.begin, chunk.end);
+    chunks_.push_back(std::move(chunk));
+  }
+  eligible_count_ = chunks_.size();
+}
+
+std::unique_ptr<FrameSampler> AdaptiveExSampleStrategy::MakeSampler(
+    video::FrameId begin, video::FrameId end) {
+  return std::make_unique<StratifiedFrameSampler>(
+      begin, end, common::HashCombine(options_.seed, ++sampler_counter_));
+}
+
+size_t AdaptiveExSampleStrategy::ChunkOfFrame(video::FrameId frame) const {
+  // Last chunk whose begin <= frame (chunks_ sorted by begin, contiguous).
+  size_t lo = 0, hi = chunks_.size();
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (chunks_[mid].begin <= frame) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<video::FrameId> AdaptiveExSampleStrategy::NextFrame() {
+  while (eligible_count_ > 0) {
+    // Thompson step over the dynamic chunk list.
+    double best_draw = -1.0;
+    size_t best = chunks_.size();
+    for (size_t j = 0; j < chunks_.size(); ++j) {
+      if (!chunks_[j].eligible) continue;
+      const uint64_t n1 =
+          chunks_[j].n1 > 0 ? static_cast<uint64_t>(chunks_[j].n1) : 0;
+      const double draw =
+          MakeBelief(n1, chunks_[j].n, options_.belief).Sample(rng_);
+      if (draw > best_draw || best == chunks_.size()) {
+        best_draw = draw;
+        best = j;
+      }
+    }
+    DynChunk& chunk = chunks_[best];
+
+    // Draw until we find a frame no ancestor chunk already emitted.
+    for (;;) {
+      const std::optional<video::FrameId> frame = chunk.sampler->Next(rng_);
+      if (!frame.has_value()) {
+        chunk.eligible = false;
+        --eligible_count_;
+        break;  // Re-pick another chunk.
+      }
+      if (emitted_.insert(*frame).second) {
+        if (chunk.sampler->Remaining() == 0) {
+          chunk.eligible = false;
+          --eligible_count_;
+        }
+        return frame;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void AdaptiveExSampleStrategy::MaybeSplit(size_t index) {
+  DynChunk& chunk = chunks_[index];
+  if (chunk.n < options_.split_threshold) return;
+  if (chunks_.size() >= options_.max_chunks) return;
+  const uint64_t span = chunk.end - chunk.begin;
+  if (span < 2 * options_.min_chunk_frames) return;
+
+  const video::FrameId mid = chunk.begin + span / 2;
+  DynChunk left, right;
+  left.begin = chunk.begin;
+  left.end = mid;
+  right.begin = mid;
+  right.end = chunk.end;
+  // Without per-frame bookkeeping we do not know which half earned which
+  // results; give each child a *discounted* share of the evidence. The rate
+  // estimate carries over, but the widened belief lets a handful of fresh
+  // samples separate the hot child from the cold one (the "adapt" in
+  // adaptive).
+  const double share = 0.5 * options_.inherit_fraction;
+  left.n = static_cast<uint64_t>(static_cast<double>(chunk.n) * share);
+  right.n = left.n;
+  left.n1 = static_cast<int64_t>(static_cast<double>(chunk.n1) * share);
+  right.n1 = left.n1;
+  left.sampler = MakeSampler(left.begin, left.end);
+  right.sampler = MakeSampler(right.begin, right.end);
+
+  // Two eligible children replace the parent (which counted 1 if eligible,
+  // 0 if its sampler had exhausted).
+  const bool parent_eligible = chunk.eligible;
+  chunks_[index] = std::move(left);
+  chunks_.insert(chunks_.begin() + static_cast<ptrdiff_t>(index) + 1,
+                 std::move(right));
+  eligible_count_ += 2 - (parent_eligible ? 1 : 0);
+  ++splits_;
+}
+
+void AdaptiveExSampleStrategy::Observe(video::FrameId frame, size_t new_results,
+                                       size_t once_matched) {
+  const size_t index = ChunkOfFrame(frame);
+  DynChunk& chunk = chunks_[index];
+  chunk.n1 += static_cast<int64_t>(new_results) - static_cast<int64_t>(once_matched);
+  chunk.n += 1;
+  MaybeSplit(index);
+}
+
+}  // namespace core
+}  // namespace exsample

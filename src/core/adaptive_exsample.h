@@ -1,0 +1,95 @@
+#ifndef EXSAMPLE_CORE_ADAPTIVE_EXSAMPLE_H_
+#define EXSAMPLE_CORE_ADAPTIVE_EXSAMPLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/estimator.h"
+#include "core/frame_sampler.h"
+#include "query/strategy.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace core {
+
+/// \brief Options for the adaptive-chunking ExSample variant.
+struct AdaptiveExSampleOptions {
+  /// Gamma prior of the chunk beliefs.
+  BeliefParams belief;
+  /// Number of equal chunks to start from.
+  size_t initial_chunks = 8;
+  /// A chunk splits in half once it has received this many samples (and both
+  /// halves would still hold at least `min_chunk_frames`).
+  uint64_t split_threshold = 32;
+  /// Fraction of the parent's (n, N1) evidence each child inherits (applied
+  /// after halving). Small values make the post-split beliefs wide so a few
+  /// fresh samples quickly separate the hot child from the cold one; 1.0
+  /// would keep the parent's confidence and slow adaptation down.
+  double inherit_fraction = 0.25;
+  /// Minimum chunk span in frames; prevents splitting into slivers.
+  uint64_t min_chunk_frames = 1024;
+  /// Hard cap on the number of chunks (safety bound on state).
+  size_t max_chunks = 4096;
+  /// Seed of the strategy's random stream.
+  uint64_t seed = 1;
+};
+
+/// \brief Automated chunking (the paper's Sec. VII first future-work item):
+/// instead of fixing the chunk partition up front, start coarse and split
+/// chunks as evidence accumulates.
+///
+/// Sec. IV-C shows the chunk-count dilemma: few chunks cap the exploitable
+/// skew, many chunks dilute the statistics. Adaptive splitting resolves it —
+/// a chunk that has been sampled `split_threshold` times has enough evidence
+/// to justify a finer view, so it is halved and its (n, N1) statistics are
+/// divided between the children. Sampling then localizes the productive
+/// region at progressively finer scales while cold regions stay coarse.
+///
+/// Frames already emitted by a parent chunk are never re-emitted after a
+/// split (a global emitted-set guards without-replacement semantics).
+class AdaptiveExSampleStrategy : public query::SearchStrategy {
+ public:
+  AdaptiveExSampleStrategy(uint64_t total_frames,
+                           AdaptiveExSampleOptions options = {});
+
+  std::optional<video::FrameId> NextFrame() override;
+  void Observe(video::FrameId frame, size_t new_results, size_t once_matched) override;
+  std::string name() const override { return "exsample-adaptive"; }
+
+  /// \brief Current number of chunks (grows over the run).
+  size_t NumChunks() const { return chunks_.size(); }
+
+  /// \brief Total splits performed.
+  uint64_t Splits() const { return splits_; }
+
+ private:
+  struct DynChunk {
+    video::FrameId begin = 0;
+    video::FrameId end = 0;
+    uint64_t n = 0;
+    int64_t n1 = 0;
+    bool eligible = true;
+    std::unique_ptr<FrameSampler> sampler;
+  };
+
+  size_t ChunkOfFrame(video::FrameId frame) const;
+  void MaybeSplit(size_t index);
+  std::unique_ptr<FrameSampler> MakeSampler(video::FrameId begin, video::FrameId end);
+
+  uint64_t total_frames_;
+  AdaptiveExSampleOptions options_;
+  common::Rng rng_;
+  std::vector<DynChunk> chunks_;  // Kept sorted by begin.
+  size_t eligible_count_;
+  std::unordered_set<video::FrameId> emitted_;
+  uint64_t sampler_counter_ = 0;
+  uint64_t splits_ = 0;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_ADAPTIVE_EXSAMPLE_H_

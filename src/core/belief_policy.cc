@@ -1,0 +1,72 @@
+#include "core/belief_policy.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace exsample {
+namespace core {
+
+namespace {
+
+// Shared scan: returns the eligible index with the highest score; random
+// tie-breaking via reservoir sampling over exact ties.
+template <typename ScoreFn>
+size_t ArgmaxEligible(size_t num_chunks, const std::vector<bool>& eligible,
+                      common::Rng& rng, ScoreFn&& score) {
+  double best = -std::numeric_limits<double>::infinity();
+  size_t best_idx = num_chunks;  // Sentinel: no eligible chunk seen yet.
+  uint64_t ties = 0;
+  for (size_t j = 0; j < num_chunks; ++j) {
+    if (!eligible[j]) continue;
+    const double s = score(j);
+    if (s > best) {
+      best = s;
+      best_idx = j;
+      ties = 1;
+    } else if (s == best) {
+      // Reservoir: replace with probability 1/ties so exact ties are uniform.
+      ++ties;
+      if (rng.NextBounded(ties) == 0) best_idx = j;
+    }
+  }
+  assert(best_idx < num_chunks && "PickChunk requires at least one eligible chunk");
+  return best_idx;
+}
+
+}  // namespace
+
+size_t ThompsonPolicy::PickChunk(const ChunkStatsTable& stats,
+                                 const std::vector<bool>& eligible, common::Rng& rng) {
+  return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Sample(rng);
+  });
+}
+
+size_t BayesUcbPolicy::PickChunk(const ChunkStatsTable& stats,
+                                 const std::vector<bool>& eligible, common::Rng& rng) {
+  // Quantile level 1 - 1/t grows toward 1 as evidence accumulates, shrinking
+  // the exploration bonus (Kaufmann's Bayes-UCB index).
+  const double t = static_cast<double>(stats.TotalSamples()) + 1.0;
+  const double level = std::min(1.0 - 1.0 / t, 1.0 - 1e-12);
+  return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Quantile(level);
+  });
+}
+
+size_t GreedyPolicy::PickChunk(const ChunkStatsTable& stats,
+                               const std::vector<bool>& eligible, common::Rng& rng) {
+  return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Mean();
+  });
+}
+
+size_t UniformChunkPolicy::PickChunk(const ChunkStatsTable& stats,
+                                     const std::vector<bool>& eligible,
+                                     common::Rng& rng) {
+  return ArgmaxEligible(stats.NumChunks(), eligible, rng,
+                        [](size_t) { return 0.0; });
+}
+
+}  // namespace core
+}  // namespace exsample

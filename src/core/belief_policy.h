@@ -1,0 +1,88 @@
+#ifndef EXSAMPLE_CORE_BELIEF_POLICY_H_
+#define EXSAMPLE_CORE_BELIEF_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/chunk_stats.h"
+#include "core/estimator.h"
+
+namespace exsample {
+namespace core {
+
+/// \brief Chooses which chunk to sample next from the per-chunk statistics
+/// (Algorithm 1, lines 3–6 abstracted).
+///
+/// `eligible[j]` marks chunks that still have unsampled frames; policies must
+/// never return an ineligible chunk (at least one must be eligible).
+class ChunkPolicy {
+ public:
+  virtual ~ChunkPolicy() = default;
+
+  /// \brief Picks the next chunk index.
+  virtual size_t PickChunk(const ChunkStatsTable& stats,
+                           const std::vector<bool>& eligible, common::Rng& rng) = 0;
+
+  /// \brief Policy name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// \brief Thompson sampling over Gamma beliefs (the paper's method,
+/// Sec. III-C): draw R_j ~ Gamma(N1_j + alpha0, n_j + beta0) for every chunk
+/// and take the argmax. Ties are broken by the randomness of the draws; on
+/// the first iteration all beliefs are identical, so the pick is uniform.
+class ThompsonPolicy : public ChunkPolicy {
+ public:
+  explicit ThompsonPolicy(BeliefParams params = {}) : params_(params) {}
+  size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
+                   common::Rng& rng) override;
+  std::string name() const override { return "thompson"; }
+
+ private:
+  BeliefParams params_;
+};
+
+/// \brief Bayes-UCB (Kaufmann): use the upper 1 - 1/t quantile of the same
+/// Gamma belief instead of a random draw. The paper reports results
+/// indistinguishable from Thompson sampling (Sec. III-C).
+class BayesUcbPolicy : public ChunkPolicy {
+ public:
+  explicit BayesUcbPolicy(BeliefParams params = {}) : params_(params) {}
+  size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
+                   common::Rng& rng) override;
+  std::string name() const override { return "bayes-ucb"; }
+
+ private:
+  BeliefParams params_;
+};
+
+/// \brief Greedy point-estimate policy: argmax of (N1+alpha0)/(n+beta0) with
+/// random tie-breaking. Included as the ablation the paper warns about: a raw
+/// point estimate "could get stuck sampling chunks with an early lucky result
+/// and ignore better chunks with unlucky early results" (Sec. III-B).
+class GreedyPolicy : public ChunkPolicy {
+ public:
+  explicit GreedyPolicy(BeliefParams params = {}) : params_(params) {}
+  size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
+                   common::Rng& rng) override;
+  std::string name() const override { return "greedy"; }
+
+ private:
+  BeliefParams params_;
+};
+
+/// \brief Uniform-random chunk choice (reduces ExSample to chunk-stratified
+/// random sampling; with one chunk it is exactly random sampling).
+class UniformChunkPolicy : public ChunkPolicy {
+ public:
+  size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
+                   common::Rng& rng) override;
+  std::string name() const override { return "uniform-chunk"; }
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_BELIEF_POLICY_H_

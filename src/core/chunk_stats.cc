@@ -1,0 +1,28 @@
+#include "core/chunk_stats.h"
+
+#include <cassert>
+
+namespace exsample {
+namespace core {
+
+void ChunkStatsTable::Update(size_t chunk, size_t new_results, size_t once_matched) {
+  assert(chunk < states_.size());
+  ChunkState& state = states_[chunk];
+  state.n1 += static_cast<int64_t>(new_results) - static_cast<int64_t>(once_matched);
+  state.n += 1;
+  total_samples_ += 1;
+}
+
+uint64_t ChunkStatsTable::N1NonNegative(size_t chunk) const {
+  const int64_t n1 = states_[chunk].n1;
+  return n1 > 0 ? static_cast<uint64_t>(n1) : 0;
+}
+
+uint64_t ChunkStatsTable::TotalN1() const {
+  uint64_t total = 0;
+  for (size_t j = 0; j < states_.size(); ++j) total += N1NonNegative(j);
+  return total;
+}
+
+}  // namespace core
+}  // namespace exsample

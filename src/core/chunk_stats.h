@@ -1,0 +1,54 @@
+#ifndef EXSAMPLE_CORE_CHUNK_STATS_H_
+#define EXSAMPLE_CORE_CHUNK_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exsample {
+namespace core {
+
+/// \brief Per-chunk sufficient statistics of ExSample (Algorithm 1 state).
+struct ChunkState {
+  /// Frames sampled from this chunk so far (n_j).
+  uint64_t n = 0;
+  /// Results seen exactly once, as maintained by line 11 of Algorithm 1:
+  /// N1 += |d0| - |d1|. Kept as a signed value because the update can
+  /// transiently drive it negative when a noisy discriminator reports more
+  /// second sightings than first sightings; belief construction clamps at 0.
+  int64_t n1 = 0;
+};
+
+/// \brief The table of per-chunk (n, N1) statistics.
+class ChunkStatsTable {
+ public:
+  explicit ChunkStatsTable(size_t num_chunks) : states_(num_chunks) {}
+
+  /// \brief Applies Algorithm 1 lines 11–12 for one processed frame:
+  /// N1[j] += new_results - once_matched; n[j] += 1.
+  void Update(size_t chunk, size_t new_results, size_t once_matched);
+
+  /// \brief Number of chunks (M).
+  size_t NumChunks() const { return states_.size(); }
+
+  /// \brief Per-chunk state.
+  const ChunkState& State(size_t chunk) const { return states_[chunk]; }
+
+  /// \brief N1 clamped at zero (the value used for belief construction).
+  uint64_t N1NonNegative(size_t chunk) const;
+
+  /// \brief Total frames sampled across all chunks.
+  uint64_t TotalSamples() const { return total_samples_; }
+
+  /// \brief Sum of clamped N1 across chunks.
+  uint64_t TotalN1() const;
+
+ private:
+  std::vector<ChunkState> states_;
+  uint64_t total_samples_ = 0;
+};
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_CHUNK_STATS_H_

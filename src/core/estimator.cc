@@ -1,0 +1,27 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exsample {
+namespace core {
+
+double PointEstimate(uint64_t n1, uint64_t n) {
+  if (n == 0) return 0.0;
+  return static_cast<double>(n1) / static_cast<double>(n);
+}
+
+stats::GammaBelief MakeBelief(uint64_t n1, uint64_t n, const BeliefParams& params) {
+  return stats::GammaBelief(static_cast<double>(n1) + params.alpha0,
+                            static_cast<double>(n) + params.beta0);
+}
+
+double BiasUpperBound(double max_p, uint64_t num_instances, double mean_p,
+                      double stddev_p) {
+  const double cauchy_schwartz =
+      std::sqrt(static_cast<double>(num_instances)) * (mean_p + stddev_p);
+  return std::min(max_p, cauchy_schwartz);
+}
+
+}  // namespace core
+}  // namespace exsample

@@ -1,0 +1,44 @@
+#ifndef EXSAMPLE_CORE_ESTIMATOR_H_
+#define EXSAMPLE_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "stats/gamma_belief.h"
+
+namespace exsample {
+namespace core {
+
+/// \brief Prior pseudo-counts of the Gamma belief (paper Eq. III.4).
+///
+/// alpha0/beta0 keep the belief defined when N1 = 0 (at the start, when
+/// objects are rare, or when few objects remain) and make Thompson sampling
+/// keep exploring such chunks. The paper uses alpha0 = 0.1, beta0 = 1 and
+/// reports no strong sensitivity to the choice.
+struct BeliefParams {
+  double alpha0 = 0.1;
+  double beta0 = 1.0;
+};
+
+/// \brief The point estimate R̂(n+1) = N1(n) / n of Eq. III.1 — the expected
+/// number of *new* results in the next frame sampled from a chunk.
+///
+/// A Good–Turing style estimator: results seen exactly once estimate the
+/// probability mass of results not yet seen. Returns 0 when n = 0.
+double PointEstimate(uint64_t n1, uint64_t n);
+
+/// \brief The full belief over R(n+1): Gamma(N1 + alpha0, n + beta0).
+///
+/// Mean matches Eq. III.1 (up to the prior) and variance matches the bound
+/// of Eq. III.3: Var ≈ E/n.
+stats::GammaBelief MakeBelief(uint64_t n1, uint64_t n, const BeliefParams& params);
+
+/// \brief Theoretical bias bound of Eq. III.2: E[R̂ - R] / R̂ <= max p_i, and
+/// also <= sqrt(N) (mu_p + sigma_p). Returns the tighter of the two given the
+/// population parameters (used by validation tests, not by the algorithm).
+double BiasUpperBound(double max_p, uint64_t num_instances, double mean_p,
+                      double stddev_p);
+
+}  // namespace core
+}  // namespace exsample
+
+#endif  // EXSAMPLE_CORE_ESTIMATOR_H_

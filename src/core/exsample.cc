@@ -1,0 +1,98 @@
+#include "core/exsample.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace exsample {
+namespace core {
+
+std::unique_ptr<ChunkPolicy> MakeChunkPolicy(ExSampleOptions::Policy policy,
+                                             BeliefParams params) {
+  switch (policy) {
+    case ExSampleOptions::Policy::kThompson:
+      return std::make_unique<ThompsonPolicy>(params);
+    case ExSampleOptions::Policy::kBayesUcb:
+      return std::make_unique<BayesUcbPolicy>(params);
+    case ExSampleOptions::Policy::kGreedy:
+      return std::make_unique<GreedyPolicy>(params);
+    case ExSampleOptions::Policy::kUniform:
+      return std::make_unique<UniformChunkPolicy>();
+  }
+  return nullptr;
+}
+
+ExSampleStrategy::ExSampleStrategy(const video::Chunking* chunking,
+                                   ExSampleOptions options)
+    : chunking_(chunking),
+      options_(options),
+      rng_(options.seed),
+      stats_(chunking->NumChunks()),
+      policy_(MakeChunkPolicy(options.policy, options.belief)),
+      samplers_(chunking->NumChunks()),
+      eligible_(chunking->NumChunks(), true),
+      eligible_count_(chunking->NumChunks()) {
+  assert(options_.batch_size >= 1);
+}
+
+FrameSampler* ExSampleStrategy::SamplerFor(size_t chunk) {
+  if (samplers_[chunk] == nullptr) {
+    const video::Chunk& c = chunking_->GetChunk(chunk);
+    samplers_[chunk] = MakeFrameSampler(options_.within_chunk, c.begin, c.end,
+                                        common::HashCombine(options_.seed, chunk));
+  }
+  return samplers_[chunk].get();
+}
+
+bool ExSampleStrategy::FillBatch() {
+  for (size_t b = 0; b < options_.batch_size; ++b) {
+    if (eligible_count_ == 0) break;
+    const size_t chunk = policy_->PickChunk(stats_, eligible_, rng_);
+    FrameSampler* sampler = SamplerFor(chunk);
+    const std::optional<video::FrameId> frame = sampler->Next(rng_);
+    assert(frame.has_value() && "eligible chunk must have frames left");
+    if (frame.has_value()) pending_.push_back(*frame);
+    if (sampler->Remaining() == 0) {
+      eligible_[chunk] = false;
+      --eligible_count_;
+    }
+  }
+  return !pending_.empty();
+}
+
+std::optional<video::FrameId> ExSampleStrategy::NextFrame() {
+  if (pending_.empty() && !FillBatch()) return std::nullopt;
+  const video::FrameId frame = pending_.front();
+  pending_.pop_front();
+  return frame;
+}
+
+void ExSampleStrategy::Observe(video::FrameId frame, size_t new_results,
+                               size_t once_matched) {
+  const auto chunk = chunking_->ChunkOfFrame(frame);
+  assert(chunk.ok());
+  if (chunk.ok()) stats_.Update(chunk.value(), new_results, once_matched);
+}
+
+std::string ExSampleStrategy::name() const {
+  std::string name = "exsample";
+  switch (options_.policy) {
+    case ExSampleOptions::Policy::kThompson:
+      break;
+    case ExSampleOptions::Policy::kBayesUcb:
+      name += "-ucb";
+      break;
+    case ExSampleOptions::Policy::kGreedy:
+      name += "-greedy";
+      break;
+    case ExSampleOptions::Policy::kUniform:
+      name += "-uniformchunk";
+      break;
+  }
+  if (options_.within_chunk == WithinChunkSampling::kUniform) name += "+unif";
+  if (options_.batch_size > 1) name += "+b" + std::to_string(options_.batch_size);
+  return name;
+}
+
+}  // namespace core
+}  // namespace exsample

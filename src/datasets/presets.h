@@ -1,0 +1,113 @@
+#ifndef EXSAMPLE_DATASETS_PRESETS_H_
+#define EXSAMPLE_DATASETS_PRESETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "scene/generator.h"
+#include "scene/ground_truth.h"
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace datasets {
+
+/// \brief One (dataset, object class) query of the paper's evaluation.
+///
+/// `instance_count`, `mean_duration_frames`, and `skew_s` are the knobs that
+/// determine query difficulty: N and the p_i scale (Sec. III-A) plus the
+/// chunk-level skew ExSample can exploit (Sec. IV-B). Counts and skew values
+/// marked in presets.cc follow the paper's published numbers (Fig. 6) where
+/// available; the rest are chosen to match each dataset's narrative (rare vs.
+/// abundant classes, static vs. moving cameras).
+struct QuerySpec {
+  std::string class_name;
+  int32_t class_id = 0;  ///< Assigned: index within the dataset's query list.
+  uint64_t instance_count = 0;
+  double mean_duration_frames = 0.0;
+  double duration_sigma_log = 0.8;
+  double skew_s = 1.0;
+};
+
+/// \brief How a dataset is partitioned into chunks.
+enum class ChunkScheme {
+  kPerClip,      ///< One chunk per clip (BDD's sub-minute clips; Sec. V-A).
+  kFixedCount,   ///< Fixed number of equal chunks (20-minute chunks elsewhere).
+};
+
+/// \brief Full description of an emulated dataset.
+struct DatasetSpec {
+  std::string name;
+  uint64_t total_frames = 0;
+  size_t num_clips = 1;
+  double fps = 30.0;
+  ChunkScheme chunk_scheme = ChunkScheme::kFixedCount;
+  size_t chunk_count = 60;
+  std::vector<QuerySpec> queries;
+
+  /// \brief Scan time of a proxy pass over the full dataset at `scan_fps`
+  /// (Table I's "proxy (scan)" column).
+  double ProxyScanSeconds(double scan_fps) const {
+    return static_cast<double>(total_frames) / scan_fps;
+  }
+
+  /// \brief Finds a query spec by class name (nullptr when absent).
+  const QuerySpec* FindQuery(const std::string& class_name) const;
+};
+
+/// \brief A materialized dataset: repository + chunking + ground truth.
+class BuiltDataset {
+ public:
+  /// \brief Builds the dataset at a linear `scale`.
+  ///
+  /// Scaling multiplies the frame count and every duration by `scale`, which
+  /// preserves the per-frame hit probabilities p_i, the instance counts N,
+  /// and the chunk count — so the *number of samples* any strategy needs is
+  /// approximately scale-invariant, while memory and wall-clock of the bench
+  /// shrink. (Proxy scan cost is the exception: it is proportional to frame
+  /// count, so Table I computes it from the unscaled spec.)
+  static common::Result<BuiltDataset> Build(const DatasetSpec& spec, uint64_t seed,
+                                            double scale = 1.0);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const video::VideoRepository& repo() const { return repo_; }
+  const video::Chunking& chunking() const { return chunking_; }
+  const scene::GroundTruth& truth() const { return truth_; }
+
+ private:
+  BuiltDataset(DatasetSpec spec, video::VideoRepository repo, video::Chunking chunking,
+               scene::GroundTruth truth)
+      : spec_(std::move(spec)),
+        repo_(std::move(repo)),
+        chunking_(std::move(chunking)),
+        truth_(std::move(truth)) {}
+
+  DatasetSpec spec_;
+  video::VideoRepository repo_;
+  video::Chunking chunking_;
+  scene::GroundTruth truth_;
+};
+
+/// \name The six evaluation datasets (Sec. V-A)
+/// Frame counts are set so that a 100 fps proxy scan reproduces Table I's
+/// scan column (they agree with the paper's stated sizes where given: the
+/// dashcam dataset is ~1.1M frames, BDD MOT is 1600 clips of ~200 frames).
+/// @{
+DatasetSpec DashcamSpec();      ///< 10h moving camera, 30 chunks, 2h54m scan.
+DatasetSpec Bdd1kSpec();        ///< 1000 short clips = 1000 chunks, 54m scan.
+DatasetSpec BddMotSpec();       ///< 1600 clips of ~200 frames, 53m scan.
+DatasetSpec AmsterdamSpec();    ///< Static camera, 60 chunks, 9h50m scan.
+DatasetSpec ArchieSpec();       ///< Static camera, 60 chunks, 9h49m scan.
+DatasetSpec NightStreetSpec();  ///< Static camera, 60 chunks, 8h scan.
+/// @}
+
+/// \brief All six dataset specs, in the paper's Table I order.
+std::vector<DatasetSpec> AllDatasetSpecs();
+
+}  // namespace datasets
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATASETS_PRESETS_H_

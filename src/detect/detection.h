@@ -1,0 +1,33 @@
+#ifndef EXSAMPLE_DETECT_DETECTION_H_
+#define EXSAMPLE_DETECT_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "scene/trajectory.h"
+
+namespace exsample {
+namespace detect {
+
+/// \brief One detector output box.
+struct Detection {
+  common::Box box;
+  int32_t class_id = 0;
+  double confidence = 0.0;
+  /// Ground-truth instance that produced this detection, or
+  /// `scene::kNoInstance` for a false positive. Only oracle components and
+  /// the evaluation harness may read this; realistic components (the IoU
+  /// tracker discriminator's matching logic) must not use it for matching.
+  scene::InstanceId source_instance = scene::kNoInstance;
+
+  /// \brief True when the detection stems from a real instance.
+  bool IsTruePositive() const { return source_instance != scene::kNoInstance; }
+};
+
+using Detections = std::vector<Detection>;
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_DETECTION_H_

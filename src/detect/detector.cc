@@ -1,0 +1,86 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace exsample {
+namespace detect {
+
+DetectorOptions DetectorOptions::Perfect(int32_t target_class) {
+  DetectorOptions opts;
+  opts.target_class = target_class;
+  opts.miss_prob = 0.0;
+  opts.edge_min_factor = 1.0;
+  opts.localization_sigma = 0.0;
+  opts.false_positive_rate = 0.0;
+  return opts;
+}
+
+SimulatedDetector::SimulatedDetector(const scene::GroundTruth* truth,
+                                     DetectorOptions options)
+    : truth_(truth), options_(options) {}
+
+double SimulatedDetector::DetectionProbability(const scene::Trajectory& traj,
+                                               video::FrameId frame) const {
+  if (!traj.VisibleAt(frame)) return 0.0;
+  const double duration = static_cast<double>(traj.DurationFrames());
+  const double to_start = static_cast<double>(frame - traj.start_frame) + 1.0;
+  const double to_end = static_cast<double>(traj.end_frame - frame);
+  const double edge_distance = std::min(to_start, to_end);
+  const double ramp = std::max(1.0, duration * options_.edge_ramp_fraction);
+  const double ramp_pos = std::min(1.0, edge_distance / ramp);
+  const double factor =
+      options_.edge_min_factor + (1.0 - options_.edge_min_factor) * ramp_pos;
+  return (1.0 - options_.miss_prob) * factor;
+}
+
+Detections SimulatedDetector::Detect(video::FrameId frame) {
+  ++frames_processed_;
+  // Per-frame deterministic stream: repeated calls on one frame agree.
+  common::Rng rng(common::HashCombine(options_.seed, frame));
+  Detections out;
+  truth_->ForEachVisible(frame, [&](const scene::Trajectory& traj) {
+    if (options_.target_class != scene::GroundTruth::kAllClasses &&
+        traj.class_id != options_.target_class) {
+      return;
+    }
+    const double p = DetectionProbability(traj, frame);
+    if (!rng.Bernoulli(p)) return;
+    common::Box box = traj.BoxAt(frame);
+    if (options_.localization_sigma > 0.0) {
+      const double jitter = options_.localization_sigma;
+      box = box.Translated(rng.Normal(0.0, jitter * box.w),
+                           rng.Normal(0.0, jitter * box.h));
+      box = box.ScaledAboutCenter(std::exp(rng.Normal(0.0, jitter)));
+    }
+    Detection det;
+    det.box = box;
+    det.class_id = traj.class_id;
+    det.confidence = common::Clamp(0.55 + 0.45 * p + rng.Normal(0.0, 0.05), 0.05, 1.0);
+    det.source_instance = traj.instance_id;
+    out.push_back(det);
+  });
+  if (options_.false_positive_rate > 0.0) {
+    const uint64_t fp_count = rng.Poisson(options_.false_positive_rate);
+    for (uint64_t i = 0; i < fp_count; ++i) {
+      Detection det;
+      const double size = rng.Uniform(0.02, 0.08);
+      det.box = common::Box{rng.Uniform(0.0, 1.0 - size), rng.Uniform(0.0, 1.0 - size),
+                            size, size};
+      det.class_id = options_.target_class == scene::GroundTruth::kAllClasses
+                         ? 0
+                         : options_.target_class;
+      det.confidence = rng.Uniform(0.2, 0.55);
+      det.source_instance = scene::kNoInstance;
+      out.push_back(det);
+    }
+  }
+  return out;
+}
+
+}  // namespace detect
+}  // namespace exsample

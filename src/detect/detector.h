@@ -1,0 +1,95 @@
+#ifndef EXSAMPLE_DETECT_DETECTOR_H_
+#define EXSAMPLE_DETECT_DETECTOR_H_
+
+#include <cstdint>
+
+#include "detect/detection.h"
+#include "scene/ground_truth.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace detect {
+
+/// \brief Black-box object detector interface (paper Sec. II-A).
+///
+/// ExSample treats the detector as an expensive oracle: it inputs a frame and
+/// outputs boxes. `SecondsPerFrame` drives all wall-clock accounting (the
+/// paper measures ~20 fps end-to-end for detection including decode).
+class ObjectDetector {
+ public:
+  virtual ~ObjectDetector() = default;
+
+  /// \brief Runs detection on one frame.
+  ///
+  /// Implementations must be deterministic per frame: calling `Detect` twice
+  /// on the same frame returns the same boxes, as a real model would.
+  virtual Detections Detect(video::FrameId frame) = 0;
+
+  /// \brief Amortized cost of one `Detect` call in seconds.
+  virtual double SecondsPerFrame() const = 0;
+
+  /// \brief Number of `Detect` calls so far.
+  virtual uint64_t FramesProcessed() const = 0;
+};
+
+/// \brief Noise model of `SimulatedDetector`.
+struct DetectorOptions {
+  /// Only emit detections of this class (scene::GroundTruth::kAllClasses for
+  /// every class). Distinct-object queries are single-class, and the paper's
+  /// detector is fine-tuned per dataset for the queried classes.
+  int32_t target_class = scene::GroundTruth::kAllClasses;
+  /// Base probability of missing a clearly visible instance.
+  double miss_prob = 0.05;
+  /// Fraction of the track near each end where detectability degrades (the
+  /// object is entering/leaving the frame, small or occluded).
+  double edge_ramp_fraction = 0.1;
+  /// Detection-probability multiplier at the very edge of a track.
+  double edge_min_factor = 0.35;
+  /// Relative localization noise applied to output boxes.
+  double localization_sigma = 0.02;
+  /// Expected false positives per frame (Poisson).
+  double false_positive_rate = 0.0;
+  /// Simulated inference cost (paper: ~20 fps end to end).
+  double seconds_per_frame = 1.0 / 20.0;
+  /// Seed for the per-frame deterministic noise.
+  uint64_t seed = 7;
+
+  /// \brief An idealized detector: no misses, no noise, no false positives.
+  /// Used by the Sec. IV simulations, which study sampling in isolation.
+  static DetectorOptions Perfect(int32_t target_class);
+};
+
+/// \brief Simulated object detector backed by scene ground truth.
+///
+/// For every instance visible in the frame, a deterministic per-frame coin
+/// decides detection: P(detect) = (1 - miss_prob) * edge_factor, where the
+/// edge factor ramps from `edge_min_factor` at the first/last frames of a
+/// track to 1 in its middle. Detected boxes get localization jitter; false
+/// positives are added at a Poisson rate. This models exactly the failure
+/// modes the paper's Sec. I motivates ("the one frame we look at may not show
+/// the light clearly, causing the detector to miss it completely").
+class SimulatedDetector : public ObjectDetector {
+ public:
+  SimulatedDetector(const scene::GroundTruth* truth, DetectorOptions options);
+
+  Detections Detect(video::FrameId frame) override;
+  double SecondsPerFrame() const override { return options_.seconds_per_frame; }
+  uint64_t FramesProcessed() const override { return frames_processed_; }
+
+  /// \brief Probability that `Detect` reports the given instance in `frame`
+  /// (exposed for tests and for the track propagator's observation model).
+  double DetectionProbability(const scene::Trajectory& traj,
+                              video::FrameId frame) const;
+
+  const DetectorOptions& options() const { return options_; }
+
+ private:
+  const scene::GroundTruth* truth_;
+  DetectorOptions options_;
+  uint64_t frames_processed_ = 0;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_DETECTOR_H_

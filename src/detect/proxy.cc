@@ -1,0 +1,35 @@
+#include "detect/proxy.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace exsample {
+namespace detect {
+
+ProxyScorer::ProxyScorer(const scene::GroundTruth* truth, ProxyOptions options)
+    : truth_(truth), options_(options) {}
+
+double ProxyScorer::Score(video::FrameId frame) const {
+  uint64_t visible = 0;
+  truth_->ForEachVisible(frame, [&](const scene::Trajectory& traj) {
+    if (options_.target_class == scene::GroundTruth::kAllClasses ||
+        traj.class_id == options_.target_class) {
+      ++visible;
+    }
+  });
+  // Logistic response to the object count, centered so that empty frames sit
+  // below 0.5 and occupied frames above.
+  const double logit = options_.count_gain * (static_cast<double>(visible) - 0.5);
+  double score = 1.0 / (1.0 + std::exp(-logit));
+  if (options_.noise_sigma > 0.0) {
+    common::Rng rng(common::HashCombine(options_.seed, frame));
+    score += rng.Normal(0.0, options_.noise_sigma);
+  }
+  return common::Clamp(score, 0.0, 1.0);
+}
+
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,56 @@
+#ifndef EXSAMPLE_DETECT_PROXY_H_
+#define EXSAMPLE_DETECT_PROXY_H_
+
+#include <cstdint>
+
+#include "scene/ground_truth.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace detect {
+
+/// \brief Quality/cost knobs of the simulated proxy model.
+struct ProxyOptions {
+  /// The class the proxy was trained to score.
+  int32_t target_class = scene::GroundTruth::kAllClasses;
+  /// Standard deviation of the score noise. 0 gives a *perfect* proxy: every
+  /// frame containing the target outscores every frame that does not —
+  /// deliberately the strongest possible version of the baseline (the paper's
+  /// Table I argument holds even for a perfect proxy).
+  double noise_sigma = 0.15;
+  /// Logistic gain applied to the visible-instance count.
+  double count_gain = 2.0;
+  /// Scoring throughput (paper: ~100 fps, bound by io+decode; Sec. V-B).
+  double seconds_per_frame = 1.0 / 100.0;
+  /// Seed for the per-frame deterministic noise.
+  uint64_t seed = 11;
+};
+
+/// \brief Simulated BlazeIt-style proxy model: a cheap per-frame score
+/// correlated with the presence of the target class.
+///
+/// Proxy-based systems must score *every* frame before returning their first
+/// result; `ProxyGuidedStrategy` charges `seconds_per_frame * total_frames`
+/// of upfront scan cost before using these scores.
+class ProxyScorer {
+ public:
+  ProxyScorer(const scene::GroundTruth* truth, ProxyOptions options);
+
+  /// \brief Deterministic per-frame score in [0, 1] (higher = more likely to
+  /// contain a new-to-the-proxy target object).
+  double Score(video::FrameId frame) const;
+
+  /// \brief Cost of scoring one frame, in seconds.
+  double SecondsPerFrame() const { return options_.seconds_per_frame; }
+
+  const ProxyOptions& options() const { return options_; }
+
+ private:
+  const scene::GroundTruth* truth_;
+  ProxyOptions options_;
+};
+
+}  // namespace detect
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DETECT_PROXY_H_

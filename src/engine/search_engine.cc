@@ -1,0 +1,133 @@
+#include "engine/search_engine.h"
+
+#include <cmath>
+
+namespace exsample {
+namespace engine {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kExSample:
+      return "exsample";
+    case Method::kExSampleAdaptive:
+      return "exsample-adaptive";
+    case Method::kRandom:
+      return "random";
+    case Method::kRandomPlus:
+      return "random+";
+    case Method::kSequential:
+      return "sequential";
+    case Method::kProxyGuided:
+      return "proxy";
+    case Method::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+SearchEngine::SearchEngine(const video::VideoRepository* repo,
+                           const video::Chunking* chunking,
+                           const scene::GroundTruth* truth, EngineConfig config)
+    : repo_(repo), chunking_(chunking), truth_(truth), config_(config) {}
+
+common::Result<std::unique_ptr<query::SearchStrategy>> SearchEngine::MakeStrategy(
+    int32_t class_id, const QueryOptions& options) {
+  switch (options.method) {
+    case Method::kExSample:
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<core::ExSampleStrategy>(chunking_, options.exsample));
+    case Method::kExSampleAdaptive:
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<core::AdaptiveExSampleStrategy>(repo_->TotalFrames(),
+                                                           options.adaptive));
+    case Method::kRandom:
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<samplers::UniformRandomStrategy>(
+              repo_, options.exsample.seed));
+    case Method::kRandomPlus:
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<samplers::RandomPlusStrategy>(repo_,
+                                                         options.exsample.seed));
+    case Method::kSequential:
+      if (options.sequential_stride == 0) {
+        return common::Status::InvalidArgument("sequential stride must be >= 1");
+      }
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<samplers::SequentialStrategy>(
+              repo_, options.sequential_stride));
+    case Method::kProxyGuided:
+    case Method::kHybrid: {
+      auto& scorer = scorers_[class_id];
+      if (scorer == nullptr) {
+        detect::ProxyOptions popts = config_.proxy;
+        popts.target_class = class_id;
+        scorer = std::make_unique<detect::ProxyScorer>(truth_, popts);
+      }
+      if (options.method == Method::kProxyGuided) {
+        return std::unique_ptr<query::SearchStrategy>(
+            std::make_unique<samplers::ProxyGuidedStrategy>(
+                repo_, scorer.get(), options.proxy_guided));
+      }
+      return std::unique_ptr<query::SearchStrategy>(
+          std::make_unique<samplers::HybridProxyExSampleStrategy>(
+              chunking_, scorer.get(), options.hybrid));
+    }
+  }
+  return common::Status::InvalidArgument("unknown search method");
+}
+
+common::Result<query::QueryTrace> SearchEngine::Run(
+    int32_t class_id, const query::RunnerOptions& runner_options,
+    const QueryOptions& options) {
+  auto strategy = MakeStrategy(class_id, options);
+  if (!strategy.ok()) return strategy.status();
+
+  detect::DetectorOptions det_opts = config_.detector;
+  det_opts.target_class = class_id;
+  detect::SimulatedDetector detector(truth_, det_opts);
+
+  std::unique_ptr<track::Discriminator> discriminator;
+  if (config_.discriminator == EngineConfig::DiscriminatorKind::kOracle) {
+    discriminator = std::make_unique<track::OracleDiscriminator>();
+  } else {
+    discriminator =
+        std::make_unique<track::IouTrackerDiscriminator>(truth_, config_.tracker);
+  }
+
+  query::QueryRunner runner(truth_, &detector, discriminator.get(), runner_options);
+  return runner.Run(strategy.value().get());
+}
+
+common::Result<query::QueryTrace> SearchEngine::FindDistinct(
+    int32_t class_id, uint64_t limit, const QueryOptions& options) {
+  if (limit == 0) {
+    return common::Status::InvalidArgument("result limit must be >= 1");
+  }
+  query::RunnerOptions runner_options;
+  runner_options.result_limit = limit;
+  runner_options.recall_class = class_id;
+  runner_options.max_samples =
+      options.max_samples > 0 ? options.max_samples : repo_->TotalFrames();
+  return Run(class_id, runner_options, options);
+}
+
+common::Result<query::QueryTrace> SearchEngine::RunToRecall(
+    int32_t class_id, double recall, const QueryOptions& options) {
+  if (!(recall > 0.0 && recall <= 1.0)) {
+    return common::Status::InvalidArgument("recall must be in (0, 1]");
+  }
+  const uint64_t total = truth_->NumInstances(class_id);
+  if (total == 0) {
+    return common::Status::NotFound("no ground-truth instances of this class");
+  }
+  query::RunnerOptions runner_options;
+  runner_options.recall_class = class_id;
+  runner_options.true_distinct_target = static_cast<uint64_t>(
+      std::ceil(recall * static_cast<double>(total)));
+  runner_options.max_samples =
+      options.max_samples > 0 ? options.max_samples : repo_->TotalFrames();
+  return Run(class_id, runner_options, options);
+}
+
+}  // namespace engine
+}  // namespace exsample

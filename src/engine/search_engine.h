@@ -1,0 +1,119 @@
+#ifndef EXSAMPLE_ENGINE_SEARCH_ENGINE_H_
+#define EXSAMPLE_ENGINE_SEARCH_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/adaptive_exsample.h"
+#include "core/exsample.h"
+#include "detect/detector.h"
+#include "detect/proxy.h"
+#include "query/runner.h"
+#include "query/strategy.h"
+#include "query/trace.h"
+#include "samplers/hybrid_strategy.h"
+#include "samplers/proxy_strategy.h"
+#include "samplers/random_strategy.h"
+#include "scene/ground_truth.h"
+#include "track/iou_discriminator.h"
+#include "track/oracle_discriminator.h"
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace engine {
+
+/// \brief Which frame-selection method a query uses.
+enum class Method {
+  kExSample,          ///< The paper's algorithm (default).
+  kExSampleAdaptive,  ///< Sec. VII extension: automated chunk splitting.
+  kRandom,            ///< Uniform random without replacement.
+  kRandomPlus,        ///< Globally stratified random+ (Sec. III-F).
+  kSequential,        ///< 1-in-k sequential scan (Sec. II-B naive baseline).
+  kProxyGuided,       ///< BlazeIt-style: full scoring scan, then by score.
+  kHybrid,            ///< Sec. VII extension: scan-free ExSample+proxy fusion.
+};
+
+/// \brief Returns the lowercase name of a method.
+const char* MethodName(Method method);
+
+/// \brief Per-engine configuration: how frames are detected and how distinct
+/// identity is decided. One config serves many queries.
+struct EngineConfig {
+  /// Detector noise/cost model. `target_class` is overridden per query.
+  detect::DetectorOptions detector;
+
+  /// Which discriminator decides distinctness.
+  enum class DiscriminatorKind {
+    kIouTracker,  ///< Realistic tracker-based matching (default).
+    kOracle,      ///< Ground-truth identity (evaluation/simulation mode).
+  };
+  DiscriminatorKind discriminator = DiscriminatorKind::kIouTracker;
+  track::IouDiscriminatorOptions tracker;
+
+  /// Proxy model config (only used by kProxyGuided / kHybrid queries).
+  detect::ProxyOptions proxy;
+};
+
+/// \brief Per-query method configuration.
+struct QueryOptions {
+  Method method = Method::kExSample;
+  core::ExSampleOptions exsample;
+  core::AdaptiveExSampleOptions adaptive;
+  samplers::HybridOptions hybrid;
+  samplers::ProxyGuidedOptions proxy_guided;
+  uint64_t sequential_stride = 30;
+  /// Safety cap on detector invocations (default: the whole repository).
+  uint64_t max_samples = 0;
+};
+
+/// \brief High-level facade: distinct-object search over one repository.
+///
+/// Owns nothing heavyweight — it borrows the repository, chunking, and
+/// ground truth and assembles a fresh detector / discriminator / strategy /
+/// runner per query, so consecutive queries are independent (as Algorithm 1
+/// assumes: discriminator state is per-query).
+///
+/// This is the API a downstream user calls; the lower layers stay available
+/// for custom compositions.
+class SearchEngine {
+ public:
+  SearchEngine(const video::VideoRepository* repo, const video::Chunking* chunking,
+               const scene::GroundTruth* truth, EngineConfig config = {});
+
+  /// \brief "Find `limit` distinct objects of `class_id`": runs until the
+  /// discriminator has returned `limit` results (or the repository is
+  /// exhausted) and returns the discovery trace.
+  common::Result<query::QueryTrace> FindDistinct(int32_t class_id, uint64_t limit,
+                                                 const QueryOptions& options = {});
+
+  /// \brief Evaluation mode: runs until `recall` of the class's ground-truth
+  /// instances have been covered. A production system cannot call this (it
+  /// needs N), but every benchmark does.
+  common::Result<query::QueryTrace> RunToRecall(int32_t class_id, double recall,
+                                                const QueryOptions& options = {});
+
+  /// \brief Builds the strategy object a query with `options` would use
+  /// (exposed for tests and custom runners).
+  common::Result<std::unique_ptr<query::SearchStrategy>> MakeStrategy(
+      int32_t class_id, const QueryOptions& options);
+
+ private:
+  common::Result<query::QueryTrace> Run(int32_t class_id,
+                                        const query::RunnerOptions& runner_options,
+                                        const QueryOptions& options);
+
+  const video::VideoRepository* repo_;
+  const video::Chunking* chunking_;
+  const scene::GroundTruth* truth_;
+  EngineConfig config_;
+  // Proxy scorers are pure functions of (truth, class, options); cached per
+  // class so hybrid/proxy queries do not rebuild them.
+  std::map<int32_t, std::unique_ptr<detect::ProxyScorer>> scorers_;
+};
+
+}  // namespace engine
+}  // namespace exsample
+
+#endif  // EXSAMPLE_ENGINE_SEARCH_ENGINE_H_

@@ -1,0 +1,60 @@
+#ifndef EXSAMPLE_EXSAMPLE_H_
+#define EXSAMPLE_EXSAMPLE_H_
+
+/// \file
+/// \brief Umbrella header for the ExSample library.
+///
+/// Pulls in the full public API: the ExSample strategy (core/), the baseline
+/// strategies (samplers/), the simulated video/detection substrate (video/,
+/// scene/, detect/, track/), the shared query runner (query/), the offline
+/// optimal-weights benchmark (opt/), the probabilistic simulation model
+/// (sim/), and the six dataset emulations (datasets/).
+
+#include "common/format.h"
+#include "common/geometry.h"
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "common/permutation.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/adaptive_exsample.h"
+#include "core/belief_policy.h"
+#include "core/chunk_stats.h"
+#include "core/estimator.h"
+#include "core/exsample.h"
+#include "core/frame_sampler.h"
+#include "datasets/presets.h"
+#include "detect/detection.h"
+#include "detect/detector.h"
+#include "engine/search_engine.h"
+#include "detect/proxy.h"
+#include "opt/optimal_weights.h"
+#include "opt/simplex.h"
+#include "query/curves.h"
+#include "query/runner.h"
+#include "query/strategy.h"
+#include "query/trace.h"
+#include "query/trace_io.h"
+#include "samplers/hybrid_strategy.h"
+#include "samplers/proxy_strategy.h"
+#include "samplers/random_strategy.h"
+#include "scene/generator.h"
+#include "scene/ground_truth.h"
+#include "scene/interval_index.h"
+#include "scene/skew.h"
+#include "scene/trajectory.h"
+#include "sim/bernoulli_model.h"
+#include "stats/aggregate.h"
+#include "stats/gamma_belief.h"
+#include "stats/histogram.h"
+#include "stats/running_stat.h"
+#include "stats/special_functions.h"
+#include "track/discriminator.h"
+#include "track/iou_discriminator.h"
+#include "track/matching.h"
+#include "track/oracle_discriminator.h"
+#include "video/chunking.h"
+#include "video/decode.h"
+#include "video/repository.h"
+
+#endif  // EXSAMPLE_EXSAMPLE_H_

@@ -1,0 +1,126 @@
+#include "opt/optimal_weights.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "opt/simplex.h"
+
+namespace exsample {
+namespace opt {
+
+ChunkProbabilityMatrix::ChunkProbabilityMatrix(
+    const std::vector<scene::Trajectory>& trajectories,
+    const video::Chunking& chunking, int32_t class_id)
+    : num_chunks_(chunking.NumChunks()) {
+  row_offsets_.push_back(0);
+  for (const scene::Trajectory& traj : trajectories) {
+    if (class_id >= 0 && traj.class_id != class_id) continue;
+    // Walk the chunks overlapped by [start, end).
+    auto first_chunk = chunking.ChunkOfFrame(traj.start_frame);
+    assert(first_chunk.ok());
+    for (uint32_t j = first_chunk.value(); j < num_chunks_; ++j) {
+      const video::Chunk& chunk = chunking.GetChunk(j);
+      if (chunk.begin >= traj.end_frame) break;
+      const video::FrameId lo = std::max(chunk.begin, traj.start_frame);
+      const video::FrameId hi = std::min(chunk.end, traj.end_frame);
+      if (hi > lo) {
+        cols_.push_back(j);
+        values_.push_back(static_cast<double>(hi - lo) /
+                          static_cast<double>(chunk.Size()));
+      }
+    }
+    row_offsets_.push_back(cols_.size());
+  }
+}
+
+ChunkProbabilityMatrix::ChunkProbabilityMatrix(
+    const std::vector<std::vector<double>>& dense_rows, size_t num_chunks)
+    : num_chunks_(num_chunks) {
+  row_offsets_.push_back(0);
+  for (const auto& row : dense_rows) {
+    assert(row.size() == num_chunks);
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (row[j] > 0.0) {
+        cols_.push_back(static_cast<uint32_t>(j));
+        values_.push_back(row[j]);
+      }
+    }
+    row_offsets_.push_back(cols_.size());
+  }
+}
+
+std::vector<double> ChunkProbabilityMatrix::HitProbabilities(
+    const std::vector<double>& weights) const {
+  assert(weights.size() == num_chunks_);
+  std::vector<double> q(NumInstances(), 0.0);
+  for (size_t i = 0; i < q.size(); ++i) {
+    double acc = 0.0;
+    ForEachEntry(i, [&](uint32_t j, double p) { acc += p * weights[j]; });
+    q[i] = std::min(acc, 1.0);
+  }
+  return q;
+}
+
+double ExpectedDiscoveries(const ChunkProbabilityMatrix& matrix,
+                           const std::vector<double>& weights, double n) {
+  const std::vector<double> q = matrix.HitProbabilities(weights);
+  double total = 0.0;
+  for (double qi : q) total += 1.0 - common::PowOneMinus(qi, n);
+  return total;
+}
+
+OptimalWeightsResult OptimalWeights(const ChunkProbabilityMatrix& matrix, double n,
+                                    OptimalWeightsOptions options) {
+  const size_t d = matrix.NumChunks();
+  OptimalWeightsResult result;
+  result.weights = UniformWeights(d);
+  result.expected_discoveries = ExpectedDiscoveries(matrix, result.weights, n);
+
+  // Backtracking step size; the gradient scale varies over orders of
+  // magnitude with n, so adapt rather than fix.
+  double step = 1.0;
+  std::vector<double> gradient(d);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient: df/dw_j = n * sum_i (1 - q_i)^{n-1} p_ij.
+    const std::vector<double> q = matrix.HitProbabilities(result.weights);
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (size_t i = 0; i < q.size(); ++i) {
+      const double factor = n * common::PowOneMinus(q[i], n - 1.0);
+      if (factor <= 0.0) continue;
+      matrix.ForEachEntry(
+          i, [&](uint32_t j, double p) { gradient[j] += factor * p; });
+    }
+
+    // Backtracking line search on the projected step.
+    bool improved = false;
+    for (int backtrack = 0; backtrack < 40; ++backtrack) {
+      std::vector<double> candidate(d);
+      for (size_t j = 0; j < d; ++j) {
+        candidate[j] = result.weights[j] + step * gradient[j];
+      }
+      candidate = ProjectToSimplex(std::move(candidate));
+      const double value = ExpectedDiscoveries(matrix, candidate, n);
+      if (value > result.expected_discoveries) {
+        const double gain = value - result.expected_discoveries;
+        result.weights = std::move(candidate);
+        result.expected_discoveries = value;
+        result.iterations = iter + 1;
+        improved = true;
+        step *= 1.5;  // Reward successful steps.
+        if (gain < options.tolerance * std::max(1.0, value)) {
+          return result;
+        }
+        break;
+      }
+      step *= 0.5;
+      if (step < 1e-18) return result;
+    }
+    if (!improved) return result;
+  }
+  return result;
+}
+
+}  // namespace opt
+}  // namespace exsample

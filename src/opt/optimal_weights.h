@@ -1,0 +1,87 @@
+#ifndef EXSAMPLE_OPT_OPTIMAL_WEIGHTS_H_
+#define EXSAMPLE_OPT_OPTIMAL_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "scene/trajectory.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace opt {
+
+/// \brief Sparse per-instance, per-chunk conditional detection probabilities.
+///
+/// Entry p_ij is the probability of seeing instance i in a frame drawn
+/// uniformly from chunk j: (frames of i inside chunk j) / |chunk j|
+/// (Sec. IV-A's "M-dimensional vector p = (p_ij)"). Stored CSR by instance;
+/// most instances overlap only one or two chunks.
+class ChunkProbabilityMatrix {
+ public:
+  /// \brief Builds the matrix from ground-truth trajectories.
+  ChunkProbabilityMatrix(const std::vector<scene::Trajectory>& trajectories,
+                         const video::Chunking& chunking, int32_t class_id);
+
+  /// \brief Direct construction from dense per-instance probability rows
+  /// (used by simulation tests); zero entries are dropped.
+  ChunkProbabilityMatrix(const std::vector<std::vector<double>>& dense_rows,
+                         size_t num_chunks);
+
+  size_t NumInstances() const { return row_offsets_.size() - 1; }
+  size_t NumChunks() const { return num_chunks_; }
+
+  /// \brief q_i = sum_j p_ij w_j for every instance (the per-sample hit
+  /// probability under chunk weights `w`).
+  std::vector<double> HitProbabilities(const std::vector<double>& weights) const;
+
+  /// \brief Iterates row i's nonzero entries: fn(chunk, p).
+  template <typename Fn>
+  void ForEachEntry(size_t instance, Fn&& fn) const {
+    for (uint64_t k = row_offsets_[instance]; k < row_offsets_[instance + 1]; ++k) {
+      fn(cols_[k], values_[k]);
+    }
+  }
+
+ private:
+  size_t num_chunks_;
+  std::vector<uint64_t> row_offsets_;
+  std::vector<uint32_t> cols_;
+  std::vector<double> values_;
+};
+
+/// \brief Expected number of distinct instances found after `n` samples when
+/// chunks are sampled with fixed weights `w` (the objective of Eq. IV.1):
+/// sum_i 1 - (1 - p_i . w)^n.
+double ExpectedDiscoveries(const ChunkProbabilityMatrix& matrix,
+                           const std::vector<double>& weights, double n);
+
+/// \brief Solver configuration for `OptimalWeights`.
+struct OptimalWeightsOptions {
+  /// Maximum projected-gradient iterations.
+  size_t max_iterations = 400;
+  /// Stop when the objective improves by less than this (relative).
+  double tolerance = 1e-9;
+};
+
+/// \brief Result of the Eq. IV.1 optimization.
+struct OptimalWeightsResult {
+  std::vector<double> weights;
+  double expected_discoveries = 0.0;
+  size_t iterations = 0;
+};
+
+/// \brief Solves Eq. IV.1: argmax_w sum_i 1 - (1 - p_i . w)^n over the
+/// probability simplex, by projected gradient ascent with backtracking.
+///
+/// The objective is concave in w (composition of the concave increasing
+/// x -> 1-(1-x)^n with a linear map), so the first-order method converges to
+/// the global optimum — the paper's offline benchmark, normally solved with
+/// CVXPY. This is *not* a practical policy (it needs the hidden p_ij); it
+/// upper-bounds what ExSample can achieve (Figs. 3 and 4's dashed lines).
+OptimalWeightsResult OptimalWeights(const ChunkProbabilityMatrix& matrix, double n,
+                                    OptimalWeightsOptions options = {});
+
+}  // namespace opt
+}  // namespace exsample
+
+#endif  // EXSAMPLE_OPT_OPTIMAL_WEIGHTS_H_

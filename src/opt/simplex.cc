@@ -1,0 +1,35 @@
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace opt {
+
+std::vector<double> ProjectToSimplex(std::vector<double> v) {
+  assert(!v.empty());
+  std::vector<double> sorted(v);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double cumulative = 0.0;
+  double tau = 0.0;
+  size_t rho = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    const double candidate = (cumulative - 1.0) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0.0) {
+      rho = i + 1;
+      tau = candidate;
+    }
+  }
+  (void)rho;
+  for (double& x : v) x = std::max(0.0, x - tau);
+  return v;
+}
+
+std::vector<double> UniformWeights(size_t d) {
+  assert(d > 0);
+  return std::vector<double>(d, 1.0 / static_cast<double>(d));
+}
+
+}  // namespace opt
+}  // namespace exsample

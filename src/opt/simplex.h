@@ -1,0 +1,23 @@
+#ifndef EXSAMPLE_OPT_SIMPLEX_H_
+#define EXSAMPLE_OPT_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exsample {
+namespace opt {
+
+/// \brief Euclidean projection of `v` onto the probability simplex
+/// {w : w_i >= 0, sum w_i = 1} (Duchi et al., ICML 2008).
+///
+/// Used by the projected-gradient solver for the paper's Eq. IV.1, replacing
+/// the authors' CVXPY call. O(d log d).
+std::vector<double> ProjectToSimplex(std::vector<double> v);
+
+/// \brief The uniform weight vector of dimension d (d > 0).
+std::vector<double> UniformWeights(size_t d);
+
+}  // namespace opt
+}  // namespace exsample
+
+#endif  // EXSAMPLE_OPT_SIMPLEX_H_

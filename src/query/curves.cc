@@ -1,0 +1,62 @@
+#include "query/curves.h"
+
+#include "common/math_util.h"
+
+namespace exsample {
+namespace query {
+
+namespace {
+
+// Collects the per-run metric; returns nullopt when fewer than half the runs
+// produced a value (a median over the survivors would be biased optimistic).
+template <typename Getter>
+std::optional<double> MedianOf(const std::vector<QueryTrace>& runs, Getter getter) {
+  std::vector<double> values;
+  for (const QueryTrace& run : runs) {
+    const auto v = getter(run);
+    if (v.has_value()) values.push_back(static_cast<double>(*v));
+  }
+  if (values.empty() || values.size() * 2 < runs.size()) return std::nullopt;
+  return common::Median(std::move(values));
+}
+
+}  // namespace
+
+std::optional<double> MedianSamplesToRecall(const std::vector<QueryTrace>& runs,
+                                            double recall) {
+  return MedianOf(runs,
+                  [recall](const QueryTrace& t) { return t.SamplesToRecall(recall); });
+}
+
+std::optional<double> MedianSecondsToRecall(const std::vector<QueryTrace>& runs,
+                                            double recall) {
+  return MedianOf(runs,
+                  [recall](const QueryTrace& t) { return t.SecondsToRecall(recall); });
+}
+
+std::optional<double> SavingsRatio(const std::vector<QueryTrace>& baseline_runs,
+                                   const std::vector<QueryTrace>& treatment_runs,
+                                   double recall) {
+  const auto base = MedianSecondsToRecall(baseline_runs, recall);
+  const auto ours = MedianSecondsToRecall(treatment_runs, recall);
+  if (!base.has_value() || !ours.has_value() || !(*ours > 0.0)) return std::nullopt;
+  return *base / *ours;
+}
+
+std::vector<std::vector<double>> DistinctAtSampleGrid(
+    const std::vector<QueryTrace>& runs, const std::vector<uint64_t>& sample_grid) {
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(runs.size());
+  for (const QueryTrace& run : runs) {
+    std::vector<double> row;
+    row.reserve(sample_grid.size());
+    for (uint64_t samples : sample_grid) {
+      row.push_back(static_cast<double>(run.TrueDistinctAtSamples(samples)));
+    }
+    matrix.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+}  // namespace query
+}  // namespace exsample

@@ -1,0 +1,37 @@
+#ifndef EXSAMPLE_QUERY_CURVES_H_
+#define EXSAMPLE_QUERY_CURVES_H_
+
+#include <optional>
+#include <vector>
+
+#include "query/trace.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief Median over runs of samples-to-recall; nullopt when fewer than half
+/// the runs reached the recall level.
+std::optional<double> MedianSamplesToRecall(const std::vector<QueryTrace>& runs,
+                                            double recall);
+
+/// \brief Median over runs of seconds-to-recall.
+std::optional<double> MedianSecondsToRecall(const std::vector<QueryTrace>& runs,
+                                            double recall);
+
+/// \brief Savings ratio baseline/this at a recall level, computed on the
+/// medians (the paper's Fig. 5 bars). nullopt when either side never reached
+/// the level in at least half its runs.
+std::optional<double> SavingsRatio(const std::vector<QueryTrace>& baseline_runs,
+                                   const std::vector<QueryTrace>& treatment_runs,
+                                   double recall);
+
+/// \brief Evaluates each run's true-distinct count at the given sample
+/// counts; rows are runs, columns follow `sample_grid` (the Fig. 3/4 curve
+/// matrix, ready for stats::AggregateRuns).
+std::vector<std::vector<double>> DistinctAtSampleGrid(
+    const std::vector<QueryTrace>& runs, const std::vector<uint64_t>& sample_grid);
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_CURVES_H_

@@ -1,0 +1,80 @@
+#include "query/runner.h"
+
+#include <unordered_set>
+
+namespace exsample {
+namespace query {
+
+QueryRunner::QueryRunner(const scene::GroundTruth* truth,
+                         detect::ObjectDetector* detector,
+                         track::Discriminator* discriminator, RunnerOptions options)
+    : truth_(truth),
+      detector_(detector),
+      discriminator_(discriminator),
+      options_(options) {}
+
+QueryTrace QueryRunner::Run(SearchStrategy* strategy) {
+  QueryTrace trace;
+  trace.strategy_name = strategy->name();
+  trace.total_instances = truth_->NumInstances(options_.recall_class);
+
+  std::unordered_set<scene::InstanceId> found;
+  DiscoveryPoint current;
+  current.seconds = strategy->UpfrontCostSeconds();
+  trace.points.push_back(current);
+  double charged_overhead = 0.0;
+
+  while (current.samples < options_.max_samples &&
+         current.reported_results < options_.result_limit &&
+         current.true_distinct < options_.true_distinct_target) {
+    const std::optional<video::FrameId> frame = strategy->NextFrame();
+    if (!frame.has_value()) break;
+
+    // Charge any incremental strategy overhead (e.g. lazy proxy scoring)
+    // accrued while choosing this frame.
+    const double overhead = strategy->CumulativeOverheadSeconds();
+    current.seconds += overhead - charged_overhead;
+    charged_overhead = overhead;
+
+    if (options_.video_store != nullptr) {
+      const double before = options_.video_store->Stats().total_seconds;
+      options_.video_store->ReadAndDecode(*frame);
+      current.seconds += options_.video_store->Stats().total_seconds - before;
+    }
+    current.seconds += detector_->SecondsPerFrame();
+
+    const detect::Detections dets = detector_->Detect(*frame);
+    const track::MatchResult result = discriminator_->Observe(*frame, dets);
+    strategy->Observe(*frame, result.d0.size(), result.d1.size());
+
+    ++current.samples;
+    current.reported_results += result.d0.size();
+
+    bool changed = false;
+    for (const detect::Detection& det : result.d0) {
+      if (!det.IsTruePositive()) continue;
+      // Only instances of the recall class count toward true recall;
+      // off-class detections can occur when the detector is not class-
+      // filtered.
+      if (options_.recall_class != scene::GroundTruth::kAllClasses &&
+          det.class_id != options_.recall_class) {
+        continue;
+      }
+      if (found.insert(det.source_instance).second) {
+        ++current.true_distinct;
+        changed = true;
+      }
+    }
+    if (changed || !result.d0.empty()) {
+      trace.points.push_back(current);
+    }
+  }
+  trace.final = current;
+  if (trace.points.empty() || trace.points.back().samples != current.samples) {
+    trace.points.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace query
+}  // namespace exsample

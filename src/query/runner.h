@@ -1,0 +1,66 @@
+#ifndef EXSAMPLE_QUERY_RUNNER_H_
+#define EXSAMPLE_QUERY_RUNNER_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "detect/detector.h"
+#include "query/strategy.h"
+#include "query/trace.h"
+#include "scene/ground_truth.h"
+#include "track/discriminator.h"
+#include "video/decode.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief Default cost constants from the paper's measurements (Sec. V-B):
+/// detector-bound sampling runs at ~20 fps; proxy scoring scans at ~100 fps
+/// (bound by io+decode).
+inline constexpr double kDetectorFps = 20.0;
+inline constexpr double kProxyScanFps = 100.0;
+
+/// \brief Stop conditions and bookkeeping options for a query execution.
+struct RunnerOptions {
+  /// Stop once the discriminator has returned this many results ("find 20
+  /// traffic lights"). Counts *reported* results, as a real system would.
+  uint64_t result_limit = std::numeric_limits<uint64_t>::max();
+  /// Stop once this many ground-truth distinct instances have been found
+  /// (used to measure time-to-recall; a real system cannot observe this).
+  uint64_t true_distinct_target = std::numeric_limits<uint64_t>::max();
+  /// Safety cap on detector invocations.
+  uint64_t max_samples = std::numeric_limits<uint64_t>::max();
+  /// Class whose instances define recall (kAllClasses = every instance).
+  int32_t recall_class = scene::GroundTruth::kAllClasses;
+  /// When non-null, frame reads are routed through this store and its decode
+  /// cost is added to the trace's seconds.
+  video::SimulatedVideoStore* video_store = nullptr;
+};
+
+/// \brief Executes one distinct-object query: the shared loop of Algorithm 1
+/// (pick frame / detect / discriminate / update), parameterized by the
+/// frame-selection strategy.
+///
+/// The runner is what makes comparisons fair: every strategy pays the same
+/// detector cost per sampled frame and uses the same discriminator semantics;
+/// only frame choice (and any upfront scan cost) differs.
+class QueryRunner {
+ public:
+  QueryRunner(const scene::GroundTruth* truth, detect::ObjectDetector* detector,
+              track::Discriminator* discriminator, RunnerOptions options);
+
+  /// \brief Runs `strategy` until a stop condition triggers; returns the
+  /// discovery trace.
+  QueryTrace Run(SearchStrategy* strategy);
+
+ private:
+  const scene::GroundTruth* truth_;
+  detect::ObjectDetector* detector_;
+  track::Discriminator* discriminator_;
+  RunnerOptions options_;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_RUNNER_H_

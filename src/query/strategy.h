@@ -1,0 +1,54 @@
+#ifndef EXSAMPLE_QUERY_STRATEGY_H_
+#define EXSAMPLE_QUERY_STRATEGY_H_
+
+#include <optional>
+#include <string>
+
+#include "video/repository.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief A frame-selection policy: the only thing that differs between
+/// ExSample, random sampling, and proxy-guided search.
+///
+/// The `QueryRunner` owns the shared loop (detect, discriminate, account
+/// cost); strategies only decide which frame comes next and consume feedback.
+/// Strategies own their randomness (seeded at construction) so runs are
+/// reproducible.
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// \brief Returns the next frame to process, or nullopt when the strategy
+  /// has exhausted the repository.
+  virtual std::optional<video::FrameId> NextFrame() = 0;
+
+  /// \brief Feedback after the frame was processed: how many detections were
+  /// new distinct results (|d0|) and how many matched exactly one previous
+  /// observation (|d1|). Default ignores feedback (random, sequential, proxy).
+  virtual void Observe(video::FrameId frame, size_t new_results, size_t once_matched) {
+    (void)frame;
+    (void)new_results;
+    (void)once_matched;
+  }
+
+  /// \brief One-time cost in seconds paid before the first frame can be
+  /// chosen (proxy-based methods pay a full scoring scan here; everything
+  /// else returns 0).
+  virtual double UpfrontCostSeconds() const { return 0.0; }
+
+  /// \brief Cumulative incremental overhead in seconds the strategy has spent
+  /// *so far* beyond detector time — e.g. lazy proxy scoring of candidate
+  /// frames (the Sec. VII "predictive scoring" extension). The runner charges
+  /// the delta after each step. Default 0 for pure samplers.
+  virtual double CumulativeOverheadSeconds() const { return 0.0; }
+
+  /// \brief Strategy name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_STRATEGY_H_

@@ -1,0 +1,55 @@
+#include "query/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exsample {
+namespace query {
+
+std::optional<uint64_t> QueryTrace::SamplesToTrueDistinct(uint64_t k) const {
+  if (k == 0) return 0;
+  // Points are recorded in nondecreasing (samples, true_distinct) order; find
+  // the first point reaching k.
+  auto it = std::lower_bound(points.begin(), points.end(), k,
+                             [](const DiscoveryPoint& p, uint64_t target) {
+                               return p.true_distinct < target;
+                             });
+  if (it == points.end()) return std::nullopt;
+  return it->samples;
+}
+
+std::optional<double> QueryTrace::SecondsToTrueDistinct(uint64_t k) const {
+  if (k == 0) return 0.0;
+  auto it = std::lower_bound(points.begin(), points.end(), k,
+                             [](const DiscoveryPoint& p, uint64_t target) {
+                               return p.true_distinct < target;
+                             });
+  if (it == points.end()) return std::nullopt;
+  return it->seconds;
+}
+
+uint64_t QueryTrace::RecallTargetCount(double recall) const {
+  const double target = std::ceil(recall * static_cast<double>(total_instances));
+  return std::max<uint64_t>(1, static_cast<uint64_t>(target));
+}
+
+std::optional<uint64_t> QueryTrace::SamplesToRecall(double recall) const {
+  return SamplesToTrueDistinct(RecallTargetCount(recall));
+}
+
+std::optional<double> QueryTrace::SecondsToRecall(double recall) const {
+  return SecondsToTrueDistinct(RecallTargetCount(recall));
+}
+
+uint64_t QueryTrace::TrueDistinctAtSamples(uint64_t samples) const {
+  // Last recorded point with point.samples <= samples.
+  auto it = std::upper_bound(points.begin(), points.end(), samples,
+                             [](uint64_t target, const DiscoveryPoint& p) {
+                               return target < p.samples;
+                             });
+  if (it == points.begin()) return 0;
+  return std::prev(it)->true_distinct;
+}
+
+}  // namespace query
+}  // namespace exsample

@@ -1,0 +1,60 @@
+#ifndef EXSAMPLE_QUERY_TRACE_H_
+#define EXSAMPLE_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace exsample {
+namespace query {
+
+/// \brief One point on a query's discovery curve.
+struct DiscoveryPoint {
+  /// Frames processed by the detector so far.
+  uint64_t samples = 0;
+  /// Wall-clock seconds under the cost model (upfront + per-frame).
+  double seconds = 0.0;
+  /// Results the system believes it returned (|ans|; may include duplicates
+  /// caused by tracker breakage and false positives).
+  uint64_t reported_results = 0;
+  /// Ground-truth distinct instances actually covered by the returned
+  /// results (what recall is measured against).
+  uint64_t true_distinct = 0;
+};
+
+/// \brief Full record of one query execution.
+struct QueryTrace {
+  std::string strategy_name;
+  /// Ground-truth population size N of the queried class.
+  uint64_t total_instances = 0;
+  /// Points recorded whenever a counter changed, plus the final state.
+  std::vector<DiscoveryPoint> points;
+  DiscoveryPoint final;
+
+  /// \brief Samples needed until `k` true distinct instances were found, or
+  /// nullopt if the run ended first.
+  std::optional<uint64_t> SamplesToTrueDistinct(uint64_t k) const;
+
+  /// \brief Seconds needed until `k` true distinct instances were found.
+  std::optional<double> SecondsToTrueDistinct(uint64_t k) const;
+
+  /// \brief Samples needed to reach `recall` (fraction of total_instances,
+  /// rounded up to a whole instance count).
+  std::optional<uint64_t> SamplesToRecall(double recall) const;
+
+  /// \brief Seconds needed to reach `recall`.
+  std::optional<double> SecondsToRecall(double recall) const;
+
+  /// \brief Number of true distinct instances found within the first
+  /// `samples` detector invocations (step-function evaluation).
+  uint64_t TrueDistinctAtSamples(uint64_t samples) const;
+
+  /// \brief Instance count for a recall fraction (ceil, at least 1).
+  uint64_t RecallTargetCount(double recall) const;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_TRACE_H_

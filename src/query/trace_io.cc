@@ -1,0 +1,81 @@
+#include "query/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace exsample {
+namespace query {
+
+namespace {
+
+void WritePoints(const QueryTrace& trace, const std::string& prefix,
+                 std::ostream& os) {
+  char line[160];
+  for (const DiscoveryPoint& p : trace.points) {
+    std::snprintf(line, sizeof(line), "%s%" PRIu64 ",%.6f,%" PRIu64 ",%" PRIu64 "\n",
+                  prefix.c_str(), p.samples, p.seconds, p.reported_results,
+                  p.true_distinct);
+    os << line;
+  }
+}
+
+}  // namespace
+
+void WriteTraceCsv(const QueryTrace& trace, std::ostream& os) {
+  os << "# strategy=" << trace.strategy_name
+     << " total_instances=" << trace.total_instances << "\n";
+  os << "samples,seconds,reported_results,true_distinct\n";
+  WritePoints(trace, "", os);
+}
+
+void WriteTracesCsv(const std::vector<QueryTrace>& traces, std::ostream& os) {
+  os << "strategy,samples,seconds,reported_results,true_distinct\n";
+  for (const QueryTrace& trace : traces) {
+    WritePoints(trace, trace.strategy_name + ",", os);
+  }
+}
+
+common::Result<QueryTrace> ReadTraceCsv(std::istream& is) {
+  QueryTrace trace;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# strategy=NAME total_instances=N"
+      const size_t strategy_pos = line.find("strategy=");
+      const size_t total_pos = line.find("total_instances=");
+      if (strategy_pos != std::string::npos) {
+        const size_t begin = strategy_pos + 9;
+        const size_t end = line.find(' ', begin);
+        trace.strategy_name = line.substr(begin, end == std::string::npos
+                                                     ? std::string::npos
+                                                     : end - begin);
+      }
+      if (total_pos != std::string::npos) {
+        trace.total_instances = std::strtoull(line.c_str() + total_pos + 16,
+                                              nullptr, 10);
+      }
+      continue;
+    }
+    if (!saw_header && line.find("samples,") == 0) {
+      saw_header = true;
+      continue;
+    }
+    DiscoveryPoint point;
+    if (std::sscanf(line.c_str(), "%" PRIu64 ",%lf,%" PRIu64 ",%" PRIu64,
+                    &point.samples, &point.seconds, &point.reported_results,
+                    &point.true_distinct) != 4) {
+      return common::Status::InvalidArgument("malformed trace CSV row: " + line);
+    }
+    trace.points.push_back(point);
+  }
+  if (!trace.points.empty()) trace.final = trace.points.back();
+  return trace;
+}
+
+}  // namespace query
+}  // namespace exsample

@@ -1,0 +1,35 @@
+#ifndef EXSAMPLE_QUERY_TRACE_IO_H_
+#define EXSAMPLE_QUERY_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/trace.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief Writes one trace's discovery points as CSV
+/// (`samples,seconds,reported_results,true_distinct`) with a header row and
+/// a `# strategy=... total_instances=...` comment line.
+///
+/// The bench harness prints tables; this is the machine-readable companion
+/// for external plotting of discovery curves.
+void WriteTraceCsv(const QueryTrace& trace, std::ostream& os);
+
+/// \brief Writes several traces into one CSV with an extra leading
+/// `strategy` column (long format, ready for dataframe tooling).
+void WriteTracesCsv(const std::vector<QueryTrace>& traces, std::ostream& os);
+
+/// \brief Parses a CSV produced by `WriteTraceCsv`.
+///
+/// Returns InvalidArgument on malformed rows; tolerates the comment line
+/// being absent (strategy name and instance count then stay default).
+common::Result<QueryTrace> ReadTraceCsv(std::istream& is);
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_TRACE_IO_H_

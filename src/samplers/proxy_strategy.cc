@@ -1,0 +1,50 @@
+#include "samplers/proxy_strategy.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace samplers {
+
+ProxyGuidedStrategy::ProxyGuidedStrategy(const video::VideoRepository* repo,
+                                         const detect::ProxyScorer* scorer,
+                                         ProxyGuidedOptions options)
+    : options_(options) {
+  const uint64_t total = repo->TotalFrames();
+  // The mandatory full scan: score every frame. Charged as upfront cost even
+  // though we materialize it eagerly here.
+  upfront_seconds_ = static_cast<double>(total) * scorer->SecondsPerFrame();
+  std::vector<float> scores(total);
+  for (uint64_t f = 0; f < total; ++f) {
+    scores[f] = static_cast<float>(scorer->Score(f));
+  }
+  order_.resize(total);
+  for (uint64_t f = 0; f < total; ++f) order_[f] = f;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&scores](video::FrameId a, video::FrameId b) {
+                     return scores[a] > scores[b];
+                   });
+}
+
+bool ProxyGuidedStrategy::NearProcessed(video::FrameId frame) const {
+  if (options_.duplicate_window == 0 || processed_.empty()) return false;
+  const uint64_t w = options_.duplicate_window;
+  auto it = processed_.lower_bound(frame >= w ? frame - w : 0);
+  return it != processed_.end() && *it <= frame + w;
+}
+
+std::optional<video::FrameId> ProxyGuidedStrategy::NextFrame() {
+  while (cursor_ < order_.size()) {
+    const video::FrameId frame = order_[cursor_++];
+    if (NearProcessed(frame)) continue;  // Near-duplicate: never processed.
+    processed_.insert(frame);
+    return frame;
+  }
+  return std::nullopt;
+}
+
+std::string ProxyGuidedStrategy::name() const {
+  return options_.duplicate_window > 0 ? "proxy+dedup" : "proxy";
+}
+
+}  // namespace samplers
+}  // namespace exsample

@@ -1,0 +1,55 @@
+#ifndef EXSAMPLE_SAMPLERS_PROXY_STRATEGY_H_
+#define EXSAMPLE_SAMPLERS_PROXY_STRATEGY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/proxy.h"
+#include "query/strategy.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace samplers {
+
+/// \brief Options of the BlazeIt-style proxy-guided baseline.
+struct ProxyGuidedOptions {
+  /// Frames within this distance of an already-processed frame are skipped
+  /// ("duplicate avoidance heuristics", Sec. III). 0 disables the heuristic.
+  uint64_t duplicate_window = 0;
+};
+
+/// \brief Proxy-score-ordered search (the BlazeIt limit-query approach,
+/// Sec. II-B): first score *every* frame with the cheap proxy model, then
+/// process frames in descending score order through the expensive detector.
+///
+/// The defining cost property: `UpfrontCostSeconds` charges a full scan of
+/// the repository at the proxy's throughput before the first frame can be
+/// returned — the overhead Table I shows often exceeds the entire runtime of
+/// an ExSample query.
+class ProxyGuidedStrategy : public query::SearchStrategy {
+ public:
+  ProxyGuidedStrategy(const video::VideoRepository* repo,
+                      const detect::ProxyScorer* scorer,
+                      ProxyGuidedOptions options = {});
+
+  std::optional<video::FrameId> NextFrame() override;
+  double UpfrontCostSeconds() const override { return upfront_seconds_; }
+  std::string name() const override;
+
+ private:
+  bool NearProcessed(video::FrameId frame) const;
+
+  ProxyGuidedOptions options_;
+  double upfront_seconds_ = 0.0;
+  /// Frames sorted by descending proxy score (ties by frame id).
+  std::vector<video::FrameId> order_;
+  size_t cursor_ = 0;
+  std::set<video::FrameId> processed_;
+};
+
+}  // namespace samplers
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SAMPLERS_PROXY_STRATEGY_H_

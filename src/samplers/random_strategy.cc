@@ -1,0 +1,48 @@
+#include "samplers/random_strategy.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace exsample {
+namespace samplers {
+
+UniformRandomStrategy::UniformRandomStrategy(const video::VideoRepository* repo,
+                                             uint64_t seed)
+    : rng_(seed), sampler_(0, repo->TotalFrames(), common::Mix64(seed)) {}
+
+std::optional<video::FrameId> UniformRandomStrategy::NextFrame() {
+  return sampler_.Next(rng_);
+}
+
+RandomPlusStrategy::RandomPlusStrategy(const video::VideoRepository* repo,
+                                       uint64_t seed)
+    : rng_(seed), sampler_(0, repo->TotalFrames(), common::Mix64(seed)) {}
+
+std::optional<video::FrameId> RandomPlusStrategy::NextFrame() {
+  return sampler_.Next(rng_);
+}
+
+SequentialStrategy::SequentialStrategy(const video::VideoRepository* repo,
+                                       uint64_t stride)
+    : total_frames_(repo->TotalFrames()), stride_(std::max<uint64_t>(1, stride)) {}
+
+std::optional<video::FrameId> SequentialStrategy::NextFrame() {
+  if (exhausted_) return std::nullopt;
+  const video::FrameId frame = cursor_ + offset_;
+  // Advance to the next frame of this pass, or begin the next pass.
+  cursor_ += stride_;
+  if (cursor_ + offset_ >= total_frames_) {
+    cursor_ = 0;
+    ++offset_;
+    if (offset_ >= stride_ || offset_ >= total_frames_) exhausted_ = true;
+  }
+  return frame;
+}
+
+std::string SequentialStrategy::name() const {
+  return "sequential/" + std::to_string(stride_);
+}
+
+}  // namespace samplers
+}  // namespace exsample

@@ -1,0 +1,64 @@
+#ifndef EXSAMPLE_SAMPLERS_RANDOM_STRATEGY_H_
+#define EXSAMPLE_SAMPLERS_RANDOM_STRATEGY_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/frame_sampler.h"
+#include "query/strategy.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace samplers {
+
+/// \brief Uniform random sampling without replacement over the whole
+/// repository — the paper's primary baseline (Sec. II-B, "random").
+class UniformRandomStrategy : public query::SearchStrategy {
+ public:
+  UniformRandomStrategy(const video::VideoRepository* repo, uint64_t seed);
+
+  std::optional<video::FrameId> NextFrame() override;
+  std::string name() const override { return "random"; }
+
+ private:
+  common::Rng rng_;
+  core::UniformFrameSampler sampler_;
+};
+
+/// \brief The paper's "random+" baseline (Sec. III-F): global stratified
+/// sampling that avoids frames temporally near previous samples — sample one
+/// random frame per hour, then one per not-yet-sampled half hour, and so on.
+class RandomPlusStrategy : public query::SearchStrategy {
+ public:
+  RandomPlusStrategy(const video::VideoRepository* repo, uint64_t seed);
+
+  std::optional<video::FrameId> NextFrame() override;
+  std::string name() const override { return "random+"; }
+
+ private:
+  common::Rng rng_;
+  core::StratifiedFrameSampler sampler_;
+};
+
+/// \brief Naive sequential execution with a sampling stride (Sec. II-B):
+/// process frames 0, k, 2k, ... in order; subsequent passes cover the
+/// remaining offsets so the repository is eventually exhausted.
+class SequentialStrategy : public query::SearchStrategy {
+ public:
+  SequentialStrategy(const video::VideoRepository* repo, uint64_t stride);
+
+  std::optional<video::FrameId> NextFrame() override;
+  std::string name() const override;
+
+ private:
+  uint64_t total_frames_;
+  uint64_t stride_;
+  uint64_t offset_ = 0;  // Current pass's phase in [0, stride).
+  uint64_t cursor_ = 0;  // Next frame within the pass.
+  bool exhausted_ = false;
+};
+
+}  // namespace samplers
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SAMPLERS_RANDOM_STRATEGY_H_

@@ -1,0 +1,156 @@
+#include "scene/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace exsample {
+namespace scene {
+
+namespace {
+
+// Two-sided 95% coverage of a Normal corresponds to +/- 1.96 sigma.
+constexpr double kZ95 = 1.959963984540054;
+
+// Draws an instance center frame according to the placement spec.
+video::FrameId DrawCenter(const PlacementSpec& placement, uint64_t total_frames,
+                          const video::Chunking* chunking, common::Rng& rng) {
+  const double total = static_cast<double>(total_frames);
+  switch (placement.kind) {
+    case PlacementSpec::Kind::kUniform:
+      return rng.NextBounded(total_frames);
+    case PlacementSpec::Kind::kNormalCenter: {
+      const double sigma = total * placement.center_fraction95 / (2.0 * kZ95);
+      // Resample out-of-range draws so exactly the requested count lands in
+      // the dataset (clamping would pile mass at the edges).
+      for (;;) {
+        const double draw = rng.Normal(total / 2.0, sigma);
+        if (draw >= 0.0 && draw < total) return static_cast<video::FrameId>(draw);
+      }
+    }
+    case PlacementSpec::Kind::kChunkWeights: {
+      assert(chunking != nullptr);
+      const auto& weights = placement.chunk_weights;
+      double sum = 0.0;
+      for (double w : weights) sum += w;
+      double u = rng.NextDouble() * sum;
+      size_t pick = weights.size() - 1;
+      for (size_t j = 0; j < weights.size(); ++j) {
+        u -= weights[j];
+        if (u <= 0.0) {
+          pick = j;
+          break;
+        }
+      }
+      const video::Chunk& chunk = chunking->GetChunk(pick);
+      return chunk.begin + rng.NextBounded(chunk.Size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+PlacementSpec PlacementSpec::Uniform() { return PlacementSpec{}; }
+
+PlacementSpec PlacementSpec::NormalCenter(double fraction) {
+  PlacementSpec spec;
+  spec.kind = Kind::kNormalCenter;
+  spec.center_fraction95 = fraction;
+  return spec;
+}
+
+PlacementSpec PlacementSpec::ChunkWeights(std::vector<double> weights) {
+  PlacementSpec spec;
+  spec.kind = Kind::kChunkWeights;
+  spec.chunk_weights = std::move(weights);
+  return spec;
+}
+
+common::Status GeneratePopulation(const ClassPopulationSpec& spec,
+                                  uint64_t total_frames,
+                                  const video::Chunking* chunking, common::Rng& rng,
+                                  std::vector<Trajectory>* out) {
+  if (total_frames == 0) {
+    return common::Status::InvalidArgument("scene must have at least one frame");
+  }
+  if (!(spec.duration.mean_frames > 0.0)) {
+    return common::Status::InvalidArgument("mean duration must be positive");
+  }
+  if (spec.placement.kind == PlacementSpec::Kind::kNormalCenter &&
+      !(spec.placement.center_fraction95 > 0.0 &&
+        spec.placement.center_fraction95 <= 1.0)) {
+    return common::Status::InvalidArgument("center_fraction95 must be in (0, 1]");
+  }
+  if (spec.placement.kind == PlacementSpec::Kind::kChunkWeights) {
+    if (chunking == nullptr) {
+      return common::Status::InvalidArgument(
+          "chunk-weight placement requires a chunking");
+    }
+    if (spec.placement.chunk_weights.size() != chunking->NumChunks()) {
+      return common::Status::InvalidArgument(
+          "chunk weight vector size must match chunk count");
+    }
+    double sum = 0.0;
+    for (double w : spec.placement.chunk_weights) {
+      if (w < 0.0) return common::Status::InvalidArgument("chunk weights must be >= 0");
+      sum += w;
+    }
+    if (!(sum > 0.0)) {
+      return common::Status::InvalidArgument("chunk weights must not all be zero");
+    }
+  }
+
+  const double mu_log =
+      common::LogNormalMuForMean(spec.duration.mean_frames, spec.duration.sigma_log);
+  out->reserve(out->size() + spec.instance_count);
+  for (uint64_t i = 0; i < spec.instance_count; ++i) {
+    Trajectory traj;
+    traj.class_id = spec.class_id;
+
+    double duration = rng.LogNormal(mu_log, spec.duration.sigma_log);
+    duration = common::Clamp(duration, spec.duration.min_frames,
+                             static_cast<double>(total_frames));
+    const uint64_t dur = std::max<uint64_t>(1, static_cast<uint64_t>(duration));
+
+    const video::FrameId center = DrawCenter(spec.placement, total_frames, chunking, rng);
+    const uint64_t half = dur / 2;
+    video::FrameId start = center > half ? center - half : 0;
+    if (start + dur > total_frames) start = total_frames - dur;
+    traj.start_frame = start;
+    traj.end_frame = start + dur;
+
+    const double size = common::Clamp(
+        rng.LogNormal(common::LogNormalMuForMean(spec.box.mean_size,
+                                                 spec.box.size_sigma_log),
+                      spec.box.size_sigma_log),
+        0.01, 0.6);
+    const double aspect = rng.Uniform(0.6, 1.7);
+    const double w = size * std::sqrt(aspect);
+    const double h = size / std::sqrt(aspect);
+    traj.box0 = common::Box{rng.Uniform(0.0, std::max(1e-6, 1.0 - w)),
+                            rng.Uniform(0.0, std::max(1e-6, 1.0 - h)), w, h};
+    traj.dx_per_frame = rng.Normal(0.0, spec.box.motion_sigma);
+    traj.dy_per_frame = rng.Normal(0.0, spec.box.motion_sigma);
+    traj.scale_per_frame = std::exp(rng.Normal(0.0, 5e-4));
+    out->push_back(traj);
+  }
+  return common::Status::OK();
+}
+
+common::Result<GroundTruth> GenerateScene(const SceneSpec& spec,
+                                          const video::Chunking* chunking,
+                                          common::Rng& rng) {
+  std::vector<Trajectory> trajectories;
+  for (const ClassPopulationSpec& cls : spec.classes) {
+    common::Status status =
+        GeneratePopulation(cls, spec.total_frames, chunking, rng, &trajectories);
+    if (!status.ok()) return status;
+  }
+  return GroundTruth(std::move(trajectories), spec.total_frames);
+}
+
+}  // namespace scene
+}  // namespace exsample

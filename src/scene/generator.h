@@ -1,0 +1,105 @@
+#ifndef EXSAMPLE_SCENE_GENERATOR_H_
+#define EXSAMPLE_SCENE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "scene/ground_truth.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace scene {
+
+/// \brief Distribution of instance durations (the paper's p_i, up to the
+/// 1/total_frames factor): LogNormal with a target arithmetic mean.
+///
+/// Sec. III-D and IV-B both use LogNormal durations ("to ensure there is skew
+/// in the p"); `sigma_log` controls that skew.
+struct DurationSpec {
+  /// Target mean duration in frames.
+  double mean_frames = 700.0;
+  /// Sigma of the underlying normal (paper's Fig. 3 setup yields roughly a
+  /// 50..5000-frame spread around a 700-frame mean, matching sigma ~= 0.8).
+  double sigma_log = 0.8;
+  /// Durations are clamped below at this value.
+  double min_frames = 1.0;
+};
+
+/// \brief Where instances appear along the timeline.
+struct PlacementSpec {
+  enum class Kind {
+    /// Instance centers uniform over the dataset (the "no skew" rows).
+    kUniform,
+    /// Instance centers Normal(center of dataset, sigma) with sigma chosen so
+    /// that 95% of instances land in the middle `center_fraction95` of the
+    /// timeline (Fig. 3's "skewed toward 1/32 of dataset").
+    kNormalCenter,
+    /// Instance centers drawn per-chunk with the given weights, then uniform
+    /// within the chunk (used by the dataset emulations to hit a target skew
+    /// metric S).
+    kChunkWeights,
+  };
+
+  Kind kind = Kind::kUniform;
+  /// For kNormalCenter: the central fraction that holds 95% of instances.
+  double center_fraction95 = 1.0;
+  /// For kChunkWeights: per-chunk probabilities (normalized internally).
+  std::vector<double> chunk_weights;
+
+  /// \brief Uniform placement.
+  static PlacementSpec Uniform();
+  /// \brief 95% of instances within the middle `fraction` of the timeline.
+  static PlacementSpec NormalCenter(double fraction);
+  /// \brief Chunk-weighted placement.
+  static PlacementSpec ChunkWeights(std::vector<double> weights);
+};
+
+/// \brief Box appearance parameters for a class.
+struct BoxSpec {
+  /// Mean box side length in normalized image coordinates.
+  double mean_size = 0.08;
+  /// LogNormal sigma of the size.
+  double size_sigma_log = 0.35;
+  /// Std-dev of per-frame center motion.
+  double motion_sigma = 0.0015;
+};
+
+/// \brief One object class population to generate.
+struct ClassPopulationSpec {
+  int32_t class_id = 0;
+  std::string name;
+  uint64_t instance_count = 0;
+  DurationSpec duration;
+  PlacementSpec placement;
+  BoxSpec box;
+};
+
+/// \brief A full synthetic scene: the timeline length plus one or more class
+/// populations.
+struct SceneSpec {
+  uint64_t total_frames = 0;
+  std::vector<ClassPopulationSpec> classes;
+};
+
+/// \brief Generates ground truth for `spec`.
+///
+/// `chunking` is required (non-null) iff any placement uses kChunkWeights.
+/// Returns InvalidArgument for inconsistent specs (zero frames, weight vector
+/// size mismatch, non-positive durations).
+common::Result<GroundTruth> GenerateScene(const SceneSpec& spec,
+                                          const video::Chunking* chunking,
+                                          common::Rng& rng);
+
+/// \brief Generates the trajectories of a single class population (appended
+/// to `out`); exposed for tests and custom scene assembly.
+common::Status GeneratePopulation(const ClassPopulationSpec& spec, uint64_t total_frames,
+                                  const video::Chunking* chunking, common::Rng& rng,
+                                  std::vector<Trajectory>* out);
+
+}  // namespace scene
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SCENE_GENERATOR_H_

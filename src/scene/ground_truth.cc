@@ -1,0 +1,47 @@
+#include "scene/ground_truth.h"
+
+namespace exsample {
+namespace scene {
+
+namespace {
+
+std::vector<std::pair<video::FrameId, video::FrameId>> ExtractSpans(
+    const std::vector<Trajectory>& trajectories) {
+  std::vector<std::pair<video::FrameId, video::FrameId>> spans;
+  spans.reserve(trajectories.size());
+  for (const Trajectory& t : trajectories) {
+    spans.emplace_back(t.start_frame, t.end_frame);
+  }
+  return spans;
+}
+
+}  // namespace
+
+GroundTruth::GroundTruth(std::vector<Trajectory> trajectories, uint64_t total_frames)
+    : trajectories_(std::move(trajectories)),
+      total_frames_(total_frames),
+      index_(ExtractSpans(trajectories_), total_frames) {
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    trajectories_[i].instance_id = static_cast<InstanceId>(i);
+    ++class_counts_[trajectories_[i].class_id];
+  }
+}
+
+uint64_t GroundTruth::NumInstances(int32_t class_id) const {
+  if (class_id == kAllClasses) return trajectories_.size();
+  auto it = class_counts_.find(class_id);
+  return it == class_counts_.end() ? 0 : it->second;
+}
+
+void GroundTruth::VisibleInstances(video::FrameId frame, int32_t class_id,
+                                   std::vector<InstanceId>* out) const {
+  out->clear();
+  ForEachVisible(frame, [&](const Trajectory& t) {
+    if (class_id == kAllClasses || t.class_id == class_id) {
+      out->push_back(t.instance_id);
+    }
+  });
+}
+
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,68 @@
+#ifndef EXSAMPLE_SCENE_GROUND_TRUTH_H_
+#define EXSAMPLE_SCENE_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "scene/interval_index.h"
+#include "scene/trajectory.h"
+
+namespace exsample {
+namespace scene {
+
+/// \brief The hidden object population of a repository: every distinct
+/// instance with its visibility interval and box motion.
+///
+/// Only the simulated detector and the evaluation harness see this; the
+/// sampling algorithms never do (mirroring the paper, where p_i and N are
+/// unknown to ExSample and used only for analysis).
+class GroundTruth {
+ public:
+  /// \brief Builds ground truth over `total_frames` frames. Trajectory
+  /// instance ids are reassigned to their index in the stored vector.
+  GroundTruth(std::vector<Trajectory> trajectories, uint64_t total_frames);
+
+  /// \brief All trajectories.
+  const std::vector<Trajectory>& Trajectories() const { return trajectories_; }
+
+  /// \brief Trajectory by instance id.
+  const Trajectory& Get(InstanceId id) const { return trajectories_[id]; }
+
+  /// \brief Total frames in the underlying repository.
+  uint64_t TotalFrames() const { return total_frames_; }
+
+  /// \brief Number of distinct instances of `class_id` (N in the paper);
+  /// pass `kAllClasses` for the overall count.
+  uint64_t NumInstances(int32_t class_id) const;
+
+  /// \brief Sentinel accepted by class-filtered queries.
+  static constexpr int32_t kAllClasses = -1;
+
+  /// \brief Calls `fn(const Trajectory&)` for every instance visible in
+  /// `frame` (all classes; filter inside `fn` if needed).
+  template <typename Fn>
+  void ForEachVisible(video::FrameId frame, Fn&& fn) const {
+    index_.ForEachVisible(frame,
+                          [this, &fn](uint32_t id) { fn(trajectories_[id]); });
+  }
+
+  /// \brief Collects ids of instances of `class_id` visible in `frame`.
+  void VisibleInstances(video::FrameId frame, int32_t class_id,
+                        std::vector<InstanceId>* out) const;
+
+  /// \brief Per-class instance counts.
+  const std::map<int32_t, uint64_t>& ClassCounts() const { return class_counts_; }
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  uint64_t total_frames_;
+  IntervalIndex index_;
+  std::map<int32_t, uint64_t> class_counts_;
+};
+
+}  // namespace scene
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SCENE_GROUND_TRUTH_H_

@@ -1,0 +1,81 @@
+#include "scene/interval_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace exsample {
+namespace scene {
+
+namespace {
+
+// Picks a bucket width near the median interval length, clamped so that the
+// bucket directory stays small relative to the data (at most ~4M buckets) and
+// never degenerates to zero.
+uint64_t ChooseBucketWidth(
+    const std::vector<std::pair<video::FrameId, video::FrameId>>& intervals,
+    uint64_t total_frames) {
+  if (total_frames == 0) return 1;
+  std::vector<uint64_t> lengths;
+  lengths.reserve(intervals.size());
+  for (const auto& span : intervals) {
+    if (span.second > span.first) lengths.push_back(span.second - span.first);
+  }
+  uint64_t width = 64;
+  if (!lengths.empty()) {
+    const size_t mid = lengths.size() / 2;
+    std::nth_element(lengths.begin(), lengths.begin() + mid, lengths.end());
+    width = std::max<uint64_t>(1, lengths[mid]);
+  }
+  const uint64_t min_width = std::max<uint64_t>(1, total_frames / (1ull << 22));
+  return std::max(width, min_width);
+}
+
+}  // namespace
+
+IntervalIndex::IntervalIndex(
+    const std::vector<std::pair<video::FrameId, video::FrameId>>& intervals,
+    uint64_t total_frames)
+    : spans_(intervals), total_frames_(total_frames) {
+  bucket_width_ = ChooseBucketWidth(spans_, total_frames_);
+  const uint64_t num_buckets =
+      total_frames_ == 0 ? 0 : (total_frames_ + bucket_width_ - 1) / bucket_width_;
+  offsets_.assign(num_buckets + 1, 0);
+  if (num_buckets == 0) return;
+
+  auto bucket_range = [&](const std::pair<video::FrameId, video::FrameId>& span,
+                          uint64_t* first, uint64_t* last) {
+    // Clamp to the indexed domain; half-open interval end maps to the bucket
+    // of its last contained frame.
+    const video::FrameId lo = std::min<video::FrameId>(span.first, total_frames_);
+    const video::FrameId hi = std::min<video::FrameId>(span.second, total_frames_);
+    if (hi <= lo) return false;
+    *first = lo / bucket_width_;
+    *last = (hi - 1) / bucket_width_;
+    return true;
+  };
+
+  // Pass 1: count entries per bucket.
+  for (const auto& span : spans_) {
+    uint64_t first, last;
+    if (!bucket_range(span, &first, &last)) continue;
+    for (uint64_t b = first; b <= last; ++b) ++offsets_[b + 1];
+  }
+  for (size_t b = 1; b < offsets_.size(); ++b) offsets_[b] += offsets_[b - 1];
+
+  // Pass 2: fill entries.
+  entries_.resize(offsets_.back());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t id = 0; id < spans_.size(); ++id) {
+    uint64_t first, last;
+    if (!bucket_range(spans_[id], &first, &last)) continue;
+    for (uint64_t b = first; b <= last; ++b) entries_[cursor[b]++] = id;
+  }
+}
+
+void IntervalIndex::VisibleAt(video::FrameId frame, std::vector<uint32_t>* out) const {
+  out->clear();
+  ForEachVisible(frame, [out](uint32_t id) { out->push_back(id); });
+}
+
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,63 @@
+#ifndef EXSAMPLE_SCENE_INTERVAL_INDEX_H_
+#define EXSAMPLE_SCENE_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "video/repository.h"
+
+namespace exsample {
+namespace scene {
+
+/// \brief Static point-stabbing index over frame intervals.
+///
+/// Built once from a set of half-open intervals [start, end); answers "which
+/// intervals contain frame f" in time proportional to the answer size. The
+/// query loop calls this for every sampled frame, so it uses a flat CSR
+/// (bucketed) layout rather than a pointer-based interval tree: frames are
+/// grouped into fixed-width buckets (width chosen near the median interval
+/// length) and each bucket lists the intervals overlapping it.
+class IntervalIndex {
+ public:
+  /// \brief Builds the index. `intervals[i]` is [start, end) with end > start;
+  /// degenerate intervals are permitted but never match. `total_frames` bounds
+  /// the queryable domain.
+  IntervalIndex(const std::vector<std::pair<video::FrameId, video::FrameId>>& intervals,
+                uint64_t total_frames);
+
+  /// \brief Appends the ids of intervals containing `frame` to `out`
+  /// (cleared first). Frames outside [0, total_frames) yield an empty result.
+  void VisibleAt(video::FrameId frame, std::vector<uint32_t>* out) const;
+
+  /// \brief Calls `fn(interval_id)` for each interval containing `frame`.
+  template <typename Fn>
+  void ForEachVisible(video::FrameId frame, Fn&& fn) const {
+    if (frame >= total_frames_ || bucket_width_ == 0) return;
+    const uint64_t bucket = frame / bucket_width_;
+    const uint32_t* begin = entries_.data() + offsets_[bucket];
+    const uint32_t* end = entries_.data() + offsets_[bucket + 1];
+    for (const uint32_t* it = begin; it != end; ++it) {
+      const auto& span = spans_[*it];
+      if (frame >= span.first && frame < span.second) fn(*it);
+    }
+  }
+
+  /// \brief Number of indexed intervals.
+  size_t NumIntervals() const { return spans_.size(); }
+
+  /// \brief Bucket width chosen by the builder (exposed for tests).
+  uint64_t BucketWidth() const { return bucket_width_; }
+
+ private:
+  std::vector<std::pair<video::FrameId, video::FrameId>> spans_;
+  std::vector<uint64_t> offsets_;   // CSR: per-bucket start into entries_.
+  std::vector<uint32_t> entries_;   // Interval ids, bucket-major.
+  uint64_t total_frames_ = 0;
+  uint64_t bucket_width_ = 0;
+};
+
+}  // namespace scene
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SCENE_INTERVAL_INDEX_H_

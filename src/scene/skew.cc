@@ -1,0 +1,94 @@
+#include "scene/skew.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace exsample {
+namespace scene {
+
+std::vector<uint64_t> ChunkInstanceCounts(const std::vector<Trajectory>& trajectories,
+                                          const video::Chunking& chunking,
+                                          int32_t class_id) {
+  std::vector<uint64_t> counts(chunking.NumChunks(), 0);
+  for (const Trajectory& t : trajectories) {
+    if (class_id >= 0 && t.class_id != class_id) continue;
+    auto chunk = chunking.ChunkOfFrame(t.MidFrame());
+    if (chunk.ok()) ++counts[chunk.value()];
+  }
+  return counts;
+}
+
+size_t MinChunksCoveringHalf(const std::vector<uint64_t>& chunk_counts) {
+  uint64_t total = 0;
+  for (uint64_t c : chunk_counts) total += c;
+  if (total == 0) return 0;
+  std::vector<uint64_t> sorted(chunk_counts);
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  // Use 2*covered >= total to avoid integer-division rounding on odd totals.
+  uint64_t covered = 0;
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    covered += sorted[k];
+    if (2 * covered >= total) return k + 1;
+  }
+  return sorted.size();
+}
+
+double SkewMetric(const std::vector<uint64_t>& chunk_counts) {
+  const size_t k50 = MinChunksCoveringHalf(chunk_counts);
+  if (k50 == 0) return 1.0;
+  return static_cast<double>(chunk_counts.size()) / (2.0 * static_cast<double>(k50));
+}
+
+namespace {
+
+// Number of top chunks needed to cover half the mass of the geometric weight
+// profile w_i = r^i over m chunks (r in (0,1]).
+double GeometricK50(double r, size_t m) {
+  if (r >= 1.0 - 1e-12) return static_cast<double>(m) / 2.0;
+  const double total = (1.0 - std::pow(r, static_cast<double>(m))) / (1.0 - r);
+  // Solve (1 - r^k)/(1 - r) = total/2 for a real-valued k.
+  const double k = std::log1p(-(0.5 * total) * (1.0 - r)) / std::log(r);
+  return std::max(1.0, k);
+}
+
+}  // namespace
+
+std::vector<double> MakeSkewedChunkWeights(size_t num_chunks, double target_s,
+                                           common::Rng& rng) {
+  assert(num_chunks > 0);
+  const double max_s = static_cast<double>(num_chunks) / 2.0;
+  target_s = std::min(std::max(target_s, 1.0), max_s);
+  const double target_k50 = static_cast<double>(num_chunks) / (2.0 * target_s);
+
+  // Binary search the geometric ratio r: smaller r => more concentration =>
+  // smaller K50. K50(r) is increasing in r.
+  double lo = 1e-6, hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GeometricK50(mid, num_chunks) < target_k50) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double r = 0.5 * (lo + hi);
+
+  std::vector<double> weights(num_chunks);
+  double w = 1.0, sum = 0.0;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    weights[i] = w;
+    sum += w;
+    w *= r;
+    if (w < 1e-300) w = 1e-300;
+  }
+  for (double& v : weights) v /= sum;
+  // Scatter the hot chunks across the timeline: the algorithm is insensitive
+  // to chunk order, but real data does not sort its busy periods first.
+  rng.Shuffle(&weights);
+  return weights;
+}
+
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,47 @@
+#ifndef EXSAMPLE_SCENE_SKEW_H_
+#define EXSAMPLE_SCENE_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "scene/trajectory.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace scene {
+
+/// \brief Number of instances (of `class_id`, or all for
+/// GroundTruth::kAllClasses) whose mid-frame falls in each chunk.
+std::vector<uint64_t> ChunkInstanceCounts(const std::vector<Trajectory>& trajectories,
+                                          const video::Chunking& chunking,
+                                          int32_t class_id);
+
+/// \brief The paper's Fig. 6 skew metric S.
+///
+/// The paper does not give a closed form; consistent with the figure caption
+/// ("blue bars are the minimum set of chunks that cover half the instances"),
+/// we define S = M / (2 * K50) where K50 is the size of that minimum set and
+/// M the number of chunks. Uniformly spread instances give S ~= 1; all
+/// instances in one chunk give S = M/2. Returns 1.0 when there are no
+/// instances.
+double SkewMetric(const std::vector<uint64_t>& chunk_counts);
+
+/// \brief Minimum number of chunks (taken in decreasing count order) covering
+/// at least half of all instances (K50 above; the paper's blue bars).
+size_t MinChunksCoveringHalf(const std::vector<uint64_t>& chunk_counts);
+
+/// \brief Constructs per-chunk placement weights whose skew metric is close
+/// to `target_s`.
+///
+/// Uses an exponential concentration profile w_i proportional to r^i over a
+/// randomly permuted chunk order, with r binary-searched so the weight mass
+/// itself has S(target). `target_s` is clamped to the feasible range
+/// [1, num_chunks / 2].
+std::vector<double> MakeSkewedChunkWeights(size_t num_chunks, double target_s,
+                                           common::Rng& rng);
+
+}  // namespace scene
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SCENE_SKEW_H_

@@ -1,0 +1,20 @@
+#include "scene/trajectory.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace exsample {
+namespace scene {
+
+common::Box Trajectory::BoxAt(video::FrameId frame) const {
+  assert(VisibleAt(frame));
+  const double t = static_cast<double>(frame - start_frame);
+  common::Box box = box0.Translated(t * dx_per_frame, t * dy_per_frame);
+  if (scale_per_frame != 1.0) {
+    box = box.ScaledAboutCenter(std::pow(scale_per_frame, t));
+  }
+  return box;
+}
+
+}  // namespace scene
+}  // namespace exsample

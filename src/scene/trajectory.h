@@ -1,0 +1,58 @@
+#ifndef EXSAMPLE_SCENE_TRAJECTORY_H_
+#define EXSAMPLE_SCENE_TRAJECTORY_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace scene {
+
+/// \brief Identifier of a distinct object instance in the ground truth.
+using InstanceId = uint64_t;
+
+/// \brief Sentinel for "no instance" (e.g., a false-positive detection).
+inline constexpr InstanceId kNoInstance = ~InstanceId{0};
+
+/// \brief One distinct object instance: the interval of frames where it is
+/// visible and a parametric motion model for its bounding box.
+///
+/// Storing motion parametrically (constant velocity + exponential scale
+/// change) rather than per-frame boxes keeps 16M-frame scenes cheap while
+/// still giving the IoU tracker realistic, smoothly moving boxes.
+struct Trajectory {
+  InstanceId instance_id = 0;
+  int32_t class_id = 0;
+  /// First frame (global id) where the instance is visible.
+  video::FrameId start_frame = 0;
+  /// One past the last visible frame.
+  video::FrameId end_frame = 0;
+  /// Bounding box at `start_frame`.
+  common::Box box0;
+  /// Per-frame translation of the box center.
+  double dx_per_frame = 0.0;
+  double dy_per_frame = 0.0;
+  /// Per-frame multiplicative size change (1.0 = constant size).
+  double scale_per_frame = 1.0;
+
+  /// \brief Number of frames the instance is visible.
+  uint64_t DurationFrames() const { return end_frame - start_frame; }
+
+  /// \brief True when the instance is visible in `frame`.
+  bool VisibleAt(video::FrameId frame) const {
+    return frame >= start_frame && frame < end_frame;
+  }
+
+  /// \brief Frame at the middle of the visibility interval (used to assign
+  /// an instance to a chunk for skew accounting).
+  video::FrameId MidFrame() const { return start_frame + DurationFrames() / 2; }
+
+  /// \brief The instance's bounding box in `frame` (must be visible).
+  common::Box BoxAt(video::FrameId frame) const;
+};
+
+}  // namespace scene
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SCENE_TRAJECTORY_H_

@@ -1,0 +1,115 @@
+#include "sim/bernoulli_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "common/math_util.h"
+
+namespace exsample {
+namespace sim {
+
+BernoulliOccupancyModel::BernoulliOccupancyModel(std::vector<double> probs)
+    : probs_(std::move(probs)) {
+  for (double p : probs_) {
+    assert(p > 0.0 && p <= 1.0);
+    sum_p_ += p;
+    max_p_ = std::max(max_p_, p);
+  }
+}
+
+std::vector<OccupancyRecord> BernoulliOccupancyModel::RunAtPoints(
+    const std::vector<uint64_t>& query_points, common::Rng& rng) const {
+  assert(std::is_sorted(query_points.begin(), query_points.end()));
+
+  // Draw (first hit, second hit, p) per instance; sort by first hit. An
+  // instance contributes to N1 on [t1, t2) and leaves the unseen mass at t1.
+  struct Hit {
+    uint64_t t1;
+    uint64_t t2;
+    double p;
+  };
+  std::vector<Hit> hits;
+  hits.reserve(probs_.size());
+  for (double p : probs_) {
+    const uint64_t t1 = rng.GeometricTrials(p);
+    const uint64_t t2 = t1 + rng.GeometricTrials(p);
+    hits.push_back(Hit{t1, t2, p});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.t1 < b.t1; });
+
+  std::vector<OccupancyRecord> records;
+  records.reserve(query_points.size());
+  // Min-heap of second-hit times for instances currently seen exactly once.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<uint64_t>> once;
+  size_t next_hit = 0;
+  double unseen_mass = sum_p_;
+  for (uint64_t n : query_points) {
+    while (next_hit < hits.size() && hits[next_hit].t1 <= n) {
+      unseen_mass -= hits[next_hit].p;
+      once.push(hits[next_hit].t2);
+      ++next_hit;
+    }
+    while (!once.empty() && once.top() <= n) once.pop();
+    records.push_back(OccupancyRecord{n, once.size(), std::max(0.0, unseen_mass)});
+  }
+  return records;
+}
+
+double BernoulliOccupancyModel::ExpectedN1(uint64_t n) const {
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  double total = 0.0;
+  for (double p : probs_) {
+    total += dn * p * common::PowOneMinus(p, dn - 1.0);
+  }
+  return total;
+}
+
+double BernoulliOccupancyModel::ExpectedRNext(uint64_t n) const {
+  const double dn = static_cast<double>(n);
+  double total = 0.0;
+  for (double p : probs_) total += p * common::PowOneMinus(p, dn);
+  return total;
+}
+
+double BernoulliOccupancyModel::ExactVarianceN1(uint64_t n) const {
+  if (n == 0) return 0.0;
+  const double dn = static_cast<double>(n);
+  double total = 0.0;
+  for (double p : probs_) {
+    const double pi1 = dn * p * common::PowOneMinus(p, dn - 1.0);
+    total += pi1 * (1.0 - pi1);
+  }
+  return total;
+}
+
+double BernoulliOccupancyModel::MeanP() const {
+  if (probs_.empty()) return 0.0;
+  return sum_p_ / static_cast<double>(probs_.size());
+}
+
+double BernoulliOccupancyModel::StdDevP() const {
+  return common::SampleStdDev(probs_);
+}
+
+std::vector<double> LogNormalProbabilities(size_t count, double mean, double stddev,
+                                           double max_p, common::Rng& rng) {
+  assert(mean > 0.0 && stddev > 0.0 && max_p > 0.0);
+  // Match the LogNormal's first two moments to (mean, stddev):
+  // sigma^2 = ln(1 + (stddev/mean)^2), mu = ln(mean) - sigma^2/2.
+  const double ratio = stddev / mean;
+  const double sigma2 = std::log1p(ratio * ratio);
+  const double sigma = std::sqrt(sigma2);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  std::vector<double> probs(count);
+  for (double& p : probs) {
+    p = common::Clamp(rng.LogNormal(mu, sigma), 1e-12, max_p);
+  }
+  return probs;
+}
+
+}  // namespace sim
+}  // namespace exsample

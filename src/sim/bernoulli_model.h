@@ -1,0 +1,75 @@
+#ifndef EXSAMPLE_SIM_BERNOULLI_MODEL_H_
+#define EXSAMPLE_SIM_BERNOULLI_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace exsample {
+namespace sim {
+
+/// \brief State of a simulated sampling sequence at a query point.
+struct OccupancyRecord {
+  /// Frames sampled so far.
+  uint64_t n = 0;
+  /// Instances seen exactly once after n samples.
+  uint64_t n1 = 0;
+  /// The true R(n+1) = sum of p_i over instances not yet seen — the quantity
+  /// the Gamma belief of Eq. III.4 models.
+  double r_next = 0.0;
+};
+
+/// \brief The paper's Sec. III-D simulation model: N instances, instance i
+/// present in any sampled frame independently with probability p_i.
+///
+/// Rather than tossing N coins for each of up to 180,000 samples (1.8e11
+/// draws for the paper's setup), each run draws only the first and second
+/// hit times of every instance — geometric variables — and sweeps them
+/// against the query points. Distributionally identical for the tracked
+/// quantities (N1 and the unseen mass) at a tiny fraction of the cost.
+class BernoulliOccupancyModel {
+ public:
+  /// `probs` are the per-instance per-frame presence probabilities p_i,
+  /// each in (0, 1].
+  explicit BernoulliOccupancyModel(std::vector<double> probs);
+
+  /// \brief Simulates one sampling sequence, reporting the state at each of
+  /// `query_points` (must be sorted ascending).
+  std::vector<OccupancyRecord> RunAtPoints(const std::vector<uint64_t>& query_points,
+                                           common::Rng& rng) const;
+
+  /// \brief Exact E[N1(n)] = sum_i n p_i (1-p_i)^{n-1} (proof of Eq. III.2).
+  double ExpectedN1(uint64_t n) const;
+
+  /// \brief Exact E[R(n+1)] = sum_i p_i (1-p_i)^n.
+  double ExpectedRNext(uint64_t n) const;
+
+  /// \brief Exact Var[N1(n)] = sum_i pi1(1 - pi1), pi1 = n p_i (1-p_i)^{n-1}
+  /// (under the independence assumption of Eq. III.3's proof).
+  double ExactVarianceN1(uint64_t n) const;
+
+  /// \brief Population descriptors used by the paper's bias bound.
+  double SumP() const { return sum_p_; }
+  double MaxP() const { return max_p_; }
+  double MeanP() const;
+  double StdDevP() const;
+  size_t NumInstances() const { return probs_.size(); }
+  const std::vector<double>& Probs() const { return probs_; }
+
+ private:
+  std::vector<double> probs_;
+  double sum_p_ = 0.0;
+  double max_p_ = 0.0;
+};
+
+/// \brief Draws `count` LogNormal probabilities with the given arithmetic
+/// mean and standard deviation, clamped to (0, max_p] — the paper's Fig. 2
+/// population (mean 3e-3, stddev 8e-3, max 0.15).
+std::vector<double> LogNormalProbabilities(size_t count, double mean, double stddev,
+                                           double max_p, common::Rng& rng);
+
+}  // namespace sim
+}  // namespace exsample
+
+#endif  // EXSAMPLE_SIM_BERNOULLI_MODEL_H_

@@ -1,0 +1,35 @@
+#include "stats/aggregate.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace exsample {
+namespace stats {
+
+QuantileBand AggregateRuns(const std::vector<std::vector<double>>& runs) {
+  QuantileBand band;
+  size_t max_len = 0;
+  for (const auto& run : runs) max_len = std::max(max_len, run.size());
+  band.median.reserve(max_len);
+  band.q25.reserve(max_len);
+  band.q75.reserve(max_len);
+  std::vector<double> column;
+  for (size_t i = 0; i < max_len; ++i) {
+    column.clear();
+    for (const auto& run : runs) {
+      if (i < run.size()) column.push_back(run[i]);
+    }
+    band.median.push_back(common::Quantile(column, 0.5));
+    band.q25.push_back(common::Quantile(column, 0.25));
+    band.q75.push_back(common::Quantile(column, 0.75));
+  }
+  return band;
+}
+
+double MedianScalar(std::vector<double> values) {
+  return common::Median(std::move(values));
+}
+
+}  // namespace stats
+}  // namespace exsample

@@ -1,0 +1,35 @@
+#ifndef EXSAMPLE_STATS_AGGREGATE_H_
+#define EXSAMPLE_STATS_AGGREGATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exsample {
+namespace stats {
+
+/// \brief A median trajectory with a percentile band, aggregated across runs.
+///
+/// Figures 3 and 4 of the paper plot the median curve over 21 runs with a
+/// shaded 25th–75th percentile band; this is the data container for those.
+struct QuantileBand {
+  std::vector<double> median;
+  std::vector<double> q25;
+  std::vector<double> q75;
+};
+
+/// \brief Aggregates aligned per-run series into median/quartile bands.
+///
+/// `runs` is a list of equally-long series (one per run, same x grid).
+/// Shorter runs are treated as truncated: positions beyond a run's length are
+/// aggregated over the runs that do reach them. Returns empty vectors when
+/// `runs` is empty.
+QuantileBand AggregateRuns(const std::vector<std::vector<double>>& runs);
+
+/// \brief Median of per-run scalar values (convenience over common::Median
+/// for symmetry with AggregateRuns).
+double MedianScalar(std::vector<double> values);
+
+}  // namespace stats
+}  // namespace exsample
+
+#endif  // EXSAMPLE_STATS_AGGREGATE_H_

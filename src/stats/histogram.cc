@@ -1,0 +1,70 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace exsample {
+namespace stats {
+
+common::Result<Histogram> Histogram::Make(double lo, double hi, size_t bins) {
+  if (!(lo < hi)) {
+    return common::Status::InvalidArgument("Histogram requires lo < hi");
+  }
+  if (bins == 0) {
+    return common::Status::InvalidArgument("Histogram requires at least one bin");
+  }
+  return Histogram(lo, hi, bins);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {}
+
+void Histogram::Add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t idx = static_cast<size_t>((value - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // FP edge guard.
+  ++counts_[idx];
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = underflow_ + overflow_;
+  for (uint64_t c : counts_) total += c;
+  return total;
+}
+
+double Histogram::BinLeft(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+double Histogram::Density(size_t i) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total) * width_);
+}
+
+std::string Histogram::ToAscii(size_t max_bar_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  char label[64];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(label, sizeof(label), "%11.4g | ", BinLeft(i));
+    os << label;
+    const size_t bar = static_cast<size_t>(
+        std::llround(static_cast<double>(counts_[i]) * static_cast<double>(max_bar_width) /
+                     static_cast<double>(peak)));
+    os << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace stats
+}  // namespace exsample

@@ -1,0 +1,65 @@
+#ifndef EXSAMPLE_STATS_HISTOGRAM_H_
+#define EXSAMPLE_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exsample {
+namespace stats {
+
+/// \brief Fixed-bin histogram over [lo, hi) with under/overflow buckets.
+///
+/// Used by the Fig. 2 belief-validation bench to histogram the true R(n+1)
+/// values observed in simulation and compare their shape against the
+/// Gamma belief density.
+class Histogram {
+ public:
+  /// Constructs a histogram with `bins` equal-width bins spanning [lo, hi).
+  /// Requires lo < hi and bins >= 1 (validated via `Make`).
+  static common::Result<Histogram> Make(double lo, double hi, size_t bins);
+
+  /// \brief Records one value (out-of-range values go to the under/overflow
+  /// counters).
+  void Add(double value);
+
+  /// \brief Number of recorded values, including under/overflow.
+  uint64_t TotalCount() const;
+
+  /// \brief Count in bin `i`.
+  uint64_t BinCount(size_t i) const { return counts_[i]; }
+  /// \brief Number of bins.
+  size_t NumBins() const { return counts_.size(); }
+  /// \brief Left edge of bin `i`.
+  double BinLeft(size_t i) const;
+  /// \brief Bin width.
+  double BinWidth() const { return width_; }
+  /// \brief Count of values below `lo`.
+  uint64_t Underflow() const { return underflow_; }
+  /// \brief Count of values at or above `hi`.
+  uint64_t Overflow() const { return overflow_; }
+
+  /// \brief Normalized density of bin `i` (count / (total * width)), so the
+  /// histogram integrates to (in-range mass) and is comparable to a pdf.
+  double Density(size_t i) const;
+
+  /// \brief Renders a compact ASCII bar chart, one line per bin.
+  std::string ToAscii(size_t max_bar_width = 40) const;
+
+ private:
+  Histogram(double lo, double hi, size_t bins);
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace stats
+}  // namespace exsample
+
+#endif  // EXSAMPLE_STATS_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#ifndef EXSAMPLE_STATS_RUNNING_STAT_H_
+#define EXSAMPLE_STATS_RUNNING_STAT_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace exsample {
+namespace stats {
+
+/// \brief Single-pass mean/variance/min/max accumulator (Welford's method).
+///
+/// Numerically stable for long streams; supports merging partial accumulators
+/// (Chan et al.) so per-run statistics can be combined across experiments.
+class RunningStat {
+ public:
+  /// \brief Adds one observation.
+  void Add(double value);
+
+  /// \brief Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+  /// \brief Number of observations.
+  uint64_t Count() const { return count_; }
+  /// \brief Arithmetic mean (0 when empty).
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// \brief Unbiased sample variance (0 when count < 2).
+  double Variance() const;
+  /// \brief Square root of `Variance`.
+  double StdDev() const;
+  /// \brief Smallest observation (+inf when empty).
+  double Min() const { return min_; }
+  /// \brief Largest observation (-inf when empty).
+  double Max() const { return max_; }
+  /// \brief Sum of all observations.
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stats
+}  // namespace exsample
+
+#endif  // EXSAMPLE_STATS_RUNNING_STAT_H_

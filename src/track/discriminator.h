@@ -1,0 +1,59 @@
+#ifndef EXSAMPLE_TRACK_DISCRIMINATOR_H_
+#define EXSAMPLE_TRACK_DISCRIMINATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "detect/detection.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace track {
+
+/// \brief The discriminator's split of a frame's detections (Algorithm 1,
+/// line 10).
+struct MatchResult {
+  /// d0: detections that matched no previous result — new distinct objects.
+  detect::Detections d0;
+  /// d1: detections that matched exactly one previous observation — results
+  /// now seen for the second time (these decrement N1).
+  detect::Detections d1;
+};
+
+/// \brief Decides whether detections correspond to objects already returned
+/// earlier in the query (paper Sec. II-B).
+///
+/// A distinct-object query counts each physical object once even when it is
+/// detected in many frames; the discriminator provides that identity notion.
+/// The query loop calls `GetMatches` (read-only) and then `Add` with the same
+/// detections, mirroring Algorithm 1 lines 10 and 13.
+class Discriminator {
+ public:
+  virtual ~Discriminator() = default;
+
+  /// \brief Classifies `dets` against previously observed results without
+  /// modifying state.
+  virtual MatchResult GetMatches(video::FrameId frame,
+                                 const detect::Detections& dets) const = 0;
+
+  /// \brief Records `dets` as observed in `frame`.
+  virtual void Add(video::FrameId frame, const detect::Detections& dets) = 0;
+
+  /// \brief Number of distinct results returned so far (|ans| growth).
+  virtual uint64_t DistinctResults() const = 0;
+
+  /// \brief Implementation name for reports.
+  virtual std::string name() const = 0;
+
+  /// \brief Convenience: GetMatches followed by Add.
+  MatchResult Observe(video::FrameId frame, const detect::Detections& dets) {
+    MatchResult result = GetMatches(frame, dets);
+    Add(frame, dets);
+    return result;
+  }
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_DISCRIMINATOR_H_

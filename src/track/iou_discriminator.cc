@@ -1,0 +1,110 @@
+#include "track/iou_discriminator.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace exsample {
+namespace track {
+
+IouTrackerDiscriminator::IouTrackerDiscriminator(const scene::GroundTruth* truth,
+                                                 IouDiscriminatorOptions options)
+    : truth_(truth), options_(options) {}
+
+common::Box IouTrackerDiscriminator::TrackBoxAt(const Track& track,
+                                                video::FrameId frame) const {
+  if (track.source == scene::kNoInstance) return track.static_box;
+  return truth_->Get(track.source).BoxAt(frame);
+}
+
+uint64_t IouTrackerDiscriminator::CountMatchesAt(video::FrameId frame,
+                                                 const common::Box& box,
+                                                 uint32_t* best_track) const {
+  uint64_t matches = 0;
+  double best_iou = 0.0;
+  *best_track = kNoTrack;
+  const uint64_t bucket = frame / options_.bucket_width;
+  auto it = track_buckets_.find(bucket);
+  if (it == track_buckets_.end()) return 0;
+  for (uint32_t id : it->second) {
+    const Track& track = tracks_[id];
+    if (frame < track.begin || frame >= track.end) continue;
+    const double iou = common::Iou(box, TrackBoxAt(track, frame));
+    if (iou < options_.iou_threshold) continue;
+    matches += track.sightings;
+    if (iou > best_iou) {
+      best_iou = iou;
+      *best_track = id;
+    }
+  }
+  return matches;
+}
+
+MatchResult IouTrackerDiscriminator::GetMatches(video::FrameId frame,
+                                                const detect::Detections& dets) const {
+  MatchResult result;
+  uint32_t unused;
+  for (const detect::Detection& det : dets) {
+    const uint64_t matches = CountMatchesAt(frame, det.box, &unused);
+    if (matches == 0) {
+      result.d0.push_back(det);
+    } else if (matches == 1) {
+      result.d1.push_back(det);
+    }
+  }
+  return result;
+}
+
+void IouTrackerDiscriminator::InsertTrack(Track track) {
+  const uint32_t id = static_cast<uint32_t>(tracks_.size());
+  const uint64_t first = track.begin / options_.bucket_width;
+  const uint64_t last = (track.end - 1) / options_.bucket_width;
+  for (uint64_t b = first; b <= last; ++b) track_buckets_[b].push_back(id);
+  tracks_.push_back(track);
+}
+
+void IouTrackerDiscriminator::Add(video::FrameId frame, const detect::Detections& dets) {
+  for (const detect::Detection& det : dets) {
+    uint32_t best_track = kNoTrack;
+    const uint64_t matches = CountMatchesAt(frame, det.box, &best_track);
+    if (matches > 0) {
+      // Known object: record the sighting so later matches count it as
+      // "seen more than once" (the N1 bookkeeping of Algorithm 1).
+      tracks_[best_track].sightings += 1;
+      ++reinforcements_;
+      continue;
+    }
+    // New object: propagate a track forwards and backwards from this frame.
+    common::Rng rng(common::HashCombine(options_.seed, ++track_counter_));
+    Track track;
+    track.source = det.source_instance;
+    if (det.IsTruePositive()) {
+      const scene::Trajectory& traj = truth_->Get(det.source_instance);
+      // Breakage truncates propagation on each side independently; a
+      // survival_prob of 1 covers the object's full visibility interval.
+      const uint64_t fwd_limit = traj.end_frame - frame;
+      const uint64_t bwd_limit = frame - traj.start_frame;
+      const double break_prob = 1.0 - options_.survival_prob;
+      const uint64_t fwd =
+          std::min<uint64_t>(fwd_limit, rng.GeometricTrials(break_prob));
+      const uint64_t bwd =
+          std::min<uint64_t>(bwd_limit, rng.GeometricTrials(break_prob) - 1);
+      track.begin = frame - bwd;
+      track.end = frame + fwd;
+    } else {
+      // False positive: assume a static object persisting a short while.
+      track.static_box = det.box;
+      const double rate = 1.0 / std::max(1.0, options_.fp_extent_mean);
+      const uint64_t fwd = rng.GeometricTrials(rate);
+      const uint64_t bwd = rng.GeometricTrials(rate) - 1;
+      track.begin = frame > bwd ? frame - bwd : 0;
+      track.end = frame + fwd;
+    }
+    if (track.end <= track.begin) track.end = track.begin + 1;
+    InsertTrack(track);
+  }
+}
+
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,93 @@
+#ifndef EXSAMPLE_TRACK_IOU_DISCRIMINATOR_H_
+#define EXSAMPLE_TRACK_IOU_DISCRIMINATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "scene/ground_truth.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace track {
+
+/// \brief Behaviour knobs of the tracker-based discriminator.
+struct IouDiscriminatorOptions {
+  /// Minimum IoU for a detection to match a previously recorded position.
+  double iou_threshold = 0.5;
+  /// Per-frame probability that the forward/backward track propagation
+  /// continues (SORT-style trackers lose objects; 1.0 = never breaks).
+  double survival_prob = 0.995;
+  /// How many frames a false-positive detection is assumed to persist in
+  /// each direction when its (static) track is propagated.
+  double fp_extent_mean = 30.0;
+  /// Frame-bucket width of the internal stabbing index.
+  uint64_t bucket_width = 512;
+  /// Seed for the deterministic per-track breakage draws.
+  uint64_t seed = 13;
+};
+
+/// \brief Tracker-based discriminator (paper Sec. II-B): for each detection
+/// of a new object, a SORT-like tracker is applied backwards and forwards
+/// through the video to compute the object's position in every frame where
+/// it was visible; future detections are discarded when they match any
+/// previously observed position.
+///
+/// The propagated positions follow the ground-truth motion (modeling a
+/// competent tracker) but the propagation *breaks* with probability
+/// `1 - survival_prob` per frame, truncating the covered interval — the
+/// realistic failure mode that causes double counting in real systems.
+/// Matching itself is pure geometry (IoU against recorded positions); ground
+/// truth identity is never consulted to answer a match query.
+class IouTrackerDiscriminator : public Discriminator {
+ public:
+  IouTrackerDiscriminator(const scene::GroundTruth* truth,
+                          IouDiscriminatorOptions options);
+
+  MatchResult GetMatches(video::FrameId frame,
+                         const detect::Detections& dets) const override;
+  void Add(video::FrameId frame, const detect::Detections& dets) override;
+  uint64_t DistinctResults() const override { return tracks_.size(); }
+  std::string name() const override { return "iou-tracker"; }
+
+  /// \brief Number of sightings recorded against existing tracks (stats).
+  uint64_t ReinforcementCount() const { return reinforcements_; }
+
+ private:
+  // One propagated track: covers global frames [begin, end), can produce the
+  // tracked box for any frame in that range, and remembers how many
+  // detections have matched it. A detection's "number of matches with
+  // previous detections" (the paper's d0/d1 classification) is the total
+  // sighting count over the tracks its box matches.
+  struct Track {
+    video::FrameId begin = 0;
+    video::FrameId end = 0;
+    // Real object: follow this trajectory's motion. kNoInstance for a false
+    // positive, whose box is assumed static.
+    scene::InstanceId source = scene::kNoInstance;
+    common::Box static_box;  // Used when source == kNoInstance.
+    uint64_t sightings = 1;  // Detections recorded against this track.
+  };
+
+  common::Box TrackBoxAt(const Track& track, video::FrameId frame) const;
+  // Total previous-detection matches for `box` at `frame`, and the id of the
+  // strongest-matching track (or npos when none).
+  uint64_t CountMatchesAt(video::FrameId frame, const common::Box& box,
+                          uint32_t* best_track) const;
+  void InsertTrack(Track track);
+
+  static constexpr uint32_t kNoTrack = ~uint32_t{0};
+
+  const scene::GroundTruth* truth_;
+  IouDiscriminatorOptions options_;
+  std::vector<Track> tracks_;
+  // Bucketed stabbing index: bucket -> track ids overlapping it.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> track_buckets_;
+  uint64_t track_counter_ = 0;
+  uint64_t reinforcements_ = 0;
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_IOU_DISCRIMINATOR_H_

@@ -1,0 +1,43 @@
+#include "track/matching.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace track {
+
+std::vector<MatchPair> GreedyIouMatch(const std::vector<common::Box>& a,
+                                      const std::vector<common::Box>& b,
+                                      double iou_threshold) {
+  std::vector<MatchPair> candidates;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      const double iou = common::Iou(a[i], b[j]);
+      if (iou >= iou_threshold) candidates.push_back(MatchPair{i, j, iou});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const MatchPair& x, const MatchPair& y) { return x.iou > y.iou; });
+  std::vector<bool> a_used(a.size(), false);
+  std::vector<bool> b_used(b.size(), false);
+  std::vector<MatchPair> matches;
+  for (const MatchPair& pair : candidates) {
+    if (a_used[pair.a_index] || b_used[pair.b_index]) continue;
+    a_used[pair.a_index] = true;
+    b_used[pair.b_index] = true;
+    matches.push_back(pair);
+  }
+  return matches;
+}
+
+size_t CountIouMatches(const common::Box& query,
+                       const std::vector<common::Box>& candidates,
+                       double iou_threshold) {
+  size_t count = 0;
+  for (const common::Box& box : candidates) {
+    if (common::Iou(query, box) >= iou_threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,40 @@
+#ifndef EXSAMPLE_TRACK_MATCHING_H_
+#define EXSAMPLE_TRACK_MATCHING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace exsample {
+namespace track {
+
+/// \brief A matched pair (index into `a`, index into `b`).
+struct MatchPair {
+  size_t a_index;
+  size_t b_index;
+  double iou;
+};
+
+/// \brief Greedy IoU matching between two box sets (the SORT-style matching
+/// step of Sec. II-B / V-A).
+///
+/// All cross pairs with IoU >= `iou_threshold` are considered in decreasing
+/// IoU order; each box is matched at most once. Greedy matching is the
+/// standard baseline the paper cites ("IoU matching is a simple baseline for
+/// multi-object tracking").
+std::vector<MatchPair> GreedyIouMatch(const std::vector<common::Box>& a,
+                                      const std::vector<common::Box>& b,
+                                      double iou_threshold);
+
+/// \brief Number of boxes in `candidates` whose IoU with `query` reaches
+/// `iou_threshold`.
+size_t CountIouMatches(const common::Box& query,
+                       const std::vector<common::Box>& candidates,
+                       double iou_threshold);
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_MATCHING_H_

@@ -1,0 +1,35 @@
+#include "track/oracle_discriminator.h"
+
+namespace exsample {
+namespace track {
+
+MatchResult OracleDiscriminator::GetMatches(video::FrameId /*frame*/,
+                                            const detect::Detections& dets) const {
+  MatchResult result;
+  // A frame can contain several detections of *different* new instances, but
+  // the same instance appears at most once per frame (one box per object),
+  // so per-frame double counting is not a concern here.
+  for (const detect::Detection& det : dets) {
+    if (!det.IsTruePositive()) continue;
+    auto it = times_seen_.find(det.source_instance);
+    const uint64_t seen = it == times_seen_.end() ? 0 : it->second;
+    if (seen == 0) {
+      result.d0.push_back(det);
+    } else if (seen == 1) {
+      result.d1.push_back(det);
+    }
+  }
+  return result;
+}
+
+void OracleDiscriminator::Add(video::FrameId /*frame*/, const detect::Detections& dets) {
+  for (const detect::Detection& det : dets) {
+    if (!det.IsTruePositive()) continue;
+    uint64_t& seen = times_seen_[det.source_instance];
+    if (seen == 0) ++distinct_;
+    ++seen;
+  }
+}
+
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,34 @@
+#ifndef EXSAMPLE_TRACK_ORACLE_DISCRIMINATOR_H_
+#define EXSAMPLE_TRACK_ORACLE_DISCRIMINATOR_H_
+
+#include <unordered_map>
+
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace track {
+
+/// \brief Exact discriminator using ground-truth instance identity.
+///
+/// A detection is new iff its source instance has never been observed; it is
+/// in d1 iff the source had been observed exactly once before. False-positive
+/// detections (no source instance) are dropped — the oracle, by definition,
+/// knows they are not objects. Used by the Sec. IV simulations and anywhere
+/// tracker noise should be excluded from the measurement.
+class OracleDiscriminator : public Discriminator {
+ public:
+  MatchResult GetMatches(video::FrameId frame,
+                         const detect::Detections& dets) const override;
+  void Add(video::FrameId frame, const detect::Detections& dets) override;
+  uint64_t DistinctResults() const override { return distinct_; }
+  std::string name() const override { return "oracle"; }
+
+ private:
+  std::unordered_map<scene::InstanceId, uint64_t> times_seen_;
+  uint64_t distinct_ = 0;
+};
+
+}  // namespace track
+}  // namespace exsample
+
+#endif  // EXSAMPLE_TRACK_ORACLE_DISCRIMINATOR_H_

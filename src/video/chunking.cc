@@ -1,0 +1,101 @@
+#include "video/chunking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exsample {
+namespace video {
+
+Chunking::Chunking(std::vector<Chunk> chunks, uint64_t total_frames)
+    : chunks_(std::move(chunks)), total_frames_(total_frames) {
+  begins_.reserve(chunks_.size());
+  for (const Chunk& chunk : chunks_) begins_.push_back(chunk.begin);
+}
+
+common::Result<Chunking> Chunking::Make(std::vector<Chunk> chunks,
+                                        uint64_t total_frames) {
+  if (chunks.empty()) {
+    return common::Status::InvalidArgument("chunking must have at least one chunk");
+  }
+  FrameId cursor = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].begin != cursor) {
+      return common::Status::InvalidArgument(
+          "chunks must be contiguous and start at frame 0");
+    }
+    if (chunks[i].end <= chunks[i].begin) {
+      return common::Status::InvalidArgument("chunk must contain at least one frame");
+    }
+    chunks[i].chunk_id = static_cast<uint32_t>(i);
+    cursor = chunks[i].end;
+  }
+  if (cursor != total_frames) {
+    return common::Status::InvalidArgument("chunks must cover exactly [0, total_frames)");
+  }
+  return Chunking(std::move(chunks), total_frames);
+}
+
+common::Result<uint32_t> Chunking::ChunkOfFrame(FrameId frame) const {
+  if (frame >= total_frames_) {
+    return common::Status::OutOfRange("frame past end of chunking");
+  }
+  auto it = std::upper_bound(begins_.begin(), begins_.end(), frame);
+  return static_cast<uint32_t>(it - begins_.begin()) - 1;
+}
+
+common::Result<Chunking> MakePerClipChunks(const VideoRepository& repo) {
+  std::vector<Chunk> chunks;
+  chunks.reserve(repo.NumClips());
+  for (uint32_t c = 0; c < repo.NumClips(); ++c) {
+    chunks.push_back(Chunk{c, repo.ClipBegin(c), repo.ClipEnd(c)});
+  }
+  return Chunking::Make(std::move(chunks), repo.TotalFrames());
+}
+
+common::Result<Chunking> MakeFixedDurationChunks(const VideoRepository& repo,
+                                                 double chunk_seconds) {
+  if (!(chunk_seconds > 0.0)) {
+    return common::Status::InvalidArgument("chunk_seconds must be positive");
+  }
+  std::vector<Chunk> chunks;
+  for (uint32_t c = 0; c < repo.NumClips(); ++c) {
+    const VideoClip& clip = repo.Clip(c);
+    const uint64_t frames_per_chunk = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(chunk_seconds * clip.fps)));
+    const FrameId clip_begin = repo.ClipBegin(c);
+    const FrameId clip_end = repo.ClipEnd(c);
+    for (FrameId begin = clip_begin; begin < clip_end; begin += frames_per_chunk) {
+      const FrameId end = std::min<FrameId>(begin + frames_per_chunk, clip_end);
+      chunks.push_back(Chunk{0, begin, end});
+    }
+  }
+  return Chunking::Make(std::move(chunks), repo.TotalFrames());
+}
+
+common::Result<Chunking> MakeFixedCountChunks(uint64_t total_frames, size_t count) {
+  if (count == 0) {
+    return common::Status::InvalidArgument("chunk count must be positive");
+  }
+  if (total_frames < count) {
+    return common::Status::InvalidArgument("more chunks than frames");
+  }
+  std::vector<Chunk> chunks;
+  chunks.reserve(count);
+  // Distribute the remainder one frame at a time so sizes differ by <= 1.
+  const uint64_t base = total_frames / count;
+  const uint64_t extra = total_frames % count;
+  FrameId cursor = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t size = base + (i < extra ? 1 : 0);
+    chunks.push_back(Chunk{0, cursor, cursor + size});
+    cursor += size;
+  }
+  return Chunking::Make(std::move(chunks), total_frames);
+}
+
+common::Result<Chunking> MakeFixedCountChunks(const VideoRepository& repo, size_t count) {
+  return MakeFixedCountChunks(repo.TotalFrames(), count);
+}
+
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,83 @@
+#ifndef EXSAMPLE_VIDEO_CHUNKING_H_
+#define EXSAMPLE_VIDEO_CHUNKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace video {
+
+/// \brief A contiguous range of global frames [begin, end) forming one
+/// ExSample chunk.
+struct Chunk {
+  uint32_t chunk_id = 0;
+  FrameId begin = 0;
+  FrameId end = 0;
+
+  /// \brief Number of frames in the chunk.
+  uint64_t Size() const { return end - begin; }
+  /// \brief True when `frame` falls inside the chunk.
+  bool Contains(FrameId frame) const { return frame >= begin && frame < end; }
+};
+
+/// \brief A partition of the repository's global frame range into chunks.
+///
+/// Chunks are the arms of ExSample's bandit: per-chunk statistics drive
+/// Thompson sampling. A chunking must cover every frame exactly once, in
+/// order; `Make` validates this.
+class Chunking {
+ public:
+  /// \brief Validated constructor: `chunks` must be non-empty, sorted,
+  /// gap-free, and cover [0, total_frames).
+  static common::Result<Chunking> Make(std::vector<Chunk> chunks, uint64_t total_frames);
+
+  /// \brief Number of chunks (M in the paper).
+  size_t NumChunks() const { return chunks_.size(); }
+
+  /// \brief Chunk metadata by id.
+  const Chunk& GetChunk(size_t chunk_id) const { return chunks_[chunk_id]; }
+
+  /// \brief All chunks.
+  const std::vector<Chunk>& Chunks() const { return chunks_; }
+
+  /// \brief Total frames covered.
+  uint64_t TotalFrames() const { return total_frames_; }
+
+  /// \brief The id of the chunk containing `frame` (binary search).
+  ///
+  /// Returns OutOfRange for frames past the covered range.
+  common::Result<uint32_t> ChunkOfFrame(FrameId frame) const;
+
+ private:
+  Chunking(std::vector<Chunk> chunks, uint64_t total_frames);
+
+  std::vector<Chunk> chunks_;
+  std::vector<FrameId> begins_;  // chunk begin offsets, for binary search
+  uint64_t total_frames_ = 0;
+};
+
+/// \brief One chunk per clip (used for datasets of many short clips, like
+/// BDD, where clip boundaries are natural chunk boundaries).
+common::Result<Chunking> MakePerClipChunks(const VideoRepository& repo);
+
+/// \brief Splits each clip into chunks of at most `chunk_seconds` of video
+/// (the paper's "20 minute chunks"). Chunks never span clip boundaries; a
+/// clip shorter than `chunk_seconds` becomes one chunk.
+common::Result<Chunking> MakeFixedDurationChunks(const VideoRepository& repo,
+                                                 double chunk_seconds);
+
+/// \brief Splits the global frame range into `count` nearly equal chunks,
+/// ignoring clip boundaries (used by the simulation studies of Sec. IV).
+common::Result<Chunking> MakeFixedCountChunks(const VideoRepository& repo, size_t count);
+
+/// \brief Same as `MakeFixedCountChunks` but over a bare frame count, for
+/// simulations that do not materialize a repository.
+common::Result<Chunking> MakeFixedCountChunks(uint64_t total_frames, size_t count);
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_CHUNKING_H_

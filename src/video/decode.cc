@@ -1,0 +1,33 @@
+#include "video/decode.h"
+
+namespace exsample {
+namespace video {
+
+double DecodeCostModel::RandomReadSeconds(uint64_t frame_in_clip) const {
+  const uint64_t warmup = frame_in_clip % keyframe_interval;
+  return seek_seconds + static_cast<double>(warmup + 1) / decode_fps;
+}
+
+double DecodeCostModel::SequentialReadSeconds() const { return 1.0 / decode_fps; }
+
+common::Status SimulatedVideoStore::ReadAndDecode(FrameId frame) {
+  auto loc = repo_->Locate(frame);
+  if (!loc.ok()) return loc.status();
+  const bool sequential = has_position_ && frame == last_frame_ + 1;
+  if (sequential) {
+    ++stats_.sequential_reads;
+    ++stats_.frames_decoded;
+    stats_.total_seconds += cost_.SequentialReadSeconds();
+  } else {
+    ++stats_.random_reads;
+    const uint64_t warmup = loc.value().frame_in_clip % cost_.keyframe_interval;
+    stats_.frames_decoded += warmup + 1;
+    stats_.total_seconds += cost_.RandomReadSeconds(loc.value().frame_in_clip);
+  }
+  has_position_ = true;
+  last_frame_ = frame;
+  return common::Status::OK();
+}
+
+}  // namespace video
+}  // namespace exsample

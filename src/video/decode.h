@@ -1,0 +1,75 @@
+#ifndef EXSAMPLE_VIDEO_DECODE_H_
+#define EXSAMPLE_VIDEO_DECODE_H_
+
+#include <cstdint>
+
+#include "video/repository.h"
+
+namespace exsample {
+namespace video {
+
+/// \brief Cost model for random-access frame decoding.
+///
+/// The paper re-encodes video with a keyframe every 20 frames so random reads
+/// are cheap (Sec. V-A, using the Hwang library). Decoding frame f requires
+/// seeking to the preceding keyframe and decoding forward, so the cost of a
+/// random read is `seek_seconds` plus `(f mod keyframe_interval) + 1` frames
+/// of decode work. Sequential reads decode exactly one frame.
+struct DecodeCostModel {
+  /// Frames between keyframes in the re-encoded video.
+  uint64_t keyframe_interval = 20;
+  /// Fixed per-random-read overhead (container seek, demux).
+  double seek_seconds = 0.002;
+  /// Throughput of the decoder in frames per second.
+  double decode_fps = 500.0;
+
+  /// \brief Seconds to randomly access and decode local frame `frame_in_clip`.
+  double RandomReadSeconds(uint64_t frame_in_clip) const;
+
+  /// \brief Seconds to decode the next sequential frame.
+  double SequentialReadSeconds() const;
+};
+
+/// \brief Tallies of decode work performed by a `SimulatedVideoStore`.
+struct DecodeStats {
+  uint64_t random_reads = 0;
+  uint64_t sequential_reads = 0;
+  uint64_t frames_decoded = 0;  // Includes keyframe-to-target warmup frames.
+  double total_seconds = 0.0;
+};
+
+/// \brief Simulated frame store that accounts for decode cost.
+///
+/// Frames are opaque — this class exists so that examples and benchmarks can
+/// report realistic I/O+decode accounting alongside detector cost, mirroring
+/// the paper's observation that the sampling loop is "dominated first by the
+/// detector call, and second by the random read and decode".
+class SimulatedVideoStore {
+ public:
+  SimulatedVideoStore(const VideoRepository* repo, DecodeCostModel cost)
+      : repo_(repo), cost_(cost) {}
+
+  /// \brief Simulates `video.read_and_decode(frame_id)` (Algorithm 1 line 8).
+  ///
+  /// Consecutive reads of adjacent frames are charged at the sequential rate;
+  /// anything else is a random read. Returns OutOfRange for invalid frames.
+  common::Status ReadAndDecode(FrameId frame);
+
+  /// \brief Accumulated decode statistics.
+  const DecodeStats& Stats() const { return stats_; }
+
+  /// \brief Resets statistics (not position state).
+  void ResetStats() { stats_ = DecodeStats{}; }
+
+ private:
+  const VideoRepository* repo_;
+  DecodeCostModel cost_;
+  DecodeStats stats_;
+  bool has_position_ = false;
+  FrameId last_frame_ = 0;
+};
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_DECODE_H_

@@ -1,0 +1,51 @@
+#include "video/repository.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace video {
+
+common::Result<uint32_t> VideoRepository::AddClip(std::string name,
+                                                  uint64_t frame_count, double fps) {
+  if (frame_count == 0) {
+    return common::Status::InvalidArgument("clip must have at least one frame");
+  }
+  if (!(fps > 0.0)) {
+    return common::Status::InvalidArgument("clip fps must be positive");
+  }
+  const uint32_t clip_id = static_cast<uint32_t>(clips_.size());
+  clip_offsets_.push_back(total_frames_);
+  clips_.push_back(VideoClip{clip_id, std::move(name), frame_count, fps});
+  total_frames_ += frame_count;
+  total_seconds_ += static_cast<double>(frame_count) / fps;
+  return clip_id;
+}
+
+common::Result<FrameLocation> VideoRepository::Locate(FrameId frame) const {
+  if (frame >= total_frames_) {
+    return common::Status::OutOfRange("frame id past end of repository");
+  }
+  // Find the last clip whose begin offset is <= frame.
+  auto it = std::upper_bound(clip_offsets_.begin(), clip_offsets_.end(), frame);
+  const size_t clip_idx = static_cast<size_t>(it - clip_offsets_.begin()) - 1;
+  return FrameLocation{static_cast<uint32_t>(clip_idx), frame - clip_offsets_[clip_idx]};
+}
+
+VideoRepository VideoRepository::SingleClip(uint64_t frame_count, double fps,
+                                            std::string name) {
+  VideoRepository repo;
+  repo.AddClip(std::move(name), frame_count, fps);
+  return repo;
+}
+
+VideoRepository VideoRepository::UniformClips(size_t clip_count,
+                                              uint64_t frames_per_clip, double fps) {
+  VideoRepository repo;
+  for (size_t i = 0; i < clip_count; ++i) {
+    repo.AddClip("clip" + std::to_string(i), frames_per_clip, fps);
+  }
+  return repo;
+}
+
+}  // namespace video
+}  // namespace exsample

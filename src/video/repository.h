@@ -1,0 +1,97 @@
+#ifndef EXSAMPLE_VIDEO_REPOSITORY_H_
+#define EXSAMPLE_VIDEO_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exsample {
+namespace video {
+
+/// \brief Global frame identifier across the whole repository.
+///
+/// Frames of all clips are laid out consecutively: clip 0's frames come
+/// first, then clip 1's, and so on. All sampling code works in this global
+/// space; `VideoRepository` maps between global ids and (clip, local frame).
+using FrameId = uint64_t;
+
+/// \brief One video file in the repository.
+struct VideoClip {
+  /// Stable identifier (index into the repository).
+  uint32_t clip_id = 0;
+  /// Human-readable name (file name in a real deployment).
+  std::string name;
+  /// Number of frames in this clip.
+  uint64_t frame_count = 0;
+  /// Nominal frames per second of the recording.
+  double fps = 30.0;
+};
+
+/// \brief Location of a frame inside a specific clip.
+struct FrameLocation {
+  uint32_t clip_id = 0;
+  uint64_t frame_in_clip = 0;
+};
+
+/// \brief A collection of video clips with a global, contiguous frame index.
+///
+/// This is the "un-indexed video repository" of the paper: no precomputed
+/// detections, just clips, frame counts, and frame rates. The repository is
+/// immutable once built (clips are appended before any query runs).
+class VideoRepository {
+ public:
+  /// \brief Appends a clip; returns its assigned clip id.
+  ///
+  /// Returns InvalidArgument for clips with zero frames or non-positive fps.
+  common::Result<uint32_t> AddClip(std::string name, uint64_t frame_count,
+                                   double fps = 30.0);
+
+  /// \brief Number of clips.
+  size_t NumClips() const { return clips_.size(); }
+
+  /// \brief Total frames across all clips.
+  uint64_t TotalFrames() const { return total_frames_; }
+
+  /// \brief Total video duration in seconds (sum of frame_count / fps).
+  double TotalSeconds() const { return total_seconds_; }
+
+  /// \brief Clip metadata by id.
+  const VideoClip& Clip(uint32_t clip_id) const { return clips_[clip_id]; }
+
+  /// \brief All clips.
+  const std::vector<VideoClip>& Clips() const { return clips_; }
+
+  /// \brief First global frame id of a clip.
+  FrameId ClipBegin(uint32_t clip_id) const { return clip_offsets_[clip_id]; }
+
+  /// \brief One-past-last global frame id of a clip.
+  FrameId ClipEnd(uint32_t clip_id) const {
+    return clip_offsets_[clip_id] + clips_[clip_id].frame_count;
+  }
+
+  /// \brief Maps a global frame id to (clip, local frame).
+  ///
+  /// Returns OutOfRange when `frame` is past the end of the repository.
+  common::Result<FrameLocation> Locate(FrameId frame) const;
+
+  /// \brief Convenience builder: a repository with a single clip.
+  static VideoRepository SingleClip(uint64_t frame_count, double fps = 30.0,
+                                    std::string name = "clip0");
+
+  /// \brief Convenience builder: `clip_count` equal-length clips.
+  static VideoRepository UniformClips(size_t clip_count, uint64_t frames_per_clip,
+                                      double fps = 30.0);
+
+ private:
+  std::vector<VideoClip> clips_;
+  std::vector<FrameId> clip_offsets_;  // Parallel to clips_: global begin frame.
+  uint64_t total_frames_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_REPOSITORY_H_

@@ -1,0 +1,53 @@
+#include "stats/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace stats {
+namespace {
+
+TEST(AggregateRunsTest, EmptyInput) {
+  const QuantileBand band = AggregateRuns({});
+  EXPECT_TRUE(band.median.empty());
+  EXPECT_TRUE(band.q25.empty());
+  EXPECT_TRUE(band.q75.empty());
+}
+
+TEST(AggregateRunsTest, SingleRunIsItsOwnBand) {
+  const QuantileBand band = AggregateRuns({{1.0, 2.0, 3.0}});
+  ASSERT_EQ(band.median.size(), 3u);
+  EXPECT_DOUBLE_EQ(band.median[1], 2.0);
+  EXPECT_DOUBLE_EQ(band.q25[1], 2.0);
+  EXPECT_DOUBLE_EQ(band.q75[1], 2.0);
+}
+
+TEST(AggregateRunsTest, MedianAcrossRuns) {
+  const QuantileBand band = AggregateRuns({{1.0}, {3.0}, {2.0}});
+  ASSERT_EQ(band.median.size(), 1u);
+  EXPECT_DOUBLE_EQ(band.median[0], 2.0);
+}
+
+TEST(AggregateRunsTest, QuartilesAcrossRuns) {
+  // 5 runs with values 10..50 at position 0.
+  const QuantileBand band =
+      AggregateRuns({{10.0}, {20.0}, {30.0}, {40.0}, {50.0}});
+  EXPECT_DOUBLE_EQ(band.median[0], 30.0);
+  EXPECT_DOUBLE_EQ(band.q25[0], 20.0);
+  EXPECT_DOUBLE_EQ(band.q75[0], 40.0);
+}
+
+TEST(AggregateRunsTest, RaggedRunsUseAvailableValues) {
+  const QuantileBand band = AggregateRuns({{1.0, 10.0}, {3.0}});
+  ASSERT_EQ(band.median.size(), 2u);
+  EXPECT_DOUBLE_EQ(band.median[0], 2.0);
+  // Only the longer run reaches index 1.
+  EXPECT_DOUBLE_EQ(band.median[1], 10.0);
+}
+
+TEST(MedianScalarTest, Matches) {
+  EXPECT_DOUBLE_EQ(MedianScalar({3.0, 1.0, 2.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace exsample

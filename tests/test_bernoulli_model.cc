@@ -1,0 +1,180 @@
+#include "sim/bernoulli_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator.h"
+#include "stats/running_stat.h"
+
+namespace exsample {
+namespace sim {
+namespace {
+
+TEST(LogNormalProbabilitiesTest, MatchesPaperPopulationShape) {
+  // The paper's Fig. 2 population: mean 3e-3, stddev 8e-3, max 0.15; the
+  // smallest values reach well below 1e-4 ("the smallest p_i is 3e-6").
+  common::Rng rng(1);
+  const auto probs = LogNormalProbabilities(1000, 3e-3, 8e-3, 0.15, rng);
+  ASSERT_EQ(probs.size(), 1000u);
+  stats::RunningStat stat;
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 0.15);
+    stat.Add(p);
+  }
+  EXPECT_NEAR(stat.Mean(), 3e-3, 1.5e-3);
+  EXPECT_LT(stat.Min(), 1e-4);
+  EXPECT_GT(stat.Max(), 2e-2);
+}
+
+TEST(BernoulliOccupancyModelTest, PopulationDescriptors) {
+  BernoulliOccupancyModel model({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(model.SumP(), 0.6);
+  EXPECT_DOUBLE_EQ(model.MaxP(), 0.3);
+  EXPECT_NEAR(model.MeanP(), 0.2, 1e-12);
+  EXPECT_EQ(model.NumInstances(), 3u);
+}
+
+TEST(BernoulliOccupancyModelTest, ExactExpectations) {
+  BernoulliOccupancyModel model({0.5});
+  // E[N1(2)] = 2 * .5 * .5 = .5; E[R(3)] = .5 * .25 = .125.
+  EXPECT_NEAR(model.ExpectedN1(2), 0.5, 1e-12);
+  EXPECT_NEAR(model.ExpectedRNext(2), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(model.ExpectedN1(0), 0.0);
+  // Var[N1(2)] = pi1 (1 - pi1) with pi1 = .5.
+  EXPECT_NEAR(model.ExactVarianceN1(2), 0.25, 1e-12);
+}
+
+TEST(BernoulliOccupancyModelTest, RunMatchesExpectations) {
+  common::Rng rng(2);
+  const auto probs = LogNormalProbabilities(500, 2e-3, 4e-3, 0.2, rng);
+  BernoulliOccupancyModel model(probs);
+  const std::vector<uint64_t> points{10, 100, 1000, 5000};
+
+  stats::RunningStat n1_at_1000, r_at_1000;
+  constexpr int kRuns = 600;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto records = model.RunAtPoints(points, rng);
+    ASSERT_EQ(records.size(), points.size());
+    n1_at_1000.Add(static_cast<double>(records[2].n1));
+    r_at_1000.Add(records[2].r_next);
+  }
+  const double expected_n1 = model.ExpectedN1(1000);
+  EXPECT_NEAR(n1_at_1000.Mean(), expected_n1,
+              4.0 * std::sqrt(model.ExactVarianceN1(1000) / kRuns) + 0.05);
+  EXPECT_NEAR(r_at_1000.Mean(), model.ExpectedRNext(1000),
+              0.1 * model.ExpectedRNext(1000) + 1e-4);
+}
+
+TEST(BernoulliOccupancyModelTest, RecordsAreInternallyConsistent) {
+  common::Rng rng(3);
+  BernoulliOccupancyModel model({0.05, 0.1, 0.02, 0.3});
+  const auto records = model.RunAtPoints({0, 1, 5, 20, 100, 1000}, rng);
+  // At n=0 nothing is seen.
+  EXPECT_EQ(records[0].n1, 0u);
+  EXPECT_DOUBLE_EQ(records[0].r_next, model.SumP());
+  // Unseen mass never increases.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i].r_next, records[i - 1].r_next + 1e-12);
+  }
+  // Eventually everything is seen at least twice.
+  EXPECT_EQ(records.back().n1, 0u);
+  EXPECT_NEAR(records.back().r_next, 0.0, 1e-12);
+  // N1 bounded by the population size.
+  for (const auto& r : records) EXPECT_LE(r.n1, model.NumInstances());
+}
+
+TEST(BernoulliModelPropertyTest, BiasBoundEquationIII2Holds) {
+  // Eq. III.2: 0 <= E[R_hat - R] / R_hat <= min(max p, sqrt(N)(mu+sigma)).
+  // With R_hat = E[N1(n)]/n (using exact expectations, so no sampling noise):
+  common::Rng rng(4);
+  const auto probs = LogNormalProbabilities(1000, 3e-3, 8e-3, 0.15, rng);
+  BernoulliOccupancyModel model(probs);
+  const double bound = core::BiasUpperBound(model.MaxP(), model.NumInstances(),
+                                            model.MeanP(), model.StdDevP());
+  for (uint64_t n : {100u, 1000u, 10000u, 100000u}) {
+    const double r_hat = model.ExpectedN1(n) / static_cast<double>(n);
+    const double r_true = model.ExpectedRNext(n);
+    const double relative_bias = (r_hat - r_true) / r_hat;
+    EXPECT_GE(relative_bias, -1e-12) << "n=" << n;  // Overestimates.
+    EXPECT_LE(relative_bias, bound + 1e-12) << "n=" << n;
+  }
+}
+
+TEST(BernoulliModelPropertyTest, VarianceBoundEquationIII3Holds) {
+  // Eq. III.3: Var[N1(n)/n] <= E[N1(n)] / n^2 (independence assumption, which
+  // our model satisfies exactly).
+  common::Rng rng(5);
+  const auto probs = LogNormalProbabilities(800, 2e-3, 6e-3, 0.2, rng);
+  BernoulliOccupancyModel model(probs);
+  for (uint64_t n : {50u, 500u, 5000u, 50000u}) {
+    const double dn = static_cast<double>(n);
+    EXPECT_LE(model.ExactVarianceN1(n) / (dn * dn),
+              model.ExpectedN1(n) / (dn * dn) + 1e-15)
+        << "n=" << n;
+  }
+}
+
+TEST(BernoulliModelPropertyTest, N1IsApproximatelyPoisson) {
+  // Sec. III-D theorem: N1(n) ~ Poisson(sum pi1) when the p_i are small (so
+  // each per-instance seen-exactly-once probability pi1 = n p (1-p)^{n-1} is
+  // small) — a Poisson signature is variance == mean.
+  common::Rng rng(6);
+  const auto probs = LogNormalProbabilities(2000, 5e-5, 1e-4, 0.01, rng);
+  BernoulliOccupancyModel model(probs);
+  stats::RunningStat n1;
+  constexpr int kRuns = 1500;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto records = model.RunAtPoints({500}, rng);
+    n1.Add(static_cast<double>(records[0].n1));
+  }
+  // Mean/variance ratio within sampling error of 1.
+  ASSERT_GT(n1.Mean(), 0.5);
+  EXPECT_NEAR(n1.Variance() / n1.Mean(), 1.0, 0.12);
+}
+
+TEST(BernoulliModelPropertyTest, PoissonApproximationDegradesWhenNPIsOrderOne) {
+  // The theorem's assumption is load-bearing: in the worst regime n p ~ 1 the
+  // per-instance pi1 are large and N1 is *under*-dispersed relative to
+  // Poisson (variance < mean), exactly as the binomial algebra predicts.
+  common::Rng rng(8);
+  const auto probs = LogNormalProbabilities(2000, 1e-3, 2e-3, 0.05, rng);
+  BernoulliOccupancyModel model(probs);
+  stats::RunningStat n1;
+  for (int run = 0; run < 800; ++run) {
+    const auto records = model.RunAtPoints({500}, rng);
+    n1.Add(static_cast<double>(records[0].n1));
+  }
+  EXPECT_LT(n1.Variance() / n1.Mean(), 0.9);
+}
+
+TEST(BernoulliModelPropertyTest, GammaBeliefCoversTrueR) {
+  // The operational claim behind Eq. III.4 (what Fig. 2 shows): across runs,
+  // the true R(n+1) falls inside a wide central interval of
+  // Gamma(N1+.1, n+1) most of the time. The paper itself measures ~80%
+  // coverage for its 95% bound on real data (Sec. III-D, "about 80% of the
+  // time ... our variance estimate is a slight underestimate"); we assert
+  // the same ballpark, not nominal coverage.
+  common::Rng rng(7);
+  const auto probs = LogNormalProbabilities(1000, 3e-3, 8e-3, 0.15, rng);
+  BernoulliOccupancyModel model(probs);
+  constexpr uint64_t kN = 20000;
+  int covered = 0, total = 0;
+  for (int run = 0; run < 300; ++run) {
+    const auto records = model.RunAtPoints({kN}, rng);
+    const stats::GammaBelief belief =
+        core::MakeBelief(records[0].n1, kN, core::BeliefParams{});
+    const double lo = belief.Quantile(0.01);
+    const double hi = belief.Quantile(0.99);
+    if (records[0].r_next >= lo && records[0].r_next <= hi) ++covered;
+    ++total;
+  }
+  const double coverage = static_cast<double>(covered) / total;
+  EXPECT_GT(coverage, 0.70);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace exsample

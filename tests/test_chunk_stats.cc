@@ -1,0 +1,83 @@
+#include "core/chunk_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+
+namespace exsample {
+namespace core {
+namespace {
+
+TEST(ChunkStatsTableTest, StartsEmpty) {
+  ChunkStatsTable stats(4);
+  EXPECT_EQ(stats.NumChunks(), 4u);
+  EXPECT_EQ(stats.TotalSamples(), 0u);
+  EXPECT_EQ(stats.TotalN1(), 0u);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(stats.State(j).n, 0u);
+    EXPECT_EQ(stats.State(j).n1, 0);
+  }
+}
+
+TEST(ChunkStatsTableTest, UpdateFollowsAlgorithmOne) {
+  // Algorithm 1 lines 11-12: N1 += |d0| - |d1|, n += 1.
+  ChunkStatsTable stats(2);
+  stats.Update(0, /*new_results=*/2, /*once_matched=*/0);
+  EXPECT_EQ(stats.State(0).n1, 2);
+  EXPECT_EQ(stats.State(0).n, 1u);
+  stats.Update(0, 0, 1);  // One result seen for the second time.
+  EXPECT_EQ(stats.State(0).n1, 1);
+  EXPECT_EQ(stats.State(0).n, 2u);
+  EXPECT_EQ(stats.State(1).n, 0u);
+  EXPECT_EQ(stats.TotalSamples(), 2u);
+}
+
+TEST(ChunkStatsTableTest, N1CanGoNegativeButClampsForBelief) {
+  ChunkStatsTable stats(1);
+  stats.Update(0, 0, 2);  // Noisy discriminator: more d1 than d0 ever seen.
+  EXPECT_EQ(stats.State(0).n1, -2);
+  EXPECT_EQ(stats.N1NonNegative(0), 0u);
+  EXPECT_EQ(stats.TotalN1(), 0u);
+}
+
+TEST(ChunkStatsTableTest, TotalN1SumsClampedValues) {
+  ChunkStatsTable stats(3);
+  stats.Update(0, 3, 0);
+  stats.Update(1, 0, 2);
+  stats.Update(2, 1, 0);
+  EXPECT_EQ(stats.TotalN1(), 4u);
+}
+
+TEST(EstimatorTest, PointEstimateMatchesEquationIII1) {
+  EXPECT_DOUBLE_EQ(PointEstimate(5, 100), 0.05);
+  EXPECT_DOUBLE_EQ(PointEstimate(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(PointEstimate(5, 0), 0.0);  // Undefined -> 0 by convention.
+}
+
+TEST(EstimatorTest, MakeBeliefUsesPaperParameterization) {
+  const BeliefParams params{0.1, 1.0};
+  const stats::GammaBelief belief = MakeBelief(7, 50, params);
+  EXPECT_DOUBLE_EQ(belief.alpha(), 7.1);
+  EXPECT_DOUBLE_EQ(belief.beta(), 51.0);
+  // Mean approximates N1/n; variance approximates mean/n (Eq. III.3).
+  EXPECT_NEAR(belief.Mean(), 7.0 / 50.0, 0.01);
+  EXPECT_NEAR(belief.Variance(), belief.Mean() / 50.0, 0.001);
+}
+
+TEST(EstimatorTest, BeliefDefinedAtZeroCounts) {
+  const stats::GammaBelief belief = MakeBelief(0, 0, BeliefParams{});
+  EXPECT_DOUBLE_EQ(belief.alpha(), 0.1);
+  EXPECT_DOUBLE_EQ(belief.beta(), 1.0);
+  EXPECT_GT(belief.Mean(), 0.0);
+}
+
+TEST(EstimatorTest, BiasUpperBoundTakesTighterSide) {
+  // max_p small, population term big -> max_p wins.
+  EXPECT_DOUBLE_EQ(BiasUpperBound(0.01, 10000, 0.5, 0.5), 0.01);
+  // max_p big, population term small -> sqrt(N)(mu+sigma) wins.
+  EXPECT_DOUBLE_EQ(BiasUpperBound(0.9, 4, 0.1, 0.1), 0.4);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace exsample

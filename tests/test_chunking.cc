@@ -1,0 +1,128 @@
+#include "video/chunking.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+TEST(ChunkingTest, MakeValidatesCoverage) {
+  // Gap between chunks.
+  EXPECT_FALSE(Chunking::Make({Chunk{0, 0, 5}, Chunk{0, 6, 10}}, 10).ok());
+  // Does not start at zero.
+  EXPECT_FALSE(Chunking::Make({Chunk{0, 1, 10}}, 10).ok());
+  // Does not reach total.
+  EXPECT_FALSE(Chunking::Make({Chunk{0, 0, 9}}, 10).ok());
+  // Empty chunk.
+  EXPECT_FALSE(Chunking::Make({Chunk{0, 0, 0}, Chunk{0, 0, 10}}, 10).ok());
+  // Empty list.
+  EXPECT_FALSE(Chunking::Make({}, 10).ok());
+  // Valid.
+  EXPECT_TRUE(Chunking::Make({Chunk{0, 0, 5}, Chunk{0, 5, 10}}, 10).ok());
+}
+
+TEST(ChunkingTest, AssignsChunkIds) {
+  auto chunking = Chunking::Make({Chunk{99, 0, 5}, Chunk{99, 5, 10}}, 10).value();
+  EXPECT_EQ(chunking.GetChunk(0).chunk_id, 0u);
+  EXPECT_EQ(chunking.GetChunk(1).chunk_id, 1u);
+}
+
+TEST(ChunkingTest, ChunkOfFrameBoundaries) {
+  auto chunking =
+      Chunking::Make({Chunk{0, 0, 5}, Chunk{0, 5, 10}, Chunk{0, 10, 30}}, 30).value();
+  EXPECT_EQ(chunking.ChunkOfFrame(0).value(), 0u);
+  EXPECT_EQ(chunking.ChunkOfFrame(4).value(), 0u);
+  EXPECT_EQ(chunking.ChunkOfFrame(5).value(), 1u);
+  EXPECT_EQ(chunking.ChunkOfFrame(9).value(), 1u);
+  EXPECT_EQ(chunking.ChunkOfFrame(10).value(), 2u);
+  EXPECT_EQ(chunking.ChunkOfFrame(29).value(), 2u);
+  EXPECT_FALSE(chunking.ChunkOfFrame(30).ok());
+}
+
+TEST(PerClipChunksTest, OneChunkPerClip) {
+  VideoRepository repo = VideoRepository::UniformClips(5, 100);
+  auto chunking = MakePerClipChunks(repo);
+  ASSERT_TRUE(chunking.ok());
+  EXPECT_EQ(chunking.value().NumChunks(), 5u);
+  EXPECT_EQ(chunking.value().GetChunk(2).begin, 200u);
+  EXPECT_EQ(chunking.value().GetChunk(2).end, 300u);
+}
+
+TEST(FixedDurationChunksTest, SplitsLongClips) {
+  VideoRepository repo;
+  repo.AddClip("drive", 3000, 30.0);  // 100 seconds.
+  auto chunking = MakeFixedDurationChunks(repo, 20.0);  // 20s -> 600 frames.
+  ASSERT_TRUE(chunking.ok());
+  EXPECT_EQ(chunking.value().NumChunks(), 5u);
+  for (const Chunk& c : chunking.value().Chunks()) EXPECT_EQ(c.Size(), 600u);
+}
+
+TEST(FixedDurationChunksTest, RespectsClipBoundaries) {
+  VideoRepository repo;
+  repo.AddClip("a", 700, 30.0);
+  repo.AddClip("b", 500, 30.0);
+  auto chunking = MakeFixedDurationChunks(repo, 20.0);  // 600-frame chunks.
+  ASSERT_TRUE(chunking.ok());
+  // Clip a -> 600 + 100; clip b -> 500. No chunk crosses frame 700.
+  ASSERT_EQ(chunking.value().NumChunks(), 3u);
+  EXPECT_EQ(chunking.value().GetChunk(0).Size(), 600u);
+  EXPECT_EQ(chunking.value().GetChunk(1).Size(), 100u);
+  EXPECT_EQ(chunking.value().GetChunk(1).end, 700u);
+  EXPECT_EQ(chunking.value().GetChunk(2).begin, 700u);
+  EXPECT_EQ(chunking.value().GetChunk(2).Size(), 500u);
+}
+
+TEST(FixedDurationChunksTest, RejectsNonPositiveDuration) {
+  VideoRepository repo = VideoRepository::SingleClip(100);
+  EXPECT_FALSE(MakeFixedDurationChunks(repo, 0.0).ok());
+  EXPECT_FALSE(MakeFixedDurationChunks(repo, -5.0).ok());
+}
+
+struct FixedCountCase {
+  uint64_t total_frames;
+  size_t count;
+};
+
+class FixedCountChunksTest : public ::testing::TestWithParam<FixedCountCase> {};
+
+TEST_P(FixedCountChunksTest, PartitionsEvenly) {
+  const auto param = GetParam();
+  auto chunking = MakeFixedCountChunks(param.total_frames, param.count);
+  ASSERT_TRUE(chunking.ok());
+  const Chunking& c = chunking.value();
+  EXPECT_EQ(c.NumChunks(), param.count);
+  uint64_t total = 0;
+  uint64_t min_size = UINT64_MAX, max_size = 0;
+  for (const Chunk& chunk : c.Chunks()) {
+    total += chunk.Size();
+    min_size = std::min(min_size, chunk.Size());
+    max_size = std::max(max_size, chunk.Size());
+  }
+  EXPECT_EQ(total, param.total_frames);
+  EXPECT_LE(max_size - min_size, 1u);  // Sizes differ by at most one frame.
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, FixedCountChunksTest,
+                         ::testing::Values(FixedCountCase{100, 1},
+                                           FixedCountCase{100, 7},
+                                           FixedCountCase{128, 128},
+                                           FixedCountCase{1000003, 128},
+                                           FixedCountCase{16'000'000, 1024}));
+
+TEST(FixedCountChunksTest, Validation) {
+  EXPECT_FALSE(MakeFixedCountChunks(uint64_t{100}, 0).ok());
+  EXPECT_FALSE(MakeFixedCountChunks(uint64_t{5}, 10).ok());
+}
+
+TEST(FixedCountChunksTest, EveryFrameMapsBack) {
+  auto chunking = MakeFixedCountChunks(uint64_t{103}, 7).value();
+  for (FrameId f = 0; f < 103; ++f) {
+    auto chunk = chunking.ChunkOfFrame(f);
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_TRUE(chunking.GetChunk(chunk.value()).Contains(f));
+  }
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

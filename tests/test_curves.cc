@@ -1,0 +1,74 @@
+#include "query/curves.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace query {
+namespace {
+
+QueryTrace TraceReaching(uint64_t total, uint64_t k, uint64_t samples,
+                         double seconds) {
+  QueryTrace trace;
+  trace.total_instances = total;
+  trace.points = {{0, 0.0, 0, 0}, {samples, seconds, k, k}};
+  trace.final = trace.points.back();
+  return trace;
+}
+
+TEST(MedianSamplesToRecallTest, MedianOverRuns) {
+  std::vector<QueryTrace> runs;
+  runs.push_back(TraceReaching(10, 5, 100, 10.0));
+  runs.push_back(TraceReaching(10, 5, 300, 30.0));
+  runs.push_back(TraceReaching(10, 5, 200, 20.0));
+  const auto median = MedianSamplesToRecall(runs, 0.5);
+  ASSERT_TRUE(median.has_value());
+  EXPECT_DOUBLE_EQ(*median, 200.0);
+  const auto seconds = MedianSecondsToRecall(runs, 0.5);
+  ASSERT_TRUE(seconds.has_value());
+  EXPECT_DOUBLE_EQ(*seconds, 20.0);
+}
+
+TEST(MedianSamplesToRecallTest, NulloptWhenMostRunsFailed) {
+  std::vector<QueryTrace> runs;
+  runs.push_back(TraceReaching(10, 5, 100, 10.0));   // Reaches 50%.
+  runs.push_back(TraceReaching(10, 2, 400, 40.0));   // Does not.
+  runs.push_back(TraceReaching(10, 1, 400, 40.0));   // Does not.
+  EXPECT_FALSE(MedianSamplesToRecall(runs, 0.5).has_value());
+}
+
+TEST(SavingsRatioTest, RatioOfMedians) {
+  std::vector<QueryTrace> baseline{TraceReaching(10, 9, 1000, 100.0)};
+  std::vector<QueryTrace> treatment{TraceReaching(10, 9, 250, 25.0)};
+  const auto ratio = SavingsRatio(baseline, treatment, 0.9);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_DOUBLE_EQ(*ratio, 4.0);
+}
+
+TEST(SavingsRatioTest, BelowOneWhenTreatmentSlower) {
+  std::vector<QueryTrace> baseline{TraceReaching(10, 9, 300, 30.0)};
+  std::vector<QueryTrace> treatment{TraceReaching(10, 9, 400, 40.0)};
+  const auto ratio = SavingsRatio(baseline, treatment, 0.9);
+  ASSERT_TRUE(ratio.has_value());
+  EXPECT_DOUBLE_EQ(*ratio, 0.75);
+}
+
+TEST(SavingsRatioTest, NulloptWhenEitherSideIncomplete) {
+  std::vector<QueryTrace> complete{TraceReaching(10, 9, 300, 30.0)};
+  std::vector<QueryTrace> incomplete{TraceReaching(10, 2, 300, 30.0)};
+  EXPECT_FALSE(SavingsRatio(complete, incomplete, 0.9).has_value());
+  EXPECT_FALSE(SavingsRatio(incomplete, complete, 0.9).has_value());
+}
+
+TEST(DistinctAtSampleGridTest, EvaluatesStepFunctions) {
+  std::vector<QueryTrace> runs;
+  runs.push_back(TraceReaching(10, 4, 100, 10.0));
+  runs.push_back(TraceReaching(10, 4, 50, 5.0));
+  const auto matrix = DistinctAtSampleGrid(runs, {10, 50, 100, 1000});
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_EQ(matrix[0], (std::vector<double>{0, 0, 4, 4}));
+  EXPECT_EQ(matrix[1], (std::vector<double>{0, 4, 4, 4}));
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace exsample

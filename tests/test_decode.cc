@@ -1,0 +1,68 @@
+#include "video/decode.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+TEST(DecodeCostModelTest, RandomReadChargesKeyframeWarmup) {
+  DecodeCostModel cost;
+  cost.keyframe_interval = 20;
+  cost.seek_seconds = 0.002;
+  cost.decode_fps = 500.0;
+  // On a keyframe: seek + decode 1 frame.
+  EXPECT_DOUBLE_EQ(cost.RandomReadSeconds(0), 0.002 + 1.0 / 500.0);
+  EXPECT_DOUBLE_EQ(cost.RandomReadSeconds(20), 0.002 + 1.0 / 500.0);
+  // Worst case: 19 warmup frames + the target.
+  EXPECT_DOUBLE_EQ(cost.RandomReadSeconds(19), 0.002 + 20.0 / 500.0);
+}
+
+TEST(DecodeCostModelTest, SequentialReadIsOneFrame) {
+  DecodeCostModel cost;
+  cost.decode_fps = 250.0;
+  EXPECT_DOUBLE_EQ(cost.SequentialReadSeconds(), 1.0 / 250.0);
+}
+
+TEST(SimulatedVideoStoreTest, DistinguishesSequentialFromRandom) {
+  VideoRepository repo = VideoRepository::SingleClip(1000);
+  SimulatedVideoStore store(&repo, DecodeCostModel{});
+  ASSERT_TRUE(store.ReadAndDecode(100).ok());  // Random.
+  ASSERT_TRUE(store.ReadAndDecode(101).ok());  // Sequential.
+  ASSERT_TRUE(store.ReadAndDecode(102).ok());  // Sequential.
+  ASSERT_TRUE(store.ReadAndDecode(50).ok());   // Random (backwards).
+  const DecodeStats& stats = store.Stats();
+  EXPECT_EQ(stats.random_reads, 2u);
+  EXPECT_EQ(stats.sequential_reads, 2u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(SimulatedVideoStoreTest, WarmupFramesAccounted) {
+  VideoRepository repo = VideoRepository::SingleClip(1000);
+  DecodeCostModel cost;
+  cost.keyframe_interval = 10;
+  SimulatedVideoStore store(&repo, cost);
+  store.ReadAndDecode(15);  // 5 warmup frames + target = 6 decoded.
+  EXPECT_EQ(store.Stats().frames_decoded, 6u);
+}
+
+TEST(SimulatedVideoStoreTest, RejectsOutOfRange) {
+  VideoRepository repo = VideoRepository::SingleClip(10);
+  SimulatedVideoStore store(&repo, DecodeCostModel{});
+  EXPECT_FALSE(store.ReadAndDecode(10).ok());
+  EXPECT_EQ(store.Stats().random_reads + store.Stats().sequential_reads, 0u);
+}
+
+TEST(SimulatedVideoStoreTest, ResetStatsKeepsPosition) {
+  VideoRepository repo = VideoRepository::SingleClip(100);
+  SimulatedVideoStore store(&repo, DecodeCostModel{});
+  store.ReadAndDecode(10);
+  store.ResetStats();
+  EXPECT_EQ(store.Stats().random_reads, 0u);
+  store.ReadAndDecode(11);  // Still sequential relative to pre-reset read.
+  EXPECT_EQ(store.Stats().sequential_reads, 1u);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

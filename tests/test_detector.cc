@@ -1,0 +1,184 @@
+#include "detect/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "scene/generator.h"
+
+namespace exsample {
+namespace detect {
+namespace {
+
+scene::GroundTruth MakeTruth(uint64_t total_frames, uint64_t count,
+                             double duration, int32_t class_id = 0,
+                             uint64_t seed = 1) {
+  common::Rng rng(seed);
+  scene::SceneSpec spec;
+  spec.total_frames = total_frames;
+  scene::ClassPopulationSpec cls;
+  cls.class_id = class_id;
+  cls.instance_count = count;
+  cls.duration.mean_frames = duration;
+  spec.classes.push_back(cls);
+  return std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+}
+
+TEST(SimulatedDetectorTest, PerfectDetectorFindsEveryVisibleInstance) {
+  const scene::GroundTruth truth = MakeTruth(10000, 200, 100.0);
+  SimulatedDetector detector(&truth, DetectorOptions::Perfect(0));
+  for (video::FrameId f = 0; f < 10000; f += 97) {
+    std::vector<scene::InstanceId> visible;
+    truth.VisibleInstances(f, 0, &visible);
+    const Detections dets = detector.Detect(f);
+    EXPECT_EQ(dets.size(), visible.size()) << "frame " << f;
+    for (const Detection& det : dets) {
+      EXPECT_TRUE(det.IsTruePositive());
+      // Perfect detector emits the exact ground-truth box.
+      EXPECT_EQ(det.box, truth.Get(det.source_instance).BoxAt(f));
+    }
+  }
+}
+
+TEST(SimulatedDetectorTest, DeterministicPerFrame) {
+  const scene::GroundTruth truth = MakeTruth(5000, 100, 80.0);
+  DetectorOptions opts;
+  opts.miss_prob = 0.3;
+  opts.false_positive_rate = 0.5;
+  SimulatedDetector detector(&truth, opts);
+  for (video::FrameId f = 0; f < 5000; f += 131) {
+    const Detections first = detector.Detect(f);
+    const Detections second = detector.Detect(f);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].box, second[i].box);
+      EXPECT_EQ(first[i].source_instance, second[i].source_instance);
+    }
+  }
+}
+
+TEST(SimulatedDetectorTest, MissRateApproximatesMissProb) {
+  const scene::GroundTruth truth = MakeTruth(200000, 400, 500.0);
+  DetectorOptions opts;
+  opts.miss_prob = 0.25;
+  opts.edge_min_factor = 1.0;  // Disable the edge ramp to isolate miss_prob.
+  SimulatedDetector detector(&truth, opts);
+  uint64_t visible_total = 0, detected_total = 0;
+  std::vector<scene::InstanceId> visible;
+  for (video::FrameId f = 0; f < 200000; f += 61) {
+    truth.VisibleInstances(f, 0, &visible);
+    visible_total += visible.size();
+    detected_total += detector.Detect(f).size();
+  }
+  ASSERT_GT(visible_total, 1000u);
+  const double rate =
+      static_cast<double>(detected_total) / static_cast<double>(visible_total);
+  EXPECT_NEAR(rate, 0.75, 0.02);
+}
+
+TEST(SimulatedDetectorTest, EdgeFramesHarderThanMiddle) {
+  const scene::GroundTruth truth = MakeTruth(100000, 1, 1000.0);
+  const scene::Trajectory& traj = truth.Get(0);
+  DetectorOptions opts;
+  opts.miss_prob = 0.0;
+  opts.edge_ramp_fraction = 0.1;
+  opts.edge_min_factor = 0.3;
+  SimulatedDetector detector(&truth, opts);
+  const double p_edge = detector.DetectionProbability(traj, traj.start_frame);
+  const double p_mid = detector.DetectionProbability(traj, traj.MidFrame());
+  EXPECT_NEAR(p_edge, 0.3, 0.05);
+  EXPECT_DOUBLE_EQ(p_mid, 1.0);
+  EXPECT_LT(p_edge, p_mid);
+  // Monotone over the ramp.
+  const uint64_t ramp = traj.DurationFrames() / 10;
+  double prev = 0.0;
+  for (uint64_t d = 0; d <= ramp; d += ramp / 8) {
+    const double p = detector.DetectionProbability(traj, traj.start_frame + d);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(SimulatedDetectorTest, NotVisibleHasZeroProbability) {
+  const scene::GroundTruth truth = MakeTruth(10000, 1, 100.0);
+  SimulatedDetector detector(&truth, DetectorOptions::Perfect(0));
+  const scene::Trajectory& traj = truth.Get(0);
+  if (traj.start_frame > 0) {
+    EXPECT_DOUBLE_EQ(detector.DetectionProbability(traj, traj.start_frame - 1), 0.0);
+  }
+  if (traj.end_frame < 10000) {
+    EXPECT_DOUBLE_EQ(detector.DetectionProbability(traj, traj.end_frame), 0.0);
+  }
+}
+
+TEST(SimulatedDetectorTest, FalsePositiveRate) {
+  // Empty scene: every detection is a false positive.
+  scene::GroundTruth truth({}, 100000);
+  DetectorOptions opts;
+  opts.false_positive_rate = 0.2;
+  SimulatedDetector detector(&truth, opts);
+  uint64_t fps = 0;
+  constexpr uint64_t kFrames = 20000;
+  for (video::FrameId f = 0; f < kFrames; ++f) {
+    for (const Detection& det : detector.Detect(f)) {
+      EXPECT_FALSE(det.IsTruePositive());
+      ++fps;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fps) / kFrames, 0.2, 0.02);
+}
+
+TEST(SimulatedDetectorTest, ClassFilter) {
+  common::Rng rng(3);
+  scene::SceneSpec spec;
+  spec.total_frames = 20000;
+  for (int32_t cls_id : {0, 1}) {
+    scene::ClassPopulationSpec cls;
+    cls.class_id = cls_id;
+    cls.instance_count = 300;
+    cls.duration.mean_frames = 200.0;
+    spec.classes.push_back(cls);
+  }
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  SimulatedDetector detector(&truth, DetectorOptions::Perfect(1));
+  uint64_t total = 0;
+  for (video::FrameId f = 0; f < 20000; f += 41) {
+    for (const Detection& det : detector.Detect(f)) {
+      EXPECT_EQ(det.class_id, 1);
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(SimulatedDetectorTest, LocalizationNoisePerturbsBoxes) {
+  const scene::GroundTruth truth = MakeTruth(10000, 50, 500.0);
+  DetectorOptions opts;
+  opts.miss_prob = 0.0;
+  opts.edge_min_factor = 1.0;
+  opts.localization_sigma = 0.05;
+  SimulatedDetector detector(&truth, opts);
+  bool any_perturbed = false;
+  for (video::FrameId f = 0; f < 10000 && !any_perturbed; f += 503) {
+    for (const Detection& det : detector.Detect(f)) {
+      const common::Box gt = truth.Get(det.source_instance).BoxAt(f);
+      if (!(det.box == gt)) any_perturbed = true;
+      // Jitter should be small: boxes still overlap their ground truth well.
+      EXPECT_GT(common::Iou(det.box, gt), 0.5);
+    }
+  }
+  EXPECT_TRUE(any_perturbed);
+}
+
+TEST(SimulatedDetectorTest, CountsFramesProcessed) {
+  const scene::GroundTruth truth = MakeTruth(1000, 10, 50.0);
+  SimulatedDetector detector(&truth, DetectorOptions::Perfect(0));
+  EXPECT_EQ(detector.FramesProcessed(), 0u);
+  detector.Detect(1);
+  detector.Detect(2);
+  EXPECT_EQ(detector.FramesProcessed(), 2u);
+  EXPECT_DOUBLE_EQ(detector.SecondsPerFrame(), 1.0 / 20.0);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "detect/detector.h"
+#include "scene/generator.h"
+#include "track/iou_discriminator.h"
+#include "track/oracle_discriminator.h"
+
+namespace exsample {
+namespace track {
+namespace {
+
+detect::Detection Det(const scene::GroundTruth& truth, scene::InstanceId id,
+                      video::FrameId frame) {
+  detect::Detection det;
+  det.box = truth.Get(id).BoxAt(frame);
+  det.class_id = truth.Get(id).class_id;
+  det.confidence = 0.9;
+  det.source_instance = id;
+  return det;
+}
+
+scene::GroundTruth DisjointTruth() {
+  // Three well-separated instances with non-overlapping boxes and intervals
+  // far apart in the image plane.
+  std::vector<scene::Trajectory> trajs(3);
+  trajs[0].start_frame = 100;
+  trajs[0].end_frame = 600;
+  trajs[0].box0 = common::Box{0.05, 0.05, 0.1, 0.1};
+  trajs[1].start_frame = 150;
+  trajs[1].end_frame = 700;
+  trajs[1].box0 = common::Box{0.5, 0.5, 0.1, 0.1};
+  trajs[2].start_frame = 2000;
+  trajs[2].end_frame = 2500;
+  trajs[2].box0 = common::Box{0.8, 0.1, 0.1, 0.1};
+  return scene::GroundTruth(std::move(trajs), 5000);
+}
+
+TEST(OracleDiscriminatorTest, FirstSightingIsNew) {
+  const scene::GroundTruth truth = DisjointTruth();
+  OracleDiscriminator discrim;
+  const MatchResult r = discrim.Observe(200, {Det(truth, 0, 200)});
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(r.d1.size(), 0u);
+  EXPECT_EQ(discrim.DistinctResults(), 1u);
+}
+
+TEST(OracleDiscriminatorTest, SecondSightingIsD1ThirdIsNeither) {
+  const scene::GroundTruth truth = DisjointTruth();
+  OracleDiscriminator discrim;
+  discrim.Observe(200, {Det(truth, 0, 200)});
+  const MatchResult second = discrim.Observe(300, {Det(truth, 0, 300)});
+  EXPECT_EQ(second.d0.size(), 0u);
+  EXPECT_EQ(second.d1.size(), 1u);
+  const MatchResult third = discrim.Observe(400, {Det(truth, 0, 400)});
+  EXPECT_EQ(third.d0.size(), 0u);
+  EXPECT_EQ(third.d1.size(), 0u);
+  EXPECT_EQ(discrim.DistinctResults(), 1u);
+}
+
+TEST(OracleDiscriminatorTest, MultipleNewInOneFrame) {
+  const scene::GroundTruth truth = DisjointTruth();
+  OracleDiscriminator discrim;
+  const MatchResult r =
+      discrim.Observe(200, {Det(truth, 0, 200), Det(truth, 1, 200)});
+  EXPECT_EQ(r.d0.size(), 2u);
+  EXPECT_EQ(discrim.DistinctResults(), 2u);
+}
+
+TEST(OracleDiscriminatorTest, DropsFalsePositives) {
+  OracleDiscriminator discrim;
+  detect::Detection fp;
+  fp.box = common::Box{0.2, 0.2, 0.05, 0.05};
+  fp.source_instance = scene::kNoInstance;
+  const MatchResult r = discrim.Observe(10, {fp});
+  EXPECT_TRUE(r.d0.empty());
+  EXPECT_TRUE(r.d1.empty());
+  EXPECT_EQ(discrim.DistinctResults(), 0u);
+}
+
+TEST(OracleDiscriminatorTest, GetMatchesIsReadOnly) {
+  const scene::GroundTruth truth = DisjointTruth();
+  OracleDiscriminator discrim;
+  const auto dets = std::vector<detect::Detection>{Det(truth, 0, 200)};
+  discrim.GetMatches(200, dets);
+  // Without Add, the same detection is still new.
+  const MatchResult r = discrim.GetMatches(200, dets);
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(discrim.DistinctResults(), 0u);
+}
+
+IouDiscriminatorOptions ReliableTracker() {
+  IouDiscriminatorOptions opts;
+  opts.survival_prob = 1.0;  // Never breaks: full-track propagation.
+  return opts;
+}
+
+TEST(IouTrackerDiscriminatorTest, ReliableTrackerMatchesOracleSemantics) {
+  const scene::GroundTruth truth = DisjointTruth();
+  IouTrackerDiscriminator discrim(&truth, ReliableTracker());
+  // First sighting of instance 0.
+  MatchResult r = discrim.Observe(200, {Det(truth, 0, 200)});
+  EXPECT_EQ(r.d0.size(), 1u);
+  // Re-sighting far away in time but inside the track: matched exactly once.
+  r = discrim.Observe(550, {Det(truth, 0, 550)});
+  EXPECT_EQ(r.d0.size(), 0u);
+  EXPECT_EQ(r.d1.size(), 1u);
+  // Third sighting: track + reinforcement point = 2 matches -> neither set.
+  r = discrim.Observe(560, {Det(truth, 0, 560)});
+  EXPECT_EQ(r.d0.size(), 0u);
+  EXPECT_EQ(r.d1.size(), 0u);
+  EXPECT_EQ(discrim.DistinctResults(), 1u);
+}
+
+TEST(IouTrackerDiscriminatorTest, DistinctObjectsBothNew) {
+  const scene::GroundTruth truth = DisjointTruth();
+  IouTrackerDiscriminator discrim(&truth, ReliableTracker());
+  discrim.Observe(200, {Det(truth, 0, 200)});
+  const MatchResult r = discrim.Observe(2100, {Det(truth, 2, 2100)});
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(discrim.DistinctResults(), 2u);
+}
+
+TEST(IouTrackerDiscriminatorTest, MatchingIsGeometricNotIdentity) {
+  // Two different ground-truth instances with the *same* box trajectory at
+  // overlapping times: a geometric matcher must (incorrectly, but honestly)
+  // merge them. This is exactly the discriminator's real-world behaviour.
+  std::vector<scene::Trajectory> trajs(2);
+  trajs[0].start_frame = 0;
+  trajs[0].end_frame = 1000;
+  trajs[0].box0 = common::Box{0.4, 0.4, 0.2, 0.2};
+  trajs[1].start_frame = 0;
+  trajs[1].end_frame = 1000;
+  trajs[1].box0 = common::Box{0.4, 0.4, 0.2, 0.2};
+  scene::GroundTruth truth(std::move(trajs), 2000);
+  IouTrackerDiscriminator discrim(&truth, ReliableTracker());
+  discrim.Observe(100, {Det(truth, 0, 100)});
+  const MatchResult r = discrim.Observe(500, {Det(truth, 1, 500)});
+  EXPECT_EQ(r.d0.size(), 0u);  // Merged with instance 0's track.
+  EXPECT_EQ(discrim.DistinctResults(), 1u);
+}
+
+TEST(IouTrackerDiscriminatorTest, BreakageCausesDoubleCounting) {
+  // Failure injection: with survival_prob << 1 the propagated track dies
+  // after a few frames, so a re-sighting far away registers as a new object.
+  const scene::GroundTruth truth = DisjointTruth();
+  IouDiscriminatorOptions opts;
+  opts.survival_prob = 0.6;  // Mean propagation ~2.5 frames.
+  IouTrackerDiscriminator discrim(&truth, opts);
+  discrim.Observe(150, {Det(truth, 0, 150)});
+  const MatchResult r = discrim.Observe(500, {Det(truth, 0, 500)});
+  EXPECT_EQ(r.d0.size(), 1u);  // Double-counted: the paper's real failure mode.
+  EXPECT_EQ(discrim.DistinctResults(), 2u);
+}
+
+TEST(IouTrackerDiscriminatorTest, FalsePositivesCreateSpuriousResults) {
+  scene::GroundTruth truth({}, 1000);
+  IouTrackerDiscriminator discrim(&truth, ReliableTracker());
+  detect::Detection fp;
+  fp.box = common::Box{0.3, 0.3, 0.08, 0.08};
+  fp.source_instance = scene::kNoInstance;
+  const MatchResult r = discrim.Observe(100, {fp});
+  // The tracker cannot know it is false: it becomes a "result".
+  EXPECT_EQ(r.d0.size(), 1u);
+  EXPECT_EQ(discrim.DistinctResults(), 1u);
+  // Re-detecting the same static box nearby in time matches the FP track.
+  const MatchResult again = discrim.Observe(102, {fp});
+  EXPECT_EQ(again.d0.size(), 0u);
+}
+
+TEST(IouTrackerDiscriminatorTest, ReinforcementCountTracksMatches) {
+  const scene::GroundTruth truth = DisjointTruth();
+  IouTrackerDiscriminator discrim(&truth, ReliableTracker());
+  discrim.Observe(200, {Det(truth, 0, 200)});
+  EXPECT_EQ(discrim.ReinforcementCount(), 0u);
+  discrim.Observe(300, {Det(truth, 0, 300)});
+  EXPECT_EQ(discrim.ReinforcementCount(), 1u);
+}
+
+}  // namespace
+}  // namespace track
+}  // namespace exsample

@@ -1,0 +1,198 @@
+#include "scene/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "video/chunking.h"
+
+namespace exsample {
+namespace scene {
+namespace {
+
+ClassPopulationSpec BasicClass(uint64_t count, double mean_duration) {
+  ClassPopulationSpec cls;
+  cls.class_id = 0;
+  cls.name = "object";
+  cls.instance_count = count;
+  cls.duration.mean_frames = mean_duration;
+  cls.duration.sigma_log = 0.8;
+  return cls;
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  common::Rng rng(1);
+  SceneSpec spec;
+  spec.total_frames = 100000;
+  spec.classes.push_back(BasicClass(500, 100.0));
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth.value().NumInstances(0), 500u);
+  EXPECT_EQ(truth.value().TotalFrames(), 100000u);
+}
+
+TEST(GeneratorTest, DurationsMatchTargetMean) {
+  common::Rng rng(2);
+  SceneSpec spec;
+  spec.total_frames = 10'000'000;
+  spec.classes.push_back(BasicClass(5000, 700.0));
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  std::vector<double> durations;
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    durations.push_back(static_cast<double>(t.DurationFrames()));
+  }
+  // LogNormal mean 700 with sigma .8; sampling error with 5000 draws is a few
+  // percent.
+  EXPECT_NEAR(common::Mean(durations), 700.0, 70.0);
+}
+
+TEST(GeneratorTest, DurationSkewSpansOrdersOfMagnitude) {
+  // The paper's Fig. 3 population: "the shortest one is around 50 frames and
+  // the longest is around 5000" for mean 700.
+  common::Rng rng(3);
+  SceneSpec spec;
+  spec.total_frames = 16'000'000;
+  spec.classes.push_back(BasicClass(2000, 700.0));
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  uint64_t min_dur = UINT64_MAX, max_dur = 0;
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    min_dur = std::min(min_dur, t.DurationFrames());
+    max_dur = std::max(max_dur, t.DurationFrames());
+  }
+  EXPECT_LT(min_dur, 120u);
+  EXPECT_GT(max_dur, 2500u);
+}
+
+TEST(GeneratorTest, TrajectoriesStayInsideTimeline) {
+  common::Rng rng(4);
+  SceneSpec spec;
+  spec.total_frames = 5000;
+  auto cls = BasicClass(2000, 800.0);  // Long durations force clamping.
+  cls.placement = PlacementSpec::NormalCenter(0.1);
+  spec.classes.push_back(cls);
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    EXPECT_LT(t.start_frame, t.end_frame);
+    EXPECT_LE(t.end_frame, spec.total_frames);
+    EXPECT_GE(t.DurationFrames(), 1u);
+  }
+}
+
+TEST(GeneratorTest, NormalPlacementConcentratesInstances) {
+  common::Rng rng(5);
+  SceneSpec spec;
+  spec.total_frames = 1'000'000;
+  auto cls = BasicClass(4000, 50.0);
+  cls.placement = PlacementSpec::NormalCenter(1.0 / 32.0);
+  spec.classes.push_back(cls);
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  // ~95% of mid-frames must fall within the central 1/32 of the timeline.
+  const uint64_t half_window = spec.total_frames / 64;
+  const uint64_t center = spec.total_frames / 2;
+  uint64_t inside = 0;
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    const uint64_t mid = t.MidFrame();
+    if (mid >= center - half_window && mid <= center + half_window) ++inside;
+  }
+  const double fraction = static_cast<double>(inside) / 4000.0;
+  EXPECT_NEAR(fraction, 0.95, 0.02);
+}
+
+TEST(GeneratorTest, UniformPlacementSpreadsInstances) {
+  common::Rng rng(6);
+  SceneSpec spec;
+  spec.total_frames = 1'000'000;
+  spec.classes.push_back(BasicClass(4000, 50.0));
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  uint64_t first_half = 0;
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    if (t.MidFrame() < spec.total_frames / 2) ++first_half;
+  }
+  EXPECT_NEAR(static_cast<double>(first_half) / 4000.0, 0.5, 0.03);
+}
+
+TEST(GeneratorTest, ChunkWeightPlacementFollowsWeights) {
+  common::Rng rng(7);
+  auto chunking = video::MakeFixedCountChunks(uint64_t{100000}, 4).value();
+  SceneSpec spec;
+  spec.total_frames = 100000;
+  auto cls = BasicClass(4000, 10.0);
+  cls.placement = PlacementSpec::ChunkWeights({0.7, 0.1, 0.1, 0.1});
+  spec.classes.push_back(cls);
+  auto truth = GenerateScene(spec, &chunking, rng);
+  ASSERT_TRUE(truth.ok());
+  std::vector<uint64_t> counts(4, 0);
+  for (const Trajectory& t : truth.value().Trajectories()) {
+    ++counts[chunking.ChunkOfFrame(t.MidFrame()).value()];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 4000.0, 0.7, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 4000.0, 0.1, 0.02);
+}
+
+TEST(GeneratorTest, ValidationErrors) {
+  common::Rng rng(8);
+  SceneSpec spec;
+  spec.total_frames = 0;
+  spec.classes.push_back(BasicClass(10, 5.0));
+  EXPECT_FALSE(GenerateScene(spec, nullptr, rng).ok());
+
+  spec.total_frames = 100;
+  spec.classes[0].duration.mean_frames = 0.0;
+  EXPECT_FALSE(GenerateScene(spec, nullptr, rng).ok());
+
+  spec.classes[0] = BasicClass(10, 5.0);
+  spec.classes[0].placement = PlacementSpec::NormalCenter(0.0);
+  EXPECT_FALSE(GenerateScene(spec, nullptr, rng).ok());
+
+  spec.classes[0].placement = PlacementSpec::ChunkWeights({1.0, 1.0});
+  EXPECT_FALSE(GenerateScene(spec, nullptr, rng).ok());  // No chunking passed.
+
+  auto chunking = video::MakeFixedCountChunks(uint64_t{100}, 4).value();
+  EXPECT_FALSE(GenerateScene(spec, &chunking, rng).ok());  // Size mismatch.
+
+  spec.classes[0].placement = PlacementSpec::ChunkWeights({1.0, -1.0, 0.0, 0.0});
+  EXPECT_FALSE(GenerateScene(spec, &chunking, rng).ok());  // Negative weight.
+
+  spec.classes[0].placement = PlacementSpec::ChunkWeights({0.0, 0.0, 0.0, 0.0});
+  EXPECT_FALSE(GenerateScene(spec, &chunking, rng).ok());  // All-zero weights.
+}
+
+TEST(GeneratorTest, MultipleClassesCoexist) {
+  common::Rng rng(9);
+  SceneSpec spec;
+  spec.total_frames = 50000;
+  auto a = BasicClass(100, 50.0);
+  a.class_id = 3;
+  auto b = BasicClass(200, 20.0);
+  b.class_id = 7;
+  spec.classes = {a, b};
+  auto truth = GenerateScene(spec, nullptr, rng);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(truth.value().NumInstances(3), 100u);
+  EXPECT_EQ(truth.value().NumInstances(7), 200u);
+  EXPECT_EQ(truth.value().NumInstances(GroundTruth::kAllClasses), 300u);
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  SceneSpec spec;
+  spec.total_frames = 10000;
+  spec.classes.push_back(BasicClass(50, 30.0));
+  common::Rng rng1(42), rng2(42);
+  auto t1 = GenerateScene(spec, nullptr, rng1);
+  auto t2 = GenerateScene(spec, nullptr, rng2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(t1.value().Get(i).start_frame, t2.value().Get(i).start_frame);
+    EXPECT_EQ(t1.value().Get(i).end_frame, t2.value().Get(i).end_frame);
+  }
+}
+
+}  // namespace
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,91 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace common {
+namespace {
+
+TEST(BoxTest, AreaAndValidity) {
+  EXPECT_DOUBLE_EQ((Box{0, 0, 2, 3}.Area()), 6.0);
+  EXPECT_DOUBLE_EQ((Box{0, 0, 0, 3}.Area()), 0.0);
+  EXPECT_DOUBLE_EQ((Box{0, 0, -2, 3}.Area()), 0.0);
+  EXPECT_TRUE((Box{0, 0, 1, 1}.IsValid()));
+  EXPECT_FALSE((Box{0, 0, 0, 1}.IsValid()));
+}
+
+TEST(BoxTest, Center) {
+  const Box b{1.0, 2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(b.CenterX(), 3.0);
+  EXPECT_DOUBLE_EQ(b.CenterY(), 5.0);
+}
+
+TEST(BoxTest, Translated) {
+  const Box b = Box{1, 1, 2, 2}.Translated(0.5, -0.5);
+  EXPECT_DOUBLE_EQ(b.x, 1.5);
+  EXPECT_DOUBLE_EQ(b.y, 0.5);
+  EXPECT_DOUBLE_EQ(b.w, 2.0);
+  EXPECT_DOUBLE_EQ(b.h, 2.0);
+}
+
+TEST(BoxTest, ScaledAboutCenterPreservesCenter) {
+  const Box b{0, 0, 2, 4};
+  const Box s = b.ScaledAboutCenter(0.5);
+  EXPECT_DOUBLE_EQ(s.CenterX(), b.CenterX());
+  EXPECT_DOUBLE_EQ(s.CenterY(), b.CenterY());
+  EXPECT_DOUBLE_EQ(s.w, 1.0);
+  EXPECT_DOUBLE_EQ(s.h, 2.0);
+}
+
+TEST(IntersectTest, OverlappingBoxes) {
+  const Box i = Intersect(Box{0, 0, 2, 2}, Box{1, 1, 2, 2});
+  EXPECT_DOUBLE_EQ(i.x, 1.0);
+  EXPECT_DOUBLE_EQ(i.y, 1.0);
+  EXPECT_DOUBLE_EQ(i.w, 1.0);
+  EXPECT_DOUBLE_EQ(i.h, 1.0);
+}
+
+TEST(IntersectTest, DisjointBoxesDegenerate) {
+  const Box i = Intersect(Box{0, 0, 1, 1}, Box{5, 5, 1, 1});
+  EXPECT_FALSE(i.IsValid());
+}
+
+TEST(IouTest, IdenticalBoxes) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 1, 1}, Box{0, 0, 1, 1}), 1.0);
+}
+
+TEST(IouTest, DisjointBoxes) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 1, 1}, Box{2, 2, 1, 1}), 0.0);
+}
+
+TEST(IouTest, TouchingEdgesIsZero) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 1, 1}, Box{1, 0, 1, 1}), 0.0);
+}
+
+TEST(IouTest, HalfOverlap) {
+  // Overlap 0.5, union 1.5 -> IoU = 1/3.
+  EXPECT_NEAR(Iou(Box{0, 0, 1, 1}, Box{0.5, 0, 1, 1}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(IouTest, DegenerateBoxYieldsZero) {
+  EXPECT_DOUBLE_EQ(Iou(Box{0, 0, 0, 0}, Box{0, 0, 1, 1}), 0.0);
+}
+
+TEST(IouTest, ContainedBox) {
+  // Inner area 0.25, outer 1 -> IoU = 0.25.
+  EXPECT_NEAR(Iou(Box{0, 0, 1, 1}, Box{0.25, 0.25, 0.5, 0.5}), 0.25, 1e-12);
+}
+
+TEST(IouTest, Symmetric) {
+  const Box a{0.1, 0.2, 0.5, 0.4};
+  const Box b{0.3, 0.1, 0.4, 0.6};
+  EXPECT_DOUBLE_EQ(Iou(a, b), Iou(b, a));
+}
+
+TEST(BoxTest, ToStringFormat) {
+  EXPECT_EQ((Box{0.5, 0.25, 0.125, 1.0}.ToString()), "[0.5000,0.2500,0.1250,1.0000]");
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,79 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace exsample {
+namespace stats {
+namespace {
+
+TEST(HistogramTest, MakeValidates) {
+  EXPECT_FALSE(Histogram::Make(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Make(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Make(0.0, 1.0, 0).ok());
+  EXPECT_TRUE(Histogram::Make(0.0, 1.0, 10).ok());
+}
+
+TEST(HistogramTest, BinsValues) {
+  auto hist = Histogram::Make(0.0, 10.0, 10).value();
+  hist.Add(0.5);
+  hist.Add(1.5);
+  hist.Add(1.7);
+  hist.Add(9.99);
+  EXPECT_EQ(hist.BinCount(0), 1u);
+  EXPECT_EQ(hist.BinCount(1), 2u);
+  EXPECT_EQ(hist.BinCount(9), 1u);
+  EXPECT_EQ(hist.TotalCount(), 4u);
+}
+
+TEST(HistogramTest, UnderOverflow) {
+  auto hist = Histogram::Make(0.0, 1.0, 4).value();
+  hist.Add(-0.1);
+  hist.Add(1.0);  // hi is exclusive.
+  hist.Add(5.0);
+  EXPECT_EQ(hist.Underflow(), 1u);
+  EXPECT_EQ(hist.Overflow(), 2u);
+  EXPECT_EQ(hist.TotalCount(), 3u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  auto hist = Histogram::Make(2.0, 4.0, 4).value();
+  EXPECT_DOUBLE_EQ(hist.BinWidth(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.BinLeft(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.BinLeft(3), 3.5);
+  EXPECT_EQ(hist.NumBins(), 4u);
+}
+
+TEST(HistogramTest, DensityNormalizes) {
+  auto hist = Histogram::Make(0.0, 1.0, 2).value();
+  for (int i = 0; i < 10; ++i) hist.Add(0.25);
+  for (int i = 0; i < 30; ++i) hist.Add(0.75);
+  // Density integrates to 1 over in-range mass: bin0 10/40/0.5 = 0.5,
+  // bin1 30/40/0.5 = 1.5.
+  EXPECT_DOUBLE_EQ(hist.Density(0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.Density(1), 1.5);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  auto hist = Histogram::Make(0.0, 2.0, 2).value();
+  hist.Add(0.5);
+  hist.Add(1.5);
+  hist.Add(1.6);
+  const std::string art = hist.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(HistogramTest, ValueAtUpperEdgeOfLastBinViaFloatingPoint) {
+  auto hist = Histogram::Make(0.0, 0.3, 3).value();
+  // The largest double strictly below the upper edge lands in the last bin;
+  // the index guard protects against floating-point rounding past the end.
+  hist.Add(std::nextafter(0.3, 0.0));
+  EXPECT_EQ(hist.BinCount(2), 1u);
+  EXPECT_EQ(hist.Overflow(), 0u);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace exsample

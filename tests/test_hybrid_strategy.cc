@@ -1,0 +1,159 @@
+#include "samplers/hybrid_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "core/exsample.h"
+#include "query/runner.h"
+#include "samplers/random_strategy.h"
+#include "scene/generator.h"
+#include "track/oracle_discriminator.h"
+
+namespace exsample {
+namespace samplers {
+namespace {
+
+struct HybridFixture {
+  video::VideoRepository repo;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+  std::unique_ptr<detect::ProxyScorer> scorer;
+
+  HybridFixture(video::VideoRepository r, video::Chunking c, scene::GroundTruth t)
+      : repo(std::move(r)), chunking(std::move(c)), truth(std::move(t)) {}
+
+  static std::unique_ptr<HybridFixture> Make(uint64_t frames, uint64_t instances,
+                                             double duration, double skew,
+                                             double noise, uint64_t seed) {
+    common::Rng rng(seed);
+    auto chunking = video::MakeFixedCountChunks(frames, 16).value();
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec cls;
+    cls.instance_count = instances;
+    cls.duration.mean_frames = duration;
+    if (skew < 1.0) cls.placement = scene::PlacementSpec::NormalCenter(skew);
+    spec.classes.push_back(cls);
+    auto fx = std::make_unique<HybridFixture>(
+        video::VideoRepository::SingleClip(frames), std::move(chunking),
+        std::move(scene::GenerateScene(spec, &chunking, rng)).value());
+    detect::ProxyOptions popts;
+    popts.target_class = 0;
+    popts.noise_sigma = noise;
+    fx->scorer = std::make_unique<detect::ProxyScorer>(&fx->truth, popts);
+    return fx;
+  }
+};
+
+TEST(HybridStrategyTest, EmitsUniqueFramesAndAccountsScoringCost) {
+  auto fx = HybridFixture::Make(10000, 50, 100.0, 1.0, 0.1, 1);
+  HybridOptions options;
+  options.candidates_per_pick = 4;
+  HybridProxyExSampleStrategy strategy(&fx->chunking, fx->scorer.get(), options);
+  std::set<video::FrameId> seen;
+  for (int i = 0; i < 300; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(seen.insert(*frame).second);
+    strategy.Observe(*frame, 0, 0);
+  }
+  // 4 candidates scored per emitted frame.
+  EXPECT_EQ(strategy.FramesScored(), 1200u);
+  EXPECT_NEAR(strategy.CumulativeOverheadSeconds(),
+              1200.0 * fx->scorer->SecondsPerFrame(), 1e-9);
+}
+
+TEST(HybridStrategyTest, SingleCandidateHasNoScoringCost) {
+  auto fx = HybridFixture::Make(10000, 50, 100.0, 1.0, 0.1, 2);
+  HybridOptions options;
+  options.candidates_per_pick = 1;
+  HybridProxyExSampleStrategy strategy(&fx->chunking, fx->scorer.get(), options);
+  for (int i = 0; i < 100; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    strategy.Observe(*frame, 0, 0);
+  }
+  EXPECT_EQ(strategy.FramesScored(), 0u);
+  EXPECT_DOUBLE_EQ(strategy.CumulativeOverheadSeconds(), 0.0);
+}
+
+TEST(HybridStrategyTest, NameIncludesCandidateCount) {
+  auto fx = HybridFixture::Make(1000, 5, 20.0, 1.0, 0.1, 3);
+  HybridOptions options;
+  options.candidates_per_pick = 8;
+  HybridProxyExSampleStrategy strategy(&fx->chunking, fx->scorer.get(), options);
+  EXPECT_EQ(strategy.name(), "exsample+proxy/k8");
+}
+
+TEST(HybridStrategyTest, HitRateBeatsPlainSamplingOnSparseScenes) {
+  // A strong proxy should concentrate detector invocations on occupied
+  // frames: the fraction of emitted frames containing the target must exceed
+  // what unbiased sampling achieves (the occupancy rate).
+  auto fx = HybridFixture::Make(100000, 40, 200.0, 1.0, 0.0, 4);
+  // Ground-truth occupancy rate.
+  uint64_t occupied = 0;
+  std::vector<scene::InstanceId> visible;
+  for (video::FrameId f = 0; f < 100000; f += 7) {
+    fx->truth.VisibleInstances(f, 0, &visible);
+    occupied += visible.empty() ? 0 : 1;
+  }
+  const double base_rate = static_cast<double>(occupied) / (100000 / 7);
+
+  HybridOptions options;
+  options.candidates_per_pick = 8;
+  HybridProxyExSampleStrategy strategy(&fx->chunking, fx->scorer.get(), options);
+  uint64_t hits = 0;
+  constexpr int kDraws = 400;
+  for (int i = 0; i < kDraws; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    fx->truth.VisibleInstances(*frame, 0, &visible);
+    hits += visible.empty() ? 0 : 1;
+    strategy.Observe(*frame, 0, 0);
+  }
+  const double hybrid_rate = static_cast<double>(hits) / kDraws;
+  EXPECT_GT(hybrid_rate, 2.0 * base_rate);
+}
+
+TEST(HybridStrategyTest, EndToEndFasterThanExSampleOnSparseWorkload) {
+  // Full cost accounting (scoring overhead included): on a sparse workload
+  // the hybrid finds early results in less model time than plain ExSample,
+  // without any upfront scan (unlike proxy-guided search).
+  auto fx = HybridFixture::Make(200000, 60, 80.0, 1.0 / 8, 0.05, 5);
+  auto run = [&](query::SearchStrategy* strategy) {
+    detect::SimulatedDetector detector(&fx->truth,
+                                       detect::DetectorOptions::Perfect(0));
+    track::OracleDiscriminator discrim;
+    query::RunnerOptions opts;
+    opts.recall_class = 0;
+    opts.true_distinct_target = 30;  // 50% of 60.
+    opts.max_samples = 200000;
+    query::QueryRunner runner(&fx->truth, &detector, &discrim, opts);
+    return runner.Run(strategy);
+  };
+
+  std::vector<double> hybrid_secs, plain_secs;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    HybridOptions hopts;
+    hopts.candidates_per_pick = 8;
+    hopts.seed = 50 + seed;
+    HybridProxyExSampleStrategy hybrid(&fx->chunking, fx->scorer.get(), hopts);
+    const auto htrace = run(&hybrid);
+    ASSERT_GE(htrace.final.true_distinct, 30u);
+    hybrid_secs.push_back(htrace.final.seconds);
+    EXPECT_DOUBLE_EQ(hybrid.UpfrontCostSeconds(), 0.0);  // No scan, ever.
+
+    core::ExSampleOptions eopts;
+    eopts.seed = 60 + seed;
+    core::ExSampleStrategy plain(&fx->chunking, eopts);
+    const auto ptrace = run(&plain);
+    plain_secs.push_back(ptrace.final.seconds);
+  }
+  EXPECT_LT(common::Median(hybrid_secs), common::Median(plain_secs));
+}
+
+}  // namespace
+}  // namespace samplers
+}  // namespace exsample

@@ -1,0 +1,147 @@
+#include "scene/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace exsample {
+namespace scene {
+namespace {
+
+using Span = std::pair<video::FrameId, video::FrameId>;
+
+std::vector<uint32_t> BruteForceVisible(const std::vector<Span>& spans,
+                                        video::FrameId frame) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < spans.size(); ++i) {
+    if (frame >= spans[i].first && frame < spans[i].second) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex index({}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(50, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, SingleInterval) {
+  IntervalIndex index({{10, 20}}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(9, &out);
+  EXPECT_TRUE(out.empty());
+  index.VisibleAt(10, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{0});
+  index.VisibleAt(19, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{0});
+  index.VisibleAt(20, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, OutOfDomainQueries) {
+  IntervalIndex index({{0, 100}}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(100, &out);
+  EXPECT_TRUE(out.empty());
+  index.VisibleAt(1000000, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, DegenerateIntervalNeverMatches) {
+  IntervalIndex index({{5, 5}}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(5, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntervalIndexTest, IntervalClampedToDomain) {
+  // Interval extends past the domain end; frames inside still match.
+  IntervalIndex index({{90, 200}}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(95, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{0});
+}
+
+TEST(IntervalIndexTest, OverlappingIntervals) {
+  IntervalIndex index({{0, 50}, {25, 75}, {40, 45}}, 100);
+  std::vector<uint32_t> out;
+  index.VisibleAt(42, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0, 1, 2}));
+  index.VisibleAt(60, &out);
+  EXPECT_EQ(out, std::vector<uint32_t>{1});
+}
+
+struct RandomSceneCase {
+  uint64_t total_frames;
+  size_t num_intervals;
+  uint64_t max_duration;
+  uint64_t seed;
+};
+
+class IntervalIndexPropertyTest : public ::testing::TestWithParam<RandomSceneCase> {};
+
+TEST_P(IntervalIndexPropertyTest, MatchesBruteForceEverywhere) {
+  const auto param = GetParam();
+  common::Rng rng(param.seed);
+  std::vector<Span> spans;
+  spans.reserve(param.num_intervals);
+  for (size_t i = 0; i < param.num_intervals; ++i) {
+    const uint64_t start = rng.NextBounded(param.total_frames);
+    const uint64_t duration = 1 + rng.NextBounded(param.max_duration);
+    spans.emplace_back(start, std::min(start + duration, param.total_frames));
+  }
+  IntervalIndex index(spans, param.total_frames);
+
+  std::vector<uint32_t> got;
+  // Probe random frames plus all interval boundaries (the hard cases).
+  std::vector<video::FrameId> probes;
+  for (int i = 0; i < 300; ++i) probes.push_back(rng.NextBounded(param.total_frames));
+  for (const Span& s : spans) {
+    probes.push_back(s.first);
+    if (s.second > 0) probes.push_back(s.second - 1);
+    if (s.second < param.total_frames) probes.push_back(s.second);
+  }
+  for (video::FrameId f : probes) {
+    index.VisibleAt(f, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForceVisible(spans, f)) << "frame " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, IntervalIndexPropertyTest,
+    ::testing::Values(RandomSceneCase{1000, 50, 100, 1},
+                      RandomSceneCase{1000, 50, 100, 2},
+                      RandomSceneCase{100000, 500, 5000, 3},
+                      RandomSceneCase{100000, 500, 10, 4},       // Short tracks.
+                      RandomSceneCase{100000, 20, 90000, 5},    // Huge tracks.
+                      RandomSceneCase{64, 200, 64, 6},           // Dense overlap.
+                      RandomSceneCase{10'000'000, 2000, 5000, 7}  // Fig. 3 scale.
+                      ));
+
+TEST(IntervalIndexTest, ForEachVisibleAgreesWithVisibleAt) {
+  common::Rng rng(9);
+  std::vector<Span> spans;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t start = rng.NextBounded(5000);
+    spans.emplace_back(start, start + 1 + rng.NextBounded(200));
+  }
+  IntervalIndex index(spans, 5000);
+  std::vector<uint32_t> via_visible, via_foreach;
+  for (video::FrameId f = 0; f < 5000; f += 37) {
+    index.VisibleAt(f, &via_visible);
+    via_foreach.clear();
+    index.ForEachVisible(f, [&](uint32_t id) { via_foreach.push_back(id); });
+    EXPECT_EQ(via_visible, via_foreach);
+  }
+}
+
+}  // namespace
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,99 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace exsample {
+namespace common {
+namespace {
+
+TEST(MathUtilTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MathUtilTest, SampleVarianceBasics) {
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({5.0}), 0.0);
+  // Var of {1,2,3} (unbiased) = 1.
+  EXPECT_DOUBLE_EQ(SampleVariance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(MathUtilTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean({2.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(GeometricMean({2.0, -1.0}), 0.0);
+}
+
+TEST(MathUtilTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(MathUtilTest, QuantileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 17.5);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(Quantile(v, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 2.0), 40.0);
+}
+
+TEST(MathUtilTest, LinspaceEndpoints) {
+  const auto v = Linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_TRUE(Linspace(0.0, 1.0, 0).empty());
+  EXPECT_EQ(Linspace(3.0, 9.0, 1), std::vector<double>{3.0});
+}
+
+TEST(MathUtilTest, LogspaceIsGeometric) {
+  const auto v = Logspace(1.0, 10000.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_NEAR(v[0], 1.0, 1e-9);
+  EXPECT_NEAR(v[1], 10.0, 1e-6);
+  EXPECT_NEAR(v[2], 100.0, 1e-5);
+  EXPECT_NEAR(v[4], 10000.0, 1e-3);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.001, 0.01));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-13));
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtilTest, PowOneMinusAccurateForTinyP) {
+  // (1 - 1e-12)^1e12 ~= 1/e; naive pow loses precision here.
+  EXPECT_NEAR(PowOneMinus(1e-12, 1e12), std::exp(-1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(PowOneMinus(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(PowOneMinus(1.0, 100.0), 0.0);
+  EXPECT_NEAR(PowOneMinus(0.5, 2.0), 0.25, 1e-12);
+}
+
+TEST(MathUtilTest, LogNormalMuForMeanRoundTrip) {
+  // exp(mu + sigma^2/2) must give back the requested mean.
+  const double sigma = 0.8;
+  const double mu = LogNormalMuForMean(700.0, sigma);
+  EXPECT_NEAR(std::exp(mu + sigma * sigma / 2.0), 700.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,157 @@
+#include "opt/optimal_weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "opt/simplex.h"
+#include "scene/generator.h"
+
+namespace exsample {
+namespace opt {
+namespace {
+
+TEST(ChunkProbabilityMatrixTest, FromTrajectories) {
+  // 100 frames, 2 chunks of 50. One instance spans frames [40, 60): 10 frames
+  // in each chunk -> p = 0.2 per chunk. Another sits fully in chunk 0.
+  auto chunking = video::MakeFixedCountChunks(uint64_t{100}, 2).value();
+  std::vector<scene::Trajectory> trajs(2);
+  trajs[0].start_frame = 40;
+  trajs[0].end_frame = 60;
+  trajs[1].start_frame = 0;
+  trajs[1].end_frame = 25;
+  ChunkProbabilityMatrix matrix(trajs, chunking, -1);
+  EXPECT_EQ(matrix.NumInstances(), 2u);
+  EXPECT_EQ(matrix.NumChunks(), 2u);
+
+  const auto q_uniform = matrix.HitProbabilities(UniformWeights(2));
+  EXPECT_NEAR(q_uniform[0], 0.5 * 0.2 + 0.5 * 0.2, 1e-12);
+  EXPECT_NEAR(q_uniform[1], 0.5 * 0.5, 1e-12);
+
+  const auto q_chunk0 = matrix.HitProbabilities({1.0, 0.0});
+  EXPECT_NEAR(q_chunk0[0], 0.2, 1e-12);
+  EXPECT_NEAR(q_chunk0[1], 0.5, 1e-12);
+}
+
+TEST(ChunkProbabilityMatrixTest, ClassFilter) {
+  auto chunking = video::MakeFixedCountChunks(uint64_t{100}, 2).value();
+  std::vector<scene::Trajectory> trajs(2);
+  trajs[0].class_id = 0;
+  trajs[0].start_frame = 0;
+  trajs[0].end_frame = 10;
+  trajs[1].class_id = 1;
+  trajs[1].start_frame = 0;
+  trajs[1].end_frame = 10;
+  EXPECT_EQ(ChunkProbabilityMatrix(trajs, chunking, 0).NumInstances(), 1u);
+  EXPECT_EQ(ChunkProbabilityMatrix(trajs, chunking, -1).NumInstances(), 2u);
+}
+
+TEST(ExpectedDiscoveriesTest, MatchesClosedForm) {
+  // Single chunk, p = 0.1: E[found after n] = 1 - 0.9^n.
+  ChunkProbabilityMatrix matrix({{0.1}}, 1);
+  for (double n : {1.0, 10.0, 100.0}) {
+    EXPECT_NEAR(ExpectedDiscoveries(matrix, {1.0}, n), 1.0 - std::pow(0.9, n), 1e-9);
+  }
+}
+
+TEST(ExpectedDiscoveriesTest, SumsOverInstances) {
+  ChunkProbabilityMatrix matrix({{0.5}, {0.25}}, 1);
+  EXPECT_NEAR(ExpectedDiscoveries(matrix, {1.0}, 1.0), 0.75, 1e-12);
+}
+
+TEST(OptimalWeightsTest, SymmetricInstancesGiveUniformObjective) {
+  // Two chunks, each with one instance at equal probability: any weights
+  // summing to 1 that balance the two give the optimum; uniform is optimal.
+  ChunkProbabilityMatrix matrix({{0.2, 0.0}, {0.0, 0.2}}, 2);
+  const auto result = OptimalWeights(matrix, 50.0);
+  EXPECT_NEAR(result.weights[0], 0.5, 0.02);
+  EXPECT_NEAR(result.weights[1], 0.5, 0.02);
+  const double uniform_value =
+      ExpectedDiscoveries(matrix, UniformWeights(2), 50.0);
+  EXPECT_GE(result.expected_discoveries, uniform_value - 1e-9);
+}
+
+TEST(OptimalWeightsTest, ConcentratesOnTheOnlyPopulatedChunk) {
+  // All instances live in chunk 1; the optimum puts ~all mass there.
+  ChunkProbabilityMatrix matrix({{0.0, 0.1}, {0.0, 0.05}, {0.0, 0.2}}, 2);
+  const auto result = OptimalWeights(matrix, 30.0);
+  EXPECT_GT(result.weights[1], 0.95);
+}
+
+TEST(OptimalWeightsTest, BeatsUniformUnderSkew) {
+  // 10 instances in chunk 0, 1 instance in chunk 1, tiny probabilities: the
+  // optimal allocation favors chunk 0 and finds strictly more than uniform.
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({0.01, 0.0});
+  rows.push_back({0.0, 0.01});
+  ChunkProbabilityMatrix matrix(rows, 2);
+  const auto result = OptimalWeights(matrix, 100.0);
+  const double uniform_value =
+      ExpectedDiscoveries(matrix, UniformWeights(2), 100.0);
+  EXPECT_GT(result.weights[0], 0.6);
+  EXPECT_GT(result.expected_discoveries, uniform_value * 1.05);
+}
+
+TEST(OptimalWeightsTest, SmallNPrefersEasiestInstances) {
+  // With n = 1 the objective is linear: put all mass on the chunk maximizing
+  // the sum of probabilities.
+  ChunkProbabilityMatrix matrix({{0.3, 0.1}, {0.3, 0.1}, {0.0, 0.5}}, 2);
+  // Chunk 0 yields 0.6 expected instances; chunk 1 yields 0.7.
+  const auto result = OptimalWeights(matrix, 1.0);
+  EXPECT_GT(result.weights[1], 0.95);
+}
+
+TEST(OptimalWeightsTest, LargeNSpreadsForCoverage) {
+  // Same matrix at large n: chunk 0 is needed to ever see instances 0-1, and
+  // chunk 1 for instance 2, so the optimum mixes.
+  ChunkProbabilityMatrix matrix({{0.3, 0.0}, {0.3, 0.0}, {0.0, 0.5}}, 2);
+  const auto result = OptimalWeights(matrix, 200.0);
+  EXPECT_GT(result.weights[0], 0.1);
+  EXPECT_GT(result.weights[1], 0.1);
+}
+
+TEST(OptimalWeightsTest, ObjectiveNeverBelowUniformOnRealScene) {
+  // End-to-end: generated skewed scene, Eq. IV.1 solution must dominate the
+  // uniform allocation (random sampling).
+  common::Rng rng(5);
+  auto chunking = video::MakeFixedCountChunks(uint64_t{200000}, 16).value();
+  scene::SceneSpec spec;
+  spec.total_frames = 200000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 300;
+  cls.duration.mean_frames = 150.0;
+  cls.placement = scene::PlacementSpec::NormalCenter(1.0 / 8.0);
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, &chunking, rng)).value();
+  ChunkProbabilityMatrix matrix(truth.Trajectories(), chunking, -1);
+  for (double n : {100.0, 1000.0, 10000.0}) {
+    const auto result = OptimalWeights(matrix, n);
+    const double uniform_value =
+        ExpectedDiscoveries(matrix, UniformWeights(16), n);
+    EXPECT_GE(result.expected_discoveries, uniform_value - 1e-6) << "n=" << n;
+  }
+}
+
+TEST(OptimalWeightsTest, WeightsAreADistribution) {
+  common::Rng rng(6);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> row(8, 0.0);
+    row[rng.NextBounded(8)] = rng.Uniform(0.001, 0.1);
+    rows.push_back(row);
+  }
+  ChunkProbabilityMatrix matrix(rows, 8);
+  const auto result = OptimalWeights(matrix, 500.0);
+  double sum = 0.0;
+  for (double w : result.weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace exsample

@@ -1,0 +1,78 @@
+#include "common/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace exsample {
+namespace common {
+namespace {
+
+class PermutationSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PermutationSizeTest, IsABijection) {
+  const uint64_t n = GetParam();
+  RandomPermutation perm(n, /*key=*/42);
+  std::vector<bool> seen(n, false);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t image = perm(i);
+    ASSERT_LT(image, n);
+    ASSERT_FALSE(seen[image]) << "duplicate image at i=" << i;
+    seen[image] = true;
+  }
+  // All positions hit => bijection.
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 17, 100, 1000,
+                                           1023, 1024, 1025, 65536, 100000));
+
+TEST(PermutationTest, DeterministicByKey) {
+  RandomPermutation a(1000, 7), b(1000, 7), c(1000, 8);
+  bool differs = false;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(i), b(i));
+    if (a(i) != c(i)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PermutationTest, NotIdentityForNonTrivialSizes) {
+  RandomPermutation perm(10000, 3);
+  uint64_t fixed_points = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    if (perm(i) == i) ++fixed_points;
+  }
+  // A random permutation has ~1 expected fixed point.
+  EXPECT_LT(fixed_points, 30u);
+}
+
+TEST(PermutationTest, ImagesSpreadAcrossRange) {
+  // The first k images of a pseudo-random permutation of [0,n) should land in
+  // all quarters of the range (this is what makes it usable as a sampler).
+  constexpr uint64_t kN = 1 << 20;
+  RandomPermutation perm(kN, 5);
+  std::vector<int> quarter_counts(4, 0);
+  constexpr uint64_t kDraws = 4000;
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    ++quarter_counts[perm(i) / (kN / 4)];
+  }
+  for (int count : quarter_counts) {
+    EXPECT_GT(count, static_cast<int>(kDraws / 8));
+  }
+}
+
+TEST(PermutationTest, LargeDomainLookupsStayInRange) {
+  const uint64_t n = (uint64_t{1} << 33) + 12345;
+  RandomPermutation perm(n, 9);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(perm(i * 7919), n);
+  }
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,140 @@
+#include "datasets/presets.h"
+
+#include <gtest/gtest.h>
+
+#include "scene/skew.h"
+
+namespace exsample {
+namespace datasets {
+namespace {
+
+TEST(DatasetSpecsTest, AllSixPresent) {
+  const auto specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 6u);
+  size_t total_queries = 0;
+  for (const auto& spec : specs) {
+    EXPECT_FALSE(spec.queries.empty()) << spec.name;
+    total_queries += spec.queries.size();
+  }
+  // Table I evaluates 43 (dataset, class) pairs.
+  EXPECT_EQ(total_queries, 43u);
+}
+
+TEST(DatasetSpecsTest, ScanTimesMatchTableOne) {
+  // Table I's proxy scan column at the paper's 100 fps scoring rate.
+  EXPECT_NEAR(Bdd1kSpec().ProxyScanSeconds(100.0), 54 * 60, 1.0);
+  EXPECT_NEAR(BddMotSpec().ProxyScanSeconds(100.0), 53 * 60, 1.0);
+  EXPECT_NEAR(AmsterdamSpec().ProxyScanSeconds(100.0), 9 * 3600 + 50 * 60, 1.0);
+  EXPECT_NEAR(ArchieSpec().ProxyScanSeconds(100.0), 9 * 3600 + 49 * 60, 1.0);
+  EXPECT_NEAR(DashcamSpec().ProxyScanSeconds(100.0), 2 * 3600 + 54 * 60, 1.0);
+  EXPECT_NEAR(NightStreetSpec().ProxyScanSeconds(100.0), 8 * 3600, 1.0);
+}
+
+TEST(DatasetSpecsTest, PublishedInstanceCounts) {
+  // Fig. 6's published (N, S) pairs.
+  const QuerySpec* bicycle = DashcamSpec().FindQuery("bicycle");
+  ASSERT_NE(bicycle, nullptr);
+  EXPECT_EQ(bicycle->instance_count, 249u);
+  EXPECT_DOUBLE_EQ(bicycle->skew_s, 14.0);
+
+  const QuerySpec* motor = Bdd1kSpec().FindQuery("motor");
+  ASSERT_NE(motor, nullptr);
+  EXPECT_EQ(motor->instance_count, 509u);
+
+  const QuerySpec* person = NightStreetSpec().FindQuery("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->instance_count, 2078u);
+
+  const QuerySpec* car = ArchieSpec().FindQuery("car");
+  ASSERT_NE(car, nullptr);
+  EXPECT_EQ(car->instance_count, 33546u);
+  EXPECT_DOUBLE_EQ(car->skew_s, 1.1);
+
+  const QuerySpec* boat = AmsterdamSpec().FindQuery("boat");
+  ASSERT_NE(boat, nullptr);
+  EXPECT_EQ(boat->instance_count, 588u);
+}
+
+TEST(DatasetSpecsTest, FindQueryMissReturnsNull) {
+  EXPECT_EQ(DashcamSpec().FindQuery("giraffe"), nullptr);
+}
+
+TEST(DatasetSpecsTest, ChunkStructures) {
+  EXPECT_EQ(Bdd1kSpec().chunk_scheme, ChunkScheme::kPerClip);
+  EXPECT_EQ(Bdd1kSpec().num_clips, 1000u);   // 1000 clips = 1000 chunks.
+  EXPECT_EQ(BddMotSpec().num_clips, 1600u);  // 1600 clips (Sec. V-A).
+  EXPECT_EQ(DashcamSpec().chunk_count, 30u);  // 10h in 20-minute chunks.
+  EXPECT_EQ(AmsterdamSpec().chunk_count, 60u);
+}
+
+TEST(BuiltDatasetTest, BuildsAtReducedScale) {
+  const DatasetSpec spec = DashcamSpec();
+  auto built = BuiltDataset::Build(spec, /*seed=*/1, /*scale=*/0.02);
+  ASSERT_TRUE(built.ok());
+  const BuiltDataset& ds = built.value();
+  EXPECT_NEAR(static_cast<double>(ds.repo().TotalFrames()),
+              0.02 * static_cast<double>(spec.total_frames), 50.0);
+  EXPECT_EQ(ds.chunking().NumChunks(), 30u);
+  // Instance counts are scale-invariant.
+  for (const QuerySpec& q : spec.queries) {
+    EXPECT_EQ(ds.truth().NumInstances(q.class_id), q.instance_count)
+        << q.class_name;
+  }
+}
+
+TEST(BuiltDatasetTest, PerClipChunksForBdd) {
+  auto built = BuiltDataset::Build(Bdd1kSpec(), 2, 0.25);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().chunking().NumChunks(), 1000u);
+  EXPECT_EQ(built.value().repo().NumClips(), 1000u);
+}
+
+TEST(BuiltDatasetTest, SkewTargetsRealized) {
+  auto built = BuiltDataset::Build(DashcamSpec(), 3, 0.05);
+  ASSERT_TRUE(built.ok());
+  const BuiltDataset& ds = built.value();
+  const QuerySpec* bicycle = ds.spec().FindQuery("bicycle");
+  ASSERT_NE(bicycle, nullptr);
+  const auto counts = scene::ChunkInstanceCounts(ds.truth().Trajectories(),
+                                                 ds.chunking(), bicycle->class_id);
+  const double s = scene::SkewMetric(counts);
+  // Target S = 14 on 30 chunks; K50 quantization makes this coarse.
+  EXPECT_GT(s, 5.0);
+  // A low-skew class stays low.
+  const QuerySpec* truck = ds.spec().FindQuery("truck");
+  const auto truck_counts = scene::ChunkInstanceCounts(
+      ds.truth().Trajectories(), ds.chunking(), truck->class_id);
+  EXPECT_LT(scene::SkewMetric(truck_counts), 4.0);
+}
+
+TEST(BuiltDatasetTest, DurationsScaleWithScale) {
+  const DatasetSpec spec = NightStreetSpec();
+  auto built = BuiltDataset::Build(spec, 4, 0.1);
+  ASSERT_TRUE(built.ok());
+  // Scaled spec records the scaled durations.
+  const QuerySpec* person = built.value().spec().FindQuery("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_NEAR(person->mean_duration_frames,
+              spec.FindQuery("person")->mean_duration_frames * 0.1, 1e-9);
+}
+
+TEST(BuiltDatasetTest, RejectsNonPositiveScale) {
+  EXPECT_FALSE(BuiltDataset::Build(DashcamSpec(), 1, 0.0).ok());
+  EXPECT_FALSE(BuiltDataset::Build(DashcamSpec(), 1, -1.0).ok());
+}
+
+TEST(BuiltDatasetTest, DeterministicBySeed) {
+  auto a = BuiltDataset::Build(BddMotSpec(), 7, 0.1);
+  auto b = BuiltDataset::Build(BddMotSpec(), 7, 0.1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& ta = a.value().truth().Trajectories();
+  const auto& tb = b.value().truth().Trajectories();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < std::min<size_t>(ta.size(), 500); ++i) {
+    EXPECT_EQ(ta[i].start_frame, tb[i].start_frame);
+  }
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace exsample

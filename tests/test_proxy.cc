@@ -1,0 +1,96 @@
+#include "detect/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "scene/generator.h"
+
+namespace exsample {
+namespace detect {
+namespace {
+
+scene::GroundTruth SparseTruth(uint64_t total_frames, uint64_t count,
+                               double duration) {
+  common::Rng rng(21);
+  scene::SceneSpec spec;
+  spec.total_frames = total_frames;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = count;
+  cls.duration.mean_frames = duration;
+  spec.classes.push_back(cls);
+  return std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+}
+
+TEST(ProxyScorerTest, PerfectProxySeparatesOccupiedFrames) {
+  const scene::GroundTruth truth = SparseTruth(50000, 60, 300.0);
+  ProxyOptions opts;
+  opts.target_class = 0;
+  opts.noise_sigma = 0.0;
+  ProxyScorer scorer(&truth, opts);
+  std::vector<scene::InstanceId> visible;
+  double min_occupied = 1.0, max_empty = 0.0;
+  for (video::FrameId f = 0; f < 50000; f += 17) {
+    truth.VisibleInstances(f, 0, &visible);
+    const double score = scorer.Score(f);
+    if (visible.empty()) {
+      max_empty = std::max(max_empty, score);
+    } else {
+      min_occupied = std::min(min_occupied, score);
+    }
+  }
+  // Every occupied frame outscores every empty frame.
+  EXPECT_GT(min_occupied, max_empty);
+}
+
+TEST(ProxyScorerTest, ScoresAreDeterministic) {
+  const scene::GroundTruth truth = SparseTruth(10000, 30, 100.0);
+  ProxyScorer scorer(&truth, ProxyOptions{});
+  for (video::FrameId f = 0; f < 10000; f += 501) {
+    EXPECT_DOUBLE_EQ(scorer.Score(f), scorer.Score(f));
+  }
+}
+
+TEST(ProxyScorerTest, ScoresInUnitInterval) {
+  const scene::GroundTruth truth = SparseTruth(10000, 30, 100.0);
+  ProxyOptions opts;
+  opts.noise_sigma = 0.5;  // Heavy noise still clamps to [0, 1].
+  ProxyScorer scorer(&truth, opts);
+  for (video::FrameId f = 0; f < 10000; f += 11) {
+    const double s = scorer.Score(f);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ProxyScorerTest, NoisyProxyStillCorrelates) {
+  const scene::GroundTruth truth = SparseTruth(100000, 100, 400.0);
+  ProxyOptions opts;
+  opts.noise_sigma = 0.15;
+  ProxyScorer scorer(&truth, opts);
+  std::vector<scene::InstanceId> visible;
+  double sum_occupied = 0.0, sum_empty = 0.0;
+  uint64_t n_occupied = 0, n_empty = 0;
+  for (video::FrameId f = 0; f < 100000; f += 13) {
+    truth.VisibleInstances(f, 0, &visible);
+    const double score = scorer.Score(f);
+    if (visible.empty()) {
+      sum_empty += score;
+      ++n_empty;
+    } else {
+      sum_occupied += score;
+      ++n_occupied;
+    }
+  }
+  ASSERT_GT(n_occupied, 100u);
+  ASSERT_GT(n_empty, 100u);
+  EXPECT_GT(sum_occupied / n_occupied, sum_empty / n_empty + 0.3);
+}
+
+TEST(ProxyScorerTest, ScanCostMatchesPaperRate) {
+  const scene::GroundTruth truth = SparseTruth(1000, 5, 50.0);
+  ProxyScorer scorer(&truth, ProxyOptions{});
+  EXPECT_DOUBLE_EQ(scorer.SecondsPerFrame(), 1.0 / 100.0);
+}
+
+}  // namespace
+}  // namespace detect
+}  // namespace exsample

@@ -1,0 +1,118 @@
+#include "samplers/proxy_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scene/generator.h"
+
+namespace exsample {
+namespace samplers {
+namespace {
+
+// The scorer holds a pointer to the ground truth, so the fixture lives on the
+// heap to keep member addresses stable.
+struct ProxyFixture {
+  video::VideoRepository repo;
+  scene::GroundTruth truth;
+  std::unique_ptr<detect::ProxyScorer> scorer;
+
+  ProxyFixture(video::VideoRepository r, scene::GroundTruth t)
+      : repo(std::move(r)), truth(std::move(t)) {}
+
+  static std::unique_ptr<ProxyFixture> Make(uint64_t frames, uint64_t instances,
+                                            double duration, double noise) {
+    common::Rng rng(31);
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec cls;
+    cls.instance_count = instances;
+    cls.duration.mean_frames = duration;
+    spec.classes.push_back(cls);
+    auto fx = std::make_unique<ProxyFixture>(
+        video::VideoRepository::SingleClip(frames),
+        std::move(scene::GenerateScene(spec, nullptr, rng)).value());
+    detect::ProxyOptions opts;
+    opts.target_class = 0;
+    opts.noise_sigma = noise;
+    fx->scorer = std::make_unique<detect::ProxyScorer>(&fx->truth, opts);
+    return fx;
+  }
+};
+
+TEST(ProxyGuidedStrategyTest, VisitsFramesInDescendingScoreOrder) {
+  auto fx = ProxyFixture::Make(2000, 10, 100.0, 0.0);
+  ProxyGuidedStrategy strategy(&fx->repo, fx->scorer.get());
+  double prev = 1.0 + 1e-9;
+  for (int i = 0; i < 2000; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    const double score = fx->scorer->Score(*frame);
+    EXPECT_LE(score, prev + 1e-12);
+    prev = score;
+  }
+  EXPECT_FALSE(strategy.NextFrame().has_value());
+}
+
+TEST(ProxyGuidedStrategyTest, UpfrontCostIsFullScan) {
+  auto fx = ProxyFixture::Make(5000, 10, 100.0, 0.1);
+  ProxyGuidedStrategy strategy(&fx->repo, fx->scorer.get());
+  // 5000 frames at 100 fps = 50 seconds of scoring before any result.
+  EXPECT_DOUBLE_EQ(strategy.UpfrontCostSeconds(), 50.0);
+}
+
+TEST(ProxyGuidedStrategyTest, PerfectProxyFrontloadsOccupiedFrames) {
+  auto fx = ProxyFixture::Make(20000, 8, 200.0, 0.0);
+  ProxyGuidedStrategy strategy(&fx->repo, fx->scorer.get());
+  // Count ground-truth-occupied frames.
+  uint64_t occupied = 0;
+  std::vector<scene::InstanceId> visible;
+  for (video::FrameId f = 0; f < 20000; ++f) {
+    fx->truth.VisibleInstances(f, 0, &visible);
+    if (!visible.empty()) ++occupied;
+  }
+  ASSERT_GT(occupied, 0u);
+  // The first `occupied` frames the strategy returns must all be occupied.
+  for (uint64_t i = 0; i < occupied; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    fx->truth.VisibleInstances(*frame, 0, &visible);
+    EXPECT_FALSE(visible.empty()) << "rank " << i << " frame " << *frame;
+  }
+}
+
+TEST(ProxyGuidedStrategyTest, DuplicateWindowSkipsNeighbors) {
+  auto fx = ProxyFixture::Make(10000, 5, 500.0, 0.0);
+  ProxyGuidedOptions options;
+  options.duplicate_window = 50;
+  ProxyGuidedStrategy strategy(&fx->repo, fx->scorer.get(), options);
+  std::vector<video::FrameId> emitted;
+  for (;;) {
+    auto frame = strategy.NextFrame();
+    if (!frame.has_value()) break;
+    emitted.push_back(*frame);
+  }
+  // Pairwise separation of at least window+1... greedy: every emitted frame
+  // is > window away from all *previously* emitted frames, which implies all
+  // pairs are separated by more than the window.
+  std::set<video::FrameId> sorted(emitted.begin(), emitted.end());
+  video::FrameId prev = *sorted.begin();
+  for (auto it = std::next(sorted.begin()); it != sorted.end(); ++it) {
+    EXPECT_GT(*it - prev, 50u);
+    prev = *it;
+  }
+  // The skipped frames reduce coverage far below the full repository.
+  EXPECT_LT(emitted.size(), 10000u / 50u + 2u);
+}
+
+TEST(ProxyGuidedStrategyTest, NamesReflectDedup) {
+  auto fx = ProxyFixture::Make(100, 2, 10.0, 0.0);
+  EXPECT_EQ(ProxyGuidedStrategy(&fx->repo, fx->scorer.get()).name(), "proxy");
+  ProxyGuidedOptions options;
+  options.duplicate_window = 10;
+  EXPECT_EQ(ProxyGuidedStrategy(&fx->repo, fx->scorer.get(), options).name(), "proxy+dedup");
+}
+
+}  // namespace
+}  // namespace samplers
+}  // namespace exsample

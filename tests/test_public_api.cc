@@ -1,0 +1,66 @@
+// Exercises the umbrella public header end to end: a downstream user's view
+// of the library. If this compiles and passes, the advertised API works as
+// documented in the README.
+
+#include "exsample/exsample.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(PublicApiTest, ReadmeQuickstartFlow) {
+  using namespace exsample;
+
+  // 1. Repository + chunking.
+  video::VideoRepository repo = video::VideoRepository::SingleClip(50000);
+  auto chunking = video::MakeFixedCountChunks(repo, 10);
+  ASSERT_TRUE(chunking.ok());
+
+  // 2. Content (in a real deployment this is the actual video).
+  common::Rng rng(1);
+  scene::SceneSpec spec;
+  spec.total_frames = repo.TotalFrames();
+  scene::ClassPopulationSpec cls;
+  cls.class_id = 0;
+  cls.name = "traffic light";
+  cls.instance_count = 80;
+  cls.duration.mean_frames = 120.0;
+  spec.classes.push_back(cls);
+  auto truth = scene::GenerateScene(spec, &chunking.value(), rng);
+  ASSERT_TRUE(truth.ok());
+
+  // 3. Detector + discriminator + runner, exactly as the README shows.
+  detect::DetectorOptions det_opts;
+  det_opts.target_class = 0;
+  detect::SimulatedDetector detector(&truth.value(), det_opts);
+  track::IouTrackerDiscriminator discrim(&truth.value(), {});
+  query::RunnerOptions opts;
+  opts.result_limit = 20;
+  query::QueryRunner runner(&truth.value(), &detector, &discrim, opts);
+  core::ExSampleStrategy strategy(&chunking.value());
+  const query::QueryTrace trace = runner.Run(&strategy);
+
+  EXPECT_GE(trace.final.reported_results, 20u);
+  EXPECT_LT(trace.final.samples, repo.TotalFrames());
+  EXPECT_GT(trace.final.seconds, 0.0);
+}
+
+TEST(PublicApiTest, EngineFacadeFlow) {
+  using namespace exsample;
+  auto built = datasets::BuiltDataset::Build(datasets::DashcamSpec(), 3, 0.02);
+  ASSERT_TRUE(built.ok());
+  const datasets::BuiltDataset& ds = built.value();
+
+  engine::EngineConfig config;
+  config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
+  config.detector = detect::DetectorOptions::Perfect(0);
+  engine::SearchEngine search(&ds.repo(), &ds.chunking(), &ds.truth(), config);
+
+  const datasets::QuerySpec* bicycle = ds.spec().FindQuery("bicycle");
+  ASSERT_NE(bicycle, nullptr);
+  auto trace = search.FindDistinct(bicycle->class_id, 10);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value().final.reported_results, 10u);
+}
+
+}  // namespace

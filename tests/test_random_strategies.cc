@@ -1,0 +1,99 @@
+#include "samplers/random_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace exsample {
+namespace samplers {
+namespace {
+
+TEST(UniformRandomStrategyTest, NoReplacementFullCoverage) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(500);
+  UniformRandomStrategy strategy(&repo, 1);
+  std::set<video::FrameId> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(seen.insert(*frame).second);
+  }
+  EXPECT_FALSE(strategy.NextFrame().has_value());
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 499u);
+}
+
+TEST(UniformRandomStrategyTest, DifferentSeedsDifferentOrders) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(1000);
+  UniformRandomStrategy a(&repo, 1), b(&repo, 2);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextFrame() != b.NextFrame()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(UniformRandomStrategyTest, NoUpfrontCost) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(100);
+  UniformRandomStrategy strategy(&repo, 3);
+  EXPECT_DOUBLE_EQ(strategy.UpfrontCostSeconds(), 0.0);
+  EXPECT_EQ(strategy.name(), "random");
+}
+
+TEST(RandomPlusStrategyTest, NoReplacementFullCoverage) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(300);
+  RandomPlusStrategy strategy(&repo, 4);
+  std::set<video::FrameId> seen;
+  for (int i = 0; i < 300; ++i) {
+    auto frame = strategy.NextFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(seen.insert(*frame).second);
+  }
+  EXPECT_FALSE(strategy.NextFrame().has_value());
+}
+
+TEST(RandomPlusStrategyTest, EarlySamplesSpreadAcrossTimeline) {
+  // The defining behaviour vs. plain random (Sec. III-F): the first k samples
+  // cover k distinct 1/k-fraction blocks of the timeline.
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(1 << 16);
+  RandomPlusStrategy strategy(&repo, 5);
+  std::set<uint64_t> blocks;
+  constexpr int kSamples = 16;
+  for (int i = 0; i < kSamples; ++i) {
+    blocks.insert(*strategy.NextFrame() / ((1 << 16) / kSamples));
+  }
+  // Allow one boundary collision from the proportional stratum split.
+  EXPECT_GE(blocks.size(), kSamples - 1u);
+}
+
+TEST(SequentialStrategyTest, VisitsEveryStrideOffsetInOrder) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(10);
+  SequentialStrategy strategy(&repo, 3);
+  std::vector<video::FrameId> order;
+  for (;;) {
+    auto frame = strategy.NextFrame();
+    if (!frame.has_value()) break;
+    order.push_back(*frame);
+  }
+  // Pass 1: 0,3,6,9; pass 2: 1,4,7; pass 3: 2,5,8.
+  const std::vector<video::FrameId> expected{0, 3, 6, 9, 1, 4, 7, 2, 5, 8};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SequentialStrategyTest, StrideOneIsPlainScan) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(5);
+  SequentialStrategy strategy(&repo, 1);
+  for (video::FrameId f = 0; f < 5; ++f) {
+    EXPECT_EQ(strategy.NextFrame(), std::optional<video::FrameId>(f));
+  }
+  EXPECT_FALSE(strategy.NextFrame().has_value());
+}
+
+TEST(SequentialStrategyTest, NameIncludesStride) {
+  const video::VideoRepository repo = video::VideoRepository::SingleClip(5);
+  EXPECT_EQ(SequentialStrategy(&repo, 30).name(), "sequential/30");
+}
+
+}  // namespace
+}  // namespace samplers
+}  // namespace exsample

@@ -1,0 +1,90 @@
+#include "video/repository.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace video {
+namespace {
+
+TEST(VideoRepositoryTest, AddClipValidates) {
+  VideoRepository repo;
+  EXPECT_FALSE(repo.AddClip("empty", 0).ok());
+  EXPECT_FALSE(repo.AddClip("badfps", 10, 0.0).ok());
+  EXPECT_FALSE(repo.AddClip("badfps", 10, -1.0).ok());
+  auto id = repo.AddClip("good", 10);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(VideoRepositoryTest, GlobalFrameLayout) {
+  VideoRepository repo;
+  repo.AddClip("a", 100);
+  repo.AddClip("b", 50);
+  repo.AddClip("c", 25);
+  EXPECT_EQ(repo.NumClips(), 3u);
+  EXPECT_EQ(repo.TotalFrames(), 175u);
+  EXPECT_EQ(repo.ClipBegin(0), 0u);
+  EXPECT_EQ(repo.ClipEnd(0), 100u);
+  EXPECT_EQ(repo.ClipBegin(1), 100u);
+  EXPECT_EQ(repo.ClipEnd(1), 150u);
+  EXPECT_EQ(repo.ClipBegin(2), 150u);
+  EXPECT_EQ(repo.ClipEnd(2), 175u);
+}
+
+TEST(VideoRepositoryTest, LocateMapsBoundaries) {
+  VideoRepository repo;
+  repo.AddClip("a", 100);
+  repo.AddClip("b", 50);
+
+  auto loc = repo.Locate(0);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().clip_id, 0u);
+  EXPECT_EQ(loc.value().frame_in_clip, 0u);
+
+  loc = repo.Locate(99);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().clip_id, 0u);
+  EXPECT_EQ(loc.value().frame_in_clip, 99u);
+
+  loc = repo.Locate(100);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().clip_id, 1u);
+  EXPECT_EQ(loc.value().frame_in_clip, 0u);
+
+  loc = repo.Locate(149);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().clip_id, 1u);
+  EXPECT_EQ(loc.value().frame_in_clip, 49u);
+}
+
+TEST(VideoRepositoryTest, LocatePastEndFails) {
+  VideoRepository repo;
+  repo.AddClip("a", 10);
+  EXPECT_FALSE(repo.Locate(10).ok());
+  EXPECT_EQ(repo.Locate(10).status().code(), common::StatusCode::kOutOfRange);
+}
+
+TEST(VideoRepositoryTest, TotalSecondsUsesFps) {
+  VideoRepository repo;
+  repo.AddClip("a", 300, 30.0);  // 10 seconds
+  repo.AddClip("b", 100, 10.0);  // 10 seconds
+  EXPECT_DOUBLE_EQ(repo.TotalSeconds(), 20.0);
+}
+
+TEST(VideoRepositoryTest, SingleClipBuilder) {
+  VideoRepository repo = VideoRepository::SingleClip(1000, 25.0);
+  EXPECT_EQ(repo.NumClips(), 1u);
+  EXPECT_EQ(repo.TotalFrames(), 1000u);
+  EXPECT_DOUBLE_EQ(repo.TotalSeconds(), 40.0);
+}
+
+TEST(VideoRepositoryTest, UniformClipsBuilder) {
+  VideoRepository repo = VideoRepository::UniformClips(10, 200);
+  EXPECT_EQ(repo.NumClips(), 10u);
+  EXPECT_EQ(repo.TotalFrames(), 2000u);
+  EXPECT_EQ(repo.Clip(7).frame_count, 200u);
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

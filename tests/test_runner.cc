@@ -1,0 +1,199 @@
+#include "query/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exsample.h"
+#include "samplers/random_strategy.h"
+#include "scene/generator.h"
+#include "track/oracle_discriminator.h"
+
+namespace exsample {
+namespace query {
+namespace {
+
+struct Fixture {
+  video::VideoRepository repo;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+
+  Fixture(video::VideoRepository r, video::Chunking c, scene::GroundTruth t)
+      : repo(std::move(r)), chunking(std::move(c)), truth(std::move(t)) {}
+
+  static std::unique_ptr<Fixture> Make(uint64_t frames, uint64_t instances,
+                                       double duration, uint64_t seed = 77) {
+    common::Rng rng(seed);
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec cls;
+    cls.instance_count = instances;
+    cls.duration.mean_frames = duration;
+    spec.classes.push_back(cls);
+    return std::make_unique<Fixture>(
+        video::VideoRepository::SingleClip(frames),
+        video::MakeFixedCountChunks(frames, 8).value(),
+        std::move(scene::GenerateScene(spec, nullptr, rng)).value());
+  }
+};
+
+TEST(QueryRunnerTest, StopsAtResultLimit) {
+  auto fx = Fixture::Make(20000, 200, 100.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  RunnerOptions options;
+  options.result_limit = 20;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 1);
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_GE(trace.final.reported_results, 20u);
+  // One frame can yield multiple results, so allow slight overshoot.
+  EXPECT_LT(trace.final.reported_results, 30u);
+  EXPECT_EQ(trace.total_instances, 200u);
+}
+
+TEST(QueryRunnerTest, StopsAtMaxSamples) {
+  auto fx = Fixture::Make(20000, 5, 20.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  RunnerOptions options;
+  options.max_samples = 100;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 2);
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_EQ(trace.final.samples, 100u);
+}
+
+TEST(QueryRunnerTest, StopsAtTrueDistinctTarget) {
+  auto fx = Fixture::Make(20000, 100, 200.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  RunnerOptions options;
+  options.true_distinct_target = 50;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 3);
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_GE(trace.final.true_distinct, 50u);
+  EXPECT_LT(trace.final.true_distinct, 60u);
+}
+
+TEST(QueryRunnerTest, ExhaustionEndsRun) {
+  auto fx = Fixture::Make(500, 3, 10.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  QueryRunner runner(&fx->truth, &detector, &discrim, RunnerOptions{});
+  samplers::UniformRandomStrategy strategy(&fx->repo, 4);
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_EQ(trace.final.samples, 500u);   // Scanned everything.
+  EXPECT_EQ(trace.final.true_distinct, 3u);
+}
+
+TEST(QueryRunnerTest, SecondsAccounting) {
+  auto fx = Fixture::Make(1000, 10, 50.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  RunnerOptions options;
+  options.max_samples = 40;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 5);
+  const QueryTrace trace = runner.Run(&strategy);
+  // 40 frames at 20 fps = 2 seconds, no upfront cost.
+  EXPECT_NEAR(trace.final.seconds, 2.0, 1e-9);
+}
+
+TEST(QueryRunnerTest, VideoStoreCostsAdded) {
+  auto fx = Fixture::Make(1000, 10, 50.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  video::SimulatedVideoStore store(&fx->repo, video::DecodeCostModel{});
+  RunnerOptions options;
+  options.max_samples = 40;
+  options.video_store = &store;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 6);
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_GT(trace.final.seconds, 2.0);  // Detector time plus decode time.
+  EXPECT_NEAR(trace.final.seconds, 2.0 + store.Stats().total_seconds, 1e-9);
+  EXPECT_EQ(store.Stats().random_reads + store.Stats().sequential_reads, 40u);
+}
+
+TEST(QueryRunnerTest, ReproducibleBySeeds) {
+  auto fx = Fixture::Make(10000, 50, 100.0);
+  RunnerOptions options;
+  options.true_distinct_target = 25;
+  std::vector<uint64_t> samples;
+  for (int rep = 0; rep < 2; ++rep) {
+    detect::SimulatedDetector detector(&fx->truth,
+                                       detect::DetectorOptions::Perfect(0));
+    track::OracleDiscriminator discrim;
+    QueryRunner runner(&fx->truth, &detector, &discrim, options);
+    core::ExSampleOptions ex_options;
+    ex_options.seed = 9;
+    core::ExSampleStrategy strategy(&fx->chunking, ex_options);
+    samples.push_back(runner.Run(&strategy).final.samples);
+  }
+  EXPECT_EQ(samples[0], samples[1]);
+}
+
+TEST(QueryRunnerTest, TracePointsAreMonotone) {
+  auto fx = Fixture::Make(20000, 100, 100.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  RunnerOptions options;
+  options.true_distinct_target = 60;
+  QueryRunner runner(&fx->truth, &detector, &discrim, options);
+  samplers::UniformRandomStrategy strategy(&fx->repo, 8);
+  const QueryTrace trace = runner.Run(&strategy);
+  for (size_t i = 1; i < trace.points.size(); ++i) {
+    EXPECT_GE(trace.points[i].samples, trace.points[i - 1].samples);
+    EXPECT_GE(trace.points[i].seconds, trace.points[i - 1].seconds);
+    EXPECT_GE(trace.points[i].true_distinct, trace.points[i - 1].true_distinct);
+  }
+}
+
+TEST(QueryRunnerTest, IncrementalOverheadCharged) {
+  // Strategies can accrue per-step overhead (lazy proxy scoring, Sec. VII
+  // fusion); the runner charges the delta after each step.
+  class OverheadStrategy : public SearchStrategy {
+   public:
+    std::optional<video::FrameId> NextFrame() override {
+      overhead_ += 0.25;
+      return cursor_ < 10 ? std::optional<video::FrameId>(cursor_++) : std::nullopt;
+    }
+    double CumulativeOverheadSeconds() const override { return overhead_; }
+    std::string name() const override { return "overhead"; }
+
+   private:
+    video::FrameId cursor_ = 0;
+    double overhead_ = 0.0;
+  };
+  auto fx = Fixture::Make(1000, 10, 50.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  QueryRunner runner(&fx->truth, &detector, &discrim, RunnerOptions{});
+  OverheadStrategy strategy;
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_EQ(trace.final.samples, 10u);
+  // 10 frames at 20 fps = 0.5 s, plus 10 * 0.25 s overhead.
+  EXPECT_NEAR(trace.final.seconds, 0.5 + 2.5, 1e-9);
+}
+
+TEST(QueryRunnerTest, UpfrontCostAppearsBeforeFirstSample) {
+  // A strategy with upfront cost starts its clock at that cost.
+  class CostlyStrategy : public SearchStrategy {
+   public:
+    std::optional<video::FrameId> NextFrame() override { return std::nullopt; }
+    double UpfrontCostSeconds() const override { return 123.0; }
+    std::string name() const override { return "costly"; }
+  };
+  auto fx = Fixture::Make(100, 2, 10.0);
+  detect::SimulatedDetector detector(&fx->truth, detect::DetectorOptions::Perfect(0));
+  track::OracleDiscriminator discrim;
+  QueryRunner runner(&fx->truth, &detector, &discrim, RunnerOptions{});
+  CostlyStrategy strategy;
+  const QueryTrace trace = runner.Run(&strategy);
+  EXPECT_DOUBLE_EQ(trace.final.seconds, 123.0);
+  EXPECT_EQ(trace.final.samples, 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace exsample

@@ -1,0 +1,92 @@
+#include "stats/running_stat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace exsample {
+namespace stats {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_TRUE(std::isinf(s.Min()));
+  EXPECT_TRUE(std::isinf(s.Max()));
+}
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  common::Rng rng(1);
+  std::vector<double> values(5000);
+  RunningStat s;
+  for (double& v : values) {
+    v = rng.Normal(3.0, 2.0);
+    s.Add(v);
+  }
+  EXPECT_EQ(s.Count(), values.size());
+  EXPECT_NEAR(s.Mean(), common::Mean(values), 1e-9);
+  EXPECT_NEAR(s.Variance(), common::SampleVariance(values), 1e-9);
+  EXPECT_NEAR(s.StdDev(), common::SampleStdDev(values), 1e-9);
+}
+
+TEST(RunningStatTest, MinMaxSum) {
+  RunningStat s;
+  for (double v : {3.0, -1.0, 7.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 11.0);
+}
+
+TEST(RunningStatTest, SingleValueVarianceZero) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  common::Rng rng(2);
+  RunningStat all, left, right;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.Exponential(0.5);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStat b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 1.5);
+  empty.Merge(a);
+  EXPECT_EQ(empty.Count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 1.5);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  // Welford should not lose the variance of small deviations around a huge
+  // mean.
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e12 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.Variance(), 1.001, 0.01);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace exsample

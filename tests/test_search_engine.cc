@@ -1,0 +1,163 @@
+#include "engine/search_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "scene/generator.h"
+
+namespace exsample {
+namespace engine {
+namespace {
+
+struct EngineFixture {
+  video::VideoRepository repo;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+
+  EngineFixture(video::VideoRepository r, video::Chunking c, scene::GroundTruth t)
+      : repo(std::move(r)), chunking(std::move(c)), truth(std::move(t)) {}
+
+  static std::unique_ptr<EngineFixture> Make(uint64_t seed = 5) {
+    common::Rng rng(seed);
+    const uint64_t frames = 100000;
+    auto chunking = video::MakeFixedCountChunks(frames, 16).value();
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec lights;
+    lights.class_id = 0;
+    lights.instance_count = 120;
+    lights.duration.mean_frames = 150.0;
+    lights.placement = scene::PlacementSpec::NormalCenter(0.25);
+    spec.classes.push_back(lights);
+    scene::ClassPopulationSpec rare;
+    rare.class_id = 1;
+    rare.instance_count = 10;
+    rare.duration.mean_frames = 80.0;
+    spec.classes.push_back(rare);
+    return std::make_unique<EngineFixture>(
+        video::VideoRepository::SingleClip(frames), std::move(chunking),
+        std::move(scene::GenerateScene(spec, &chunking, rng)).value());
+  }
+};
+
+EngineConfig OracleConfig() {
+  EngineConfig config;
+  config.discriminator = EngineConfig::DiscriminatorKind::kOracle;
+  config.detector = detect::DetectorOptions::Perfect(0);
+  return config;
+}
+
+TEST(SearchEngineTest, FindDistinctReachesLimit) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  auto trace = engine.FindDistinct(/*class_id=*/0, /*limit=*/25);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value().final.reported_results, 25u);
+  EXPECT_LT(trace.value().final.samples, 100000u);
+}
+
+TEST(SearchEngineTest, FindDistinctValidatesLimit) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  EXPECT_FALSE(engine.FindDistinct(0, 0).ok());
+}
+
+TEST(SearchEngineTest, RunToRecallValidates) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  EXPECT_FALSE(engine.RunToRecall(0, 0.0).ok());
+  EXPECT_FALSE(engine.RunToRecall(0, 1.5).ok());
+  // Unknown class: NotFound.
+  EXPECT_EQ(engine.RunToRecall(99, 0.5).status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(SearchEngineTest, RunToRecallCoversFraction) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  auto trace = engine.RunToRecall(0, 0.5);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value().final.true_distinct, 60u);  // 50% of 120.
+}
+
+class SearchEngineMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(SearchEngineMethodTest, EveryMethodCompletesAQuery) {
+  const Method method = GetParam();
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  QueryOptions options;
+  options.method = method;
+  auto trace = engine.RunToRecall(0, 0.3, options);
+  ASSERT_TRUE(trace.ok()) << MethodName(method);
+  EXPECT_GE(trace.value().final.true_distinct, 36u) << MethodName(method);
+  // Strategy name flows into the trace.
+  EXPECT_FALSE(trace.value().strategy_name.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SearchEngineMethodTest,
+    ::testing::Values(Method::kExSample, Method::kExSampleAdaptive, Method::kRandom,
+                      Method::kRandomPlus, Method::kSequential, Method::kProxyGuided,
+                      Method::kHybrid),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = MethodName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(SearchEngineTest, ProxyQueryPaysScanExSampleDoesNot) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  QueryOptions proxy;
+  proxy.method = Method::kProxyGuided;
+  auto proxy_trace = engine.RunToRecall(0, 0.1, proxy);
+  auto ex_trace = engine.RunToRecall(0, 0.1, QueryOptions{});
+  ASSERT_TRUE(proxy_trace.ok() && ex_trace.ok());
+  // 100k frames at 100 fps = 1000 s scan for the proxy.
+  EXPECT_GE(proxy_trace.value().final.seconds, 1000.0);
+  EXPECT_LT(ex_trace.value().final.seconds, proxy_trace.value().final.seconds);
+}
+
+TEST(SearchEngineTest, TrackerDiscriminatorByDefault) {
+  auto fx = EngineFixture::Make();
+  EngineConfig config;  // Default: IoU tracker, noisy detector defaults.
+  config.detector.miss_prob = 0.1;
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, config);
+  auto trace = engine.FindDistinct(0, 15);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value().final.reported_results, 15u);
+}
+
+TEST(SearchEngineTest, RareClassQuery) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  auto trace = engine.RunToRecall(/*class_id=*/1, 0.5);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace.value().final.true_distinct, 5u);
+}
+
+TEST(SearchEngineTest, MaxSamplesCapRespected) {
+  auto fx = EngineFixture::Make();
+  SearchEngine engine(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  QueryOptions options;
+  options.max_samples = 50;
+  auto trace = engine.FindDistinct(0, 1000000, options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace.value().final.samples, 50u);
+}
+
+TEST(MethodNameTest, AllNamed) {
+  EXPECT_STREQ(MethodName(Method::kExSample), "exsample");
+  EXPECT_STREQ(MethodName(Method::kExSampleAdaptive), "exsample-adaptive");
+  EXPECT_STREQ(MethodName(Method::kRandom), "random");
+  EXPECT_STREQ(MethodName(Method::kRandomPlus), "random+");
+  EXPECT_STREQ(MethodName(Method::kSequential), "sequential");
+  EXPECT_STREQ(MethodName(Method::kProxyGuided), "proxy");
+  EXPECT_STREQ(MethodName(Method::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace exsample

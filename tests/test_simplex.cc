@@ -1,0 +1,110 @@
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace exsample {
+namespace opt {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(ProjectToSimplexTest, AlreadyOnSimplexIsFixedPoint) {
+  const std::vector<double> w{0.2, 0.3, 0.5};
+  const auto p = ProjectToSimplex(w);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(p[i], w[i], 1e-12);
+}
+
+TEST(ProjectToSimplexTest, UniformFromEqualValues) {
+  const auto p = ProjectToSimplex({7.0, 7.0, 7.0, 7.0});
+  for (double x : p) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(ProjectToSimplexTest, DominantCoordinateSaturates) {
+  const auto p = ProjectToSimplex({100.0, 0.0, 0.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  EXPECT_NEAR(p[2], 0.0, 1e-12);
+}
+
+TEST(ProjectToSimplexTest, NegativeEntriesClampToZero) {
+  const auto p = ProjectToSimplex({0.5, -10.0, 0.7});
+  EXPECT_NEAR(Sum(p), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(ProjectToSimplexTest, KnownSmallCase) {
+  // Projection of (1, 0) onto the simplex is (1, 0); of (1, 1) is (.5, .5);
+  // of (2, 1) is (1, 0) shifted: tau = (3-1)/2 = 1 -> (1, 0).
+  auto p = ProjectToSimplex({2.0, 1.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  p = ProjectToSimplex({1.0, 1.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, ProjectionInvariants) {
+  common::Rng rng(GetParam());
+  const size_t d = 1 + rng.NextBounded(64);
+  std::vector<double> v(d);
+  for (double& x : v) x = rng.Normal(0.0, 3.0);
+  const auto p = ProjectToSimplex(v);
+
+  // 1. On the simplex.
+  EXPECT_NEAR(Sum(p), 1.0, 1e-9);
+  for (double x : p) EXPECT_GE(x, 0.0);
+
+  // 2. Idempotent.
+  const auto pp = ProjectToSimplex(p);
+  for (size_t i = 0; i < d; ++i) EXPECT_NEAR(pp[i], p[i], 1e-9);
+
+  // 3. Optimality: no feasible direction improves the distance. Verify
+  //    against random simplex points: ||v - p|| <= ||v - q||.
+  double dist_p = 0.0;
+  for (size_t i = 0; i < d; ++i) dist_p += (v[i] - p[i]) * (v[i] - p[i]);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(d);
+    double qs = 0.0;
+    for (double& x : q) {
+      x = rng.Exponential(1.0);
+      qs += x;
+    }
+    for (double& x : q) x /= qs;
+    double dist_q = 0.0;
+    for (size_t i = 0; i < d; ++i) dist_q += (v[i] - q[i]) * (v[i] - q[i]);
+    EXPECT_LE(dist_p, dist_q + 1e-9);
+  }
+
+  // 4. Order preserving: larger inputs never get smaller outputs.
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (v[i] > v[j]) {
+        EXPECT_GE(p[i], p[j] - 1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(UniformWeightsTest, SumsToOne) {
+  const auto w = UniformWeights(7);
+  EXPECT_EQ(w.size(), 7u);
+  EXPECT_NEAR(Sum(w), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(w[3], 1.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace exsample

@@ -1,0 +1,117 @@
+#include "scene/skew.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "scene/generator.h"
+
+namespace exsample {
+namespace scene {
+namespace {
+
+TEST(MinChunksCoveringHalfTest, UniformCounts) {
+  // 10 chunks with equal counts: 5 chunks cover half.
+  EXPECT_EQ(MinChunksCoveringHalf(std::vector<uint64_t>(10, 7)), 5u);
+}
+
+TEST(MinChunksCoveringHalfTest, FullyConcentrated) {
+  std::vector<uint64_t> counts(10, 0);
+  counts[3] = 100;
+  EXPECT_EQ(MinChunksCoveringHalf(counts), 1u);
+}
+
+TEST(MinChunksCoveringHalfTest, EmptyCounts) {
+  EXPECT_EQ(MinChunksCoveringHalf(std::vector<uint64_t>(10, 0)), 0u);
+}
+
+TEST(MinChunksCoveringHalfTest, TakesLargestFirst) {
+  // Counts 50, 30, 20: the largest chunk alone covers exactly half.
+  EXPECT_EQ(MinChunksCoveringHalf({20, 50, 30}), 1u);
+  // Counts 40, 30, 30: needs two chunks.
+  EXPECT_EQ(MinChunksCoveringHalf({30, 40, 30}), 2u);
+}
+
+TEST(SkewMetricTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(SkewMetric(std::vector<uint64_t>(10, 3)), 1.0);
+}
+
+TEST(SkewMetricTest, ConcentratedIsMOverTwo) {
+  std::vector<uint64_t> counts(30, 0);
+  counts[0] = 99;
+  EXPECT_DOUBLE_EQ(SkewMetric(counts), 15.0);  // M/2 with K50 = 1.
+}
+
+TEST(SkewMetricTest, NoInstancesDefaultsToOne) {
+  EXPECT_DOUBLE_EQ(SkewMetric(std::vector<uint64_t>(10, 0)), 1.0);
+}
+
+class SkewedWeightsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewedWeightsTest, HitsTargetSkew) {
+  const double target_s = GetParam();
+  common::Rng rng(11);
+  const size_t num_chunks = 128;
+  const auto weights = MakeSkewedChunkWeights(num_chunks, target_s, rng);
+  ASSERT_EQ(weights.size(), num_chunks);
+
+  // Weights are a distribution.
+  double sum = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  // Realize a large population and measure the skew of the counts.
+  auto chunking = video::MakeFixedCountChunks(uint64_t{1280000}, num_chunks).value();
+  SceneSpec spec;
+  spec.total_frames = 1280000;
+  ClassPopulationSpec cls;
+  cls.instance_count = 60000;  // Large so sampling noise is small.
+  cls.duration.mean_frames = 5.0;
+  cls.placement = PlacementSpec::ChunkWeights(weights);
+  spec.classes.push_back(cls);
+  auto truth = GenerateScene(spec, &chunking, rng);
+  ASSERT_TRUE(truth.ok());
+  const auto counts =
+      ChunkInstanceCounts(truth.value().Trajectories(), chunking, 0);
+  const double measured = SkewMetric(counts);
+  // K50 is integer-quantized, so allow generous tolerance at high skew.
+  EXPECT_GT(measured, target_s * 0.6);
+  EXPECT_LT(measured, target_s * 1.8 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SkewedWeightsTest,
+                         ::testing::Values(1.0, 1.6, 3.0, 4.5, 14.0, 19.0, 30.0));
+
+TEST(SkewedWeightsTest, TargetClampedToFeasibleRange) {
+  common::Rng rng(12);
+  // S beyond M/2 is infeasible; the constructor clamps.
+  const auto weights = MakeSkewedChunkWeights(8, 1000.0, rng);
+  std::vector<uint64_t> scaled;
+  for (double w : weights) scaled.push_back(static_cast<uint64_t>(w * 1e9));
+  EXPECT_LE(SkewMetric(scaled), 4.0 + 1e-9);
+}
+
+TEST(ChunkInstanceCountsTest, FiltersByClass) {
+  auto chunking = video::MakeFixedCountChunks(uint64_t{100}, 2).value();
+  std::vector<Trajectory> trajs(3);
+  trajs[0].class_id = 0;
+  trajs[0].start_frame = 0;
+  trajs[0].end_frame = 10;  // Mid 5 -> chunk 0.
+  trajs[1].class_id = 1;
+  trajs[1].start_frame = 60;
+  trajs[1].end_frame = 80;  // Mid 70 -> chunk 1.
+  trajs[2].class_id = 0;
+  trajs[2].start_frame = 60;
+  trajs[2].end_frame = 90;  // Mid 75 -> chunk 1.
+  const auto class0 = ChunkInstanceCounts(trajs, chunking, 0);
+  EXPECT_EQ(class0, (std::vector<uint64_t>{1, 1}));
+  const auto all = ChunkInstanceCounts(trajs, chunking, -1);
+  EXPECT_EQ(all, (std::vector<uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace scene
+}  // namespace exsample

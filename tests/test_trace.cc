@@ -1,0 +1,79 @@
+#include "query/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace exsample {
+namespace query {
+namespace {
+
+QueryTrace MakeTrace() {
+  QueryTrace trace;
+  trace.strategy_name = "test";
+  trace.total_instances = 100;
+  trace.points = {
+      {0, 5.0, 0, 0},      // Upfront cost only.
+      {10, 5.5, 1, 1},
+      {50, 7.5, 3, 3},
+      {200, 15.0, 12, 10},
+      {1000, 55.0, 60, 50},
+  };
+  trace.final = trace.points.back();
+  return trace;
+}
+
+TEST(QueryTraceTest, SamplesToTrueDistinct) {
+  const QueryTrace trace = MakeTrace();
+  EXPECT_EQ(trace.SamplesToTrueDistinct(0), std::optional<uint64_t>(0));
+  EXPECT_EQ(trace.SamplesToTrueDistinct(1), std::optional<uint64_t>(10));
+  EXPECT_EQ(trace.SamplesToTrueDistinct(2), std::optional<uint64_t>(50));
+  EXPECT_EQ(trace.SamplesToTrueDistinct(10), std::optional<uint64_t>(200));
+  EXPECT_EQ(trace.SamplesToTrueDistinct(50), std::optional<uint64_t>(1000));
+  EXPECT_FALSE(trace.SamplesToTrueDistinct(51).has_value());
+}
+
+TEST(QueryTraceTest, SecondsToTrueDistinctIncludesUpfront) {
+  const QueryTrace trace = MakeTrace();
+  EXPECT_EQ(trace.SecondsToTrueDistinct(1), std::optional<double>(5.5));
+  EXPECT_EQ(trace.SecondsToTrueDistinct(50), std::optional<double>(55.0));
+}
+
+TEST(QueryTraceTest, RecallTargets) {
+  const QueryTrace trace = MakeTrace();
+  // 10% of 100 instances = 10 -> reached at 200 samples.
+  EXPECT_EQ(trace.SamplesToRecall(0.1), std::optional<uint64_t>(200));
+  EXPECT_EQ(trace.SamplesToRecall(0.5), std::optional<uint64_t>(1000));
+  EXPECT_FALSE(trace.SamplesToRecall(0.9).has_value());
+  EXPECT_EQ(trace.SecondsToRecall(0.1), std::optional<double>(15.0));
+}
+
+TEST(QueryTraceTest, RecallTargetCountRoundsUpAndIsAtLeastOne) {
+  QueryTrace trace;
+  trace.total_instances = 7;
+  EXPECT_EQ(trace.RecallTargetCount(0.1), 1u);   // ceil(0.7)
+  EXPECT_EQ(trace.RecallTargetCount(0.5), 4u);   // ceil(3.5)
+  EXPECT_EQ(trace.RecallTargetCount(0.9), 7u);   // ceil(6.3)
+  trace.total_instances = 0;
+  EXPECT_EQ(trace.RecallTargetCount(0.5), 1u);
+}
+
+TEST(QueryTraceTest, TrueDistinctAtSamplesIsStepFunction) {
+  const QueryTrace trace = MakeTrace();
+  EXPECT_EQ(trace.TrueDistinctAtSamples(0), 0u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(9), 0u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(10), 1u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(49), 1u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(199), 3u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(200), 10u);
+  EXPECT_EQ(trace.TrueDistinctAtSamples(100000), 50u);
+}
+
+TEST(QueryTraceTest, EmptyTrace) {
+  QueryTrace trace;
+  trace.total_instances = 10;
+  EXPECT_FALSE(trace.SamplesToTrueDistinct(1).has_value());
+  EXPECT_EQ(trace.TrueDistinctAtSamples(100), 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace exsample

@@ -1,0 +1,84 @@
+#include "query/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace exsample {
+namespace query {
+namespace {
+
+QueryTrace SampleTrace() {
+  QueryTrace trace;
+  trace.strategy_name = "exsample";
+  trace.total_instances = 42;
+  trace.points = {{0, 0.0, 0, 0}, {10, 0.5, 2, 2}, {100, 5.0, 9, 8}};
+  trace.final = trace.points.back();
+  return trace;
+}
+
+TEST(TraceIoTest, WriteContainsHeaderAndRows) {
+  std::ostringstream os;
+  WriteTraceCsv(SampleTrace(), os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# strategy=exsample total_instances=42"), std::string::npos);
+  EXPECT_NE(out.find("samples,seconds,reported_results,true_distinct"),
+            std::string::npos);
+  EXPECT_NE(out.find("100,5.000000,9,8"), std::string::npos);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const QueryTrace original = SampleTrace();
+  std::ostringstream os;
+  WriteTraceCsv(original, os);
+  std::istringstream is(os.str());
+  auto parsed = ReadTraceCsv(is);
+  ASSERT_TRUE(parsed.ok());
+  const QueryTrace& trace = parsed.value();
+  EXPECT_EQ(trace.strategy_name, "exsample");
+  EXPECT_EQ(trace.total_instances, 42u);
+  ASSERT_EQ(trace.points.size(), original.points.size());
+  for (size_t i = 0; i < trace.points.size(); ++i) {
+    EXPECT_EQ(trace.points[i].samples, original.points[i].samples);
+    EXPECT_NEAR(trace.points[i].seconds, original.points[i].seconds, 1e-6);
+    EXPECT_EQ(trace.points[i].true_distinct, original.points[i].true_distinct);
+  }
+  EXPECT_EQ(trace.final.samples, original.final.samples);
+}
+
+TEST(TraceIoTest, MultiTraceLongFormat) {
+  QueryTrace a = SampleTrace();
+  QueryTrace b = SampleTrace();
+  b.strategy_name = "random";
+  std::ostringstream os;
+  WriteTracesCsv({a, b}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("strategy,samples,"), std::string::npos);
+  EXPECT_NE(out.find("exsample,10,"), std::string::npos);
+  EXPECT_NE(out.find("random,10,"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMalformedRows) {
+  std::istringstream is("samples,seconds,reported_results,true_distinct\nnot,a,row\n");
+  EXPECT_FALSE(ReadTraceCsv(is).ok());
+}
+
+TEST(TraceIoTest, ToleratesMissingComment) {
+  std::istringstream is(
+      "samples,seconds,reported_results,true_distinct\n5,0.25,1,1\n");
+  auto parsed = ReadTraceCsv(is);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().points.size(), 1u);
+  EXPECT_EQ(parsed.value().total_instances, 0u);
+}
+
+TEST(TraceIoTest, EmptyInputYieldsEmptyTrace) {
+  std::istringstream is("");
+  auto parsed = ReadTraceCsv(is);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().points.empty());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace exsample

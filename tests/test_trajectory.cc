@@ -1,0 +1,99 @@
+#include "scene/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scene/ground_truth.h"
+
+namespace exsample {
+namespace scene {
+namespace {
+
+Trajectory MakeTraj(video::FrameId start, video::FrameId end, int32_t cls = 0) {
+  Trajectory t;
+  t.class_id = cls;
+  t.start_frame = start;
+  t.end_frame = end;
+  t.box0 = common::Box{0.1, 0.2, 0.1, 0.1};
+  return t;
+}
+
+TEST(TrajectoryTest, VisibilityInterval) {
+  const Trajectory t = MakeTraj(10, 20);
+  EXPECT_FALSE(t.VisibleAt(9));
+  EXPECT_TRUE(t.VisibleAt(10));
+  EXPECT_TRUE(t.VisibleAt(19));
+  EXPECT_FALSE(t.VisibleAt(20));
+  EXPECT_EQ(t.DurationFrames(), 10u);
+  EXPECT_EQ(t.MidFrame(), 15u);
+}
+
+TEST(TrajectoryTest, BoxAtStartIsBox0) {
+  const Trajectory t = MakeTraj(10, 20);
+  EXPECT_EQ(t.BoxAt(10), t.box0);
+}
+
+TEST(TrajectoryTest, BoxMovesLinearly) {
+  Trajectory t = MakeTraj(0, 100);
+  t.dx_per_frame = 0.01;
+  t.dy_per_frame = -0.005;
+  const common::Box at10 = t.BoxAt(10);
+  EXPECT_NEAR(at10.x, t.box0.x + 0.1, 1e-12);
+  EXPECT_NEAR(at10.y, t.box0.y - 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(at10.w, t.box0.w);
+}
+
+TEST(TrajectoryTest, BoxScalesExponentially) {
+  Trajectory t = MakeTraj(0, 100);
+  t.scale_per_frame = 1.01;
+  const common::Box at10 = t.BoxAt(10);
+  EXPECT_NEAR(at10.w, t.box0.w * std::pow(1.01, 10), 1e-9);
+  // Scaling preserves the center.
+  EXPECT_NEAR(at10.CenterX(), t.box0.CenterX(), 1e-12);
+}
+
+TEST(GroundTruthTest, ReassignsInstanceIds) {
+  std::vector<Trajectory> trajs{MakeTraj(0, 10), MakeTraj(5, 15), MakeTraj(20, 30)};
+  GroundTruth truth(std::move(trajs), 100);
+  EXPECT_EQ(truth.Get(0).instance_id, 0u);
+  EXPECT_EQ(truth.Get(2).instance_id, 2u);
+  EXPECT_EQ(truth.Trajectories().size(), 3u);
+}
+
+TEST(GroundTruthTest, CountsByClass) {
+  std::vector<Trajectory> trajs{MakeTraj(0, 10, 0), MakeTraj(5, 15, 1),
+                                MakeTraj(20, 30, 1)};
+  GroundTruth truth(std::move(trajs), 100);
+  EXPECT_EQ(truth.NumInstances(0), 1u);
+  EXPECT_EQ(truth.NumInstances(1), 2u);
+  EXPECT_EQ(truth.NumInstances(7), 0u);
+  EXPECT_EQ(truth.NumInstances(GroundTruth::kAllClasses), 3u);
+}
+
+TEST(GroundTruthTest, VisibleInstancesFiltersClass) {
+  std::vector<Trajectory> trajs{MakeTraj(0, 10, 0), MakeTraj(5, 15, 1)};
+  GroundTruth truth(std::move(trajs), 100);
+  std::vector<InstanceId> out;
+  truth.VisibleInstances(7, 1, &out);
+  EXPECT_EQ(out, std::vector<InstanceId>{1});
+  truth.VisibleInstances(7, GroundTruth::kAllClasses, &out);
+  EXPECT_EQ(out.size(), 2u);
+  truth.VisibleInstances(12, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GroundTruthTest, ForEachVisibleSeesTrajectories) {
+  std::vector<Trajectory> trajs{MakeTraj(0, 10, 0), MakeTraj(5, 15, 1)};
+  GroundTruth truth(std::move(trajs), 100);
+  int count = 0;
+  truth.ForEachVisible(7, [&](const Trajectory& t) {
+    ++count;
+    EXPECT_TRUE(t.VisibleAt(7));
+  });
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace scene
+}  // namespace exsample

@@ -1,0 +1,207 @@
+// exsample_cli: command-line driver for distinct-object queries on the
+// bundled dataset emulations.
+//
+// Usage:
+//   exsample_cli --list
+//   exsample_cli --dataset=dashcam --class=bicycle [options]
+//
+// Options:
+//   --method=exsample|adaptive|hybrid|random|random+|sequential|proxy
+//   --limit=K          stop after K results            (default: 20)
+//   --recall=R         run to recall fraction R instead of a limit
+//   --scale=S          dataset linear scale            (default: 0.1)
+//   --seed=N           RNG seed                        (default: 1)
+//   --csv=PATH         write the discovery trace as CSV
+//   --oracle           use the oracle discriminator (default: IoU tracker)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "exsample/exsample.h"
+
+namespace {
+
+using namespace exsample;
+
+struct CliArgs {
+  bool list = false;
+  bool oracle = false;
+  std::string dataset;
+  std::string class_name;
+  std::string method = "exsample";
+  std::string csv_path;
+  uint64_t limit = 20;
+  std::optional<double> recall;
+  double scale = 0.1;
+  uint64_t seed = 1;
+};
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+CliArgs ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      args.list = true;
+    } else if (std::strcmp(arg, "--oracle") == 0) {
+      args.oracle = true;
+    } else if (ParseArg(arg, "--dataset", &value)) {
+      args.dataset = value;
+    } else if (ParseArg(arg, "--class", &value)) {
+      args.class_name = value;
+    } else if (ParseArg(arg, "--method", &value)) {
+      args.method = value;
+    } else if (ParseArg(arg, "--csv", &value)) {
+      args.csv_path = value;
+    } else if (ParseArg(arg, "--limit", &value)) {
+      args.limit = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--recall", &value)) {
+      args.recall = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(arg, "--scale", &value)) {
+      args.scale = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(arg, "--seed", &value)) {
+      args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
+    }
+  }
+  return args;
+}
+
+std::optional<engine::Method> ParseMethod(const std::string& name) {
+  if (name == "exsample") return engine::Method::kExSample;
+  if (name == "adaptive") return engine::Method::kExSampleAdaptive;
+  if (name == "hybrid") return engine::Method::kHybrid;
+  if (name == "random") return engine::Method::kRandom;
+  if (name == "random+") return engine::Method::kRandomPlus;
+  if (name == "sequential") return engine::Method::kSequential;
+  if (name == "proxy") return engine::Method::kProxyGuided;
+  return std::nullopt;
+}
+
+int ListDatasets() {
+  common::TextTable table;
+  table.SetHeader({"dataset", "frames", "chunks", "classes"});
+  for (const datasets::DatasetSpec& spec : datasets::AllDatasetSpecs()) {
+    std::string classes;
+    for (const datasets::QuerySpec& q : spec.queries) {
+      if (!classes.empty()) classes += ", ";
+      classes += q.class_name;
+    }
+    table.AddRow({spec.name, common::FormatCount(spec.total_frames),
+                  std::to_string(spec.chunk_scheme == datasets::ChunkScheme::kPerClip
+                                     ? spec.num_clips
+                                     : spec.chunk_count),
+                  classes});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = ParseArgs(argc, argv);
+  if (args.list || args.dataset.empty()) return ListDatasets();
+
+  // Resolve the dataset (case-sensitive prefix match is forgiving enough).
+  std::optional<datasets::DatasetSpec> spec;
+  for (const datasets::DatasetSpec& candidate : datasets::AllDatasetSpecs()) {
+    if (candidate.name.find(args.dataset) != std::string::npos) {
+      spec = candidate;
+      break;
+    }
+  }
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "unknown dataset '%s'; --list shows options\n",
+                 args.dataset.c_str());
+    return 1;
+  }
+  const datasets::QuerySpec* query = spec->FindQuery(args.class_name);
+  if (query == nullptr) {
+    std::fprintf(stderr, "dataset '%s' has no class '%s'; --list shows options\n",
+                 spec->name.c_str(), args.class_name.c_str());
+    return 1;
+  }
+  const auto method = ParseMethod(args.method);
+  if (!method.has_value()) {
+    std::fprintf(stderr, "unknown method '%s'\n", args.method.c_str());
+    return 1;
+  }
+
+  std::printf("building %s at scale %.2f (seed %llu)...\n", spec->name.c_str(),
+              args.scale, static_cast<unsigned long long>(args.seed));
+  auto built = datasets::BuiltDataset::Build(*spec, args.seed, args.scale);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  const datasets::BuiltDataset& ds = built.value();
+
+  engine::EngineConfig config;
+  if (args.oracle) {
+    config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
+  }
+  engine::SearchEngine search(&ds.repo(), &ds.chunking(), &ds.truth(), config);
+  engine::QueryOptions options;
+  options.method = *method;
+  options.exsample.seed = args.seed;
+
+  common::Result<query::QueryTrace> trace =
+      args.recall.has_value()
+          ? search.RunToRecall(query->class_id, *args.recall, options)
+          : search.FindDistinct(query->class_id, args.limit, options);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const query::QueryTrace& t = trace.value();
+
+  if (args.recall.has_value()) {
+    std::printf("query: reach %.0f%% of %llu distinct '%s' instances\n",
+                *args.recall * 100.0,
+                static_cast<unsigned long long>(t.total_instances),
+                query->class_name.c_str());
+  } else {
+    std::printf("query: find %llu distinct '%s' instances\n",
+                static_cast<unsigned long long>(args.limit),
+                query->class_name.c_str());
+  }
+  std::printf("method: %s\n", t.strategy_name.c_str());
+  std::printf("frames processed: %s of %s (%.3f%%)\n",
+              common::FormatCount(t.final.samples).c_str(),
+              common::FormatCount(ds.repo().TotalFrames()).c_str(),
+              100.0 * static_cast<double>(t.final.samples) /
+                  static_cast<double>(ds.repo().TotalFrames()));
+  std::printf("results returned: %llu (%llu truly distinct)\n",
+              static_cast<unsigned long long>(t.final.reported_results),
+              static_cast<unsigned long long>(t.final.true_distinct));
+  std::printf("model time: %s (full scan would be %s)\n",
+              common::FormatDuration(t.final.seconds).c_str(),
+              common::FormatDuration(static_cast<double>(ds.repo().TotalFrames()) /
+                                     query::kDetectorFps)
+                  .c_str());
+
+  if (!args.csv_path.empty()) {
+    std::ofstream csv(args.csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot open %s\n", args.csv_path.c_str());
+      return 1;
+    }
+    query::WriteTraceCsv(t, csv);
+    std::printf("trace written to %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}
