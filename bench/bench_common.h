@@ -78,10 +78,14 @@ struct Workload {
 
 /// Runs one strategy with a perfect class-filtered detector and the oracle
 /// discriminator until `target` distinct instances or `max_samples`.
+/// `batch_size`/`pool` select the batch pipeline's fan-out (1/null = the
+/// single-frame special case).
 inline query::QueryTrace RunOracleQuery(const scene::GroundTruth& truth,
                                         int32_t class_id,
                                         query::SearchStrategy* strategy,
-                                        uint64_t target, uint64_t max_samples) {
+                                        uint64_t target, uint64_t max_samples,
+                                        size_t batch_size = 1,
+                                        common::ThreadPool* pool = nullptr) {
   detect::SimulatedDetector detector(&truth,
                                      detect::DetectorOptions::Perfect(class_id));
   track::OracleDiscriminator discrim;
@@ -89,6 +93,8 @@ inline query::QueryTrace RunOracleQuery(const scene::GroundTruth& truth,
   options.recall_class = class_id;
   options.true_distinct_target = target;
   options.max_samples = max_samples;
+  options.batch_size = batch_size;
+  options.thread_pool = pool;
   query::QueryRunner runner(&truth, &detector, &discrim, options);
   return runner.Run(strategy);
 }

@@ -129,6 +129,89 @@ void BM_DetectorDetect(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectorDetect);
 
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Fixed cost of fanning a batch across the pool (empty tasks): the
+  // overhead DetectBatch pays before any detection work starts.
+  common::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  const size_t batch = 32;
+  for (auto _ : state) {
+    pool.ParallelFor(batch, [](size_t i) { benchmark::DoNotOptimize(i); });
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_DetectBatch(benchmark::State& state) {
+  // Batch entry point vs. a Detect loop (same simulated detector): measures
+  // the per-batch overhead of the batch-first pipeline, and with threads > 1
+  // the parallel fan-out of a latency-free (CPU-bound) detector.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  common::Rng rng(12);
+  scene::SceneSpec spec;
+  spec.total_frames = 1'000'000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 1000;
+  cls.duration.mean_frames = 500.0;
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  detect::SimulatedDetector detector(&truth, detect::DetectorOptions{});
+  common::ThreadPool pool(threads);
+  std::vector<video::FrameId> frames(batch);
+  uint64_t frame = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      frame = (frame + 104729) % spec.total_frames;
+      frames[i] = frame;
+    }
+    benchmark::DoNotOptimize(detector.DetectBatch(frames, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DetectBatch)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({8, 4})
+    ->Args({32, 4})
+    ->UseRealTime();
+
+void BM_ThrottledDetectBatch(benchmark::State& state) {
+  // The latency-bound regime (GPU/remote inference, 1 ms per call): the
+  // reason the pipeline is batch-first. Frames/sec = items_per_second.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  common::Rng rng(13);
+  scene::SceneSpec spec;
+  spec.total_frames = 100'000;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 100;
+  cls.duration.mean_frames = 500.0;
+  spec.classes.push_back(cls);
+  const scene::GroundTruth truth =
+      std::move(scene::GenerateScene(spec, nullptr, rng)).value();
+  detect::SimulatedDetector base(&truth, detect::DetectorOptions{});
+  detect::ThrottledDetector detector(&base, 1e-3);
+  common::ThreadPool pool(threads);
+  std::vector<video::FrameId> frames(batch);
+  uint64_t frame = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      frame = (frame + 104729) % spec.total_frames;
+      frames[i] = frame;
+    }
+    benchmark::DoNotOptimize(detector.DetectBatch(frames, &pool));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ThrottledDetectBatch)
+    ->Args({1, 1})
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DiscriminatorObserve(benchmark::State& state) {
   common::Rng rng(9);
   scene::SceneSpec spec;

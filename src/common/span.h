@@ -1,0 +1,47 @@
+#ifndef EXSAMPLE_COMMON_SPAN_H_
+#define EXSAMPLE_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exsample {
+namespace common {
+
+/// \brief Minimal read-only view over a contiguous array (the subset of
+/// C++20's `std::span<const T>` the library needs, usable under C++17).
+///
+/// A `Span` does not own its elements; the viewed storage must outlive it.
+/// Batch APIs (`SearchStrategy::ObserveBatch`, `ObjectDetector::DetectBatch`)
+/// take spans so callers can pass vectors, arrays, or sub-ranges without
+/// copying.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT(runtime/explicit)
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// \brief Sub-view of `count` elements starting at `offset` (clamped to the
+  /// viewed range).
+  constexpr Span subspan(size_t offset, size_t count) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_SPAN_H_

@@ -1,7 +1,23 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace exsample {
 namespace common {
+
+void FatalError(const char* what) {
+  std::fprintf(stderr, "exsample: fatal: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void CheckOk(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "exsample: fatal: %s: %s\n", what, status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

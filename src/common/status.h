@@ -81,6 +81,26 @@ class Status {
   std::string message_;
 };
 
+/// \brief Aborts the process with `what` on stderr.
+///
+/// For invariant violations that must not be survivable in *any* build mode:
+/// unlike `assert`, this fires under NDEBUG too, so release builds cannot
+/// silently continue with corrupted state.
+[[noreturn]] void FatalError(const char* what);
+
+/// \brief Aborts with `what` and the status message unless `status` is OK.
+///
+/// Used where a `Status`-returning dependency is called from an infallible
+/// context (e.g. strategy feedback paths): propagating the error is
+/// impossible and ignoring it would corrupt statistics, so the only safe
+/// option is to stop.
+void CheckOk(const Status& status, const char* what);
+
+/// \brief Aborts with `what` unless `condition` holds (NDEBUG-proof assert).
+inline void Check(bool condition, const char* what) {
+  if (!condition) FatalError(what);
+}
+
 /// \brief Either a value of type `T` or an error `Status`.
 ///
 /// Modeled after `arrow::Result`. Access to the value asserts success in

@@ -1,0 +1,72 @@
+#ifndef EXSAMPLE_COMMON_THREAD_POOL_H_
+#define EXSAMPLE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exsample {
+namespace common {
+
+/// \brief Fixed-size worker pool for data-parallel fan-out.
+///
+/// The execution pipeline uses one pool for the whole engine: the detector
+/// stage fans a batch of independent per-frame calls across the workers while
+/// everything order-sensitive (Thompson sampling, discriminator updates, cost
+/// accounting) stays on the caller thread. `ParallelFor` assigns work by
+/// index, so results written to index `i` of a pre-sized output land in a
+/// deterministic slot regardless of which worker ran them — thread count can
+/// never change what a computation produces, only how fast.
+///
+/// One caller drives the pool at a time (`ParallelFor` is not re-entrant and
+/// must not be invoked concurrently from two threads). Tasks must not throw.
+class ThreadPool {
+ public:
+  /// \brief Starts `num_threads` workers. 0 means one worker per hardware
+  /// thread; 1 means no workers at all (every ParallelFor runs inline on the
+  /// caller, which keeps single-threaded runs free of synchronization).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Total threads that execute work (workers plus the calling
+  /// thread). A pool constructed with 1 reports 1.
+  size_t NumThreads() const { return workers_.size() + 1; }
+
+  /// \brief Runs `fn(0) .. fn(n-1)` across the pool and blocks until all have
+  /// completed. The caller thread participates. Indices are claimed
+  /// dynamically, so per-index cost imbalance self-balances.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  void RunJob(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // Workers wait here for a new job.
+  std::condition_variable done_cv_;   // ParallelFor waits here for completion.
+  std::shared_ptr<Job> job_;          // Current job, null between jobs.
+  uint64_t generation_ = 0;           // Bumped per job so workers wake once each.
+  bool stop_ = false;
+};
+
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_THREAD_POOL_H_

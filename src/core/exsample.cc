@@ -1,7 +1,5 @@
 #include "core/exsample.h"
 
-#include <cassert>
-
 #include "common/hash.h"
 
 namespace exsample {
@@ -19,7 +17,9 @@ std::unique_ptr<ChunkPolicy> MakeChunkPolicy(ExSampleOptions::Policy policy,
     case ExSampleOptions::Policy::kUniform:
       return std::make_unique<UniformChunkPolicy>();
   }
-  return nullptr;
+  // Out-of-range enum values (e.g. a miscast integer) must not silently
+  // produce a null policy that later dereferences or corrupts statistics.
+  common::FatalError("MakeChunkPolicy: out-of-range ExSampleOptions::Policy value");
 }
 
 ExSampleStrategy::ExSampleStrategy(const video::Chunking* chunking,
@@ -32,7 +32,7 @@ ExSampleStrategy::ExSampleStrategy(const video::Chunking* chunking,
       samplers_(chunking->NumChunks()),
       eligible_(chunking->NumChunks(), true),
       eligible_count_(chunking->NumChunks()) {
-  assert(options_.batch_size >= 1);
+  common::Check(options_.batch_size >= 1, "ExSampleOptions: batch_size must be >= 1");
 }
 
 FrameSampler* ExSampleStrategy::SamplerFor(size_t chunk) {
@@ -44,18 +44,25 @@ FrameSampler* ExSampleStrategy::SamplerFor(size_t chunk) {
   return samplers_[chunk].get();
 }
 
+std::optional<video::FrameId> ExSampleStrategy::DrawOne() {
+  if (eligible_count_ == 0) return std::nullopt;
+  const size_t chunk = policy_->PickChunk(stats_, eligible_, rng_);
+  FrameSampler* sampler = SamplerFor(chunk);
+  const std::optional<video::FrameId> frame = sampler->Next(rng_);
+  common::Check(frame.has_value(),
+                "ExSampleStrategy: eligible chunk returned no frame");
+  if (sampler->Remaining() == 0) {
+    eligible_[chunk] = false;
+    --eligible_count_;
+  }
+  return frame;
+}
+
 bool ExSampleStrategy::FillBatch() {
   for (size_t b = 0; b < options_.batch_size; ++b) {
-    if (eligible_count_ == 0) break;
-    const size_t chunk = policy_->PickChunk(stats_, eligible_, rng_);
-    FrameSampler* sampler = SamplerFor(chunk);
-    const std::optional<video::FrameId> frame = sampler->Next(rng_);
-    assert(frame.has_value() && "eligible chunk must have frames left");
-    if (frame.has_value()) pending_.push_back(*frame);
-    if (sampler->Remaining() == 0) {
-      eligible_[chunk] = false;
-      --eligible_count_;
-    }
+    const std::optional<video::FrameId> frame = DrawOne();
+    if (!frame.has_value()) break;
+    pending_.push_back(*frame);
   }
   return !pending_.empty();
 }
@@ -67,11 +74,29 @@ std::optional<video::FrameId> ExSampleStrategy::NextFrame() {
   return frame;
 }
 
+std::vector<video::FrameId> ExSampleStrategy::NextBatch(size_t max_frames) {
+  std::vector<video::FrameId> batch;
+  batch.reserve(max_frames);
+  // Frames already drawn by the single-frame adapter come first (mixed use).
+  while (batch.size() < max_frames && !pending_.empty()) {
+    batch.push_back(pending_.front());
+    pending_.pop_front();
+  }
+  while (batch.size() < max_frames) {
+    const std::optional<video::FrameId> frame = DrawOne();
+    if (!frame.has_value()) break;
+    batch.push_back(*frame);
+  }
+  return batch;
+}
+
 void ExSampleStrategy::Observe(video::FrameId frame, size_t new_results,
                                size_t once_matched) {
   const auto chunk = chunking_->ChunkOfFrame(frame);
-  assert(chunk.ok());
-  if (chunk.ok()) stats_.Update(chunk.value(), new_results, once_matched);
+  // A frame outside the chunking would mis-attribute evidence; that must be
+  // loud in release builds too.
+  common::CheckOk(chunk.status(), "ExSampleStrategy::Observe: frame outside chunking");
+  stats_.Update(chunk.value(), new_results, once_matched);
 }
 
 std::string ExSampleStrategy::name() const {

@@ -36,6 +36,9 @@ struct ExSampleOptions {
 
   /// Batched sampling (Sec. III-F): draw B chunk choices per belief refresh
   /// so GPU inference can run on image batches. 1 = Algorithm 1 verbatim.
+  /// Drives the single-frame `NextFrame` adapter's internal refill; when the
+  /// strategy runs on the batch pipeline, `SearchEngine` maps this onto the
+  /// runner's `RunnerOptions::batch_size` (equivalent semantics).
   size_t batch_size = 1;
 
   /// Seed of the strategy's private random stream.
@@ -59,6 +62,18 @@ class ExSampleStrategy : public query::SearchStrategy {
 
   std::optional<video::FrameId> NextFrame() override;
   void Observe(video::FrameId frame, size_t new_results, size_t once_matched) override;
+
+  /// \brief The batched Thompson draw of Sec. III-F as a first-class API:
+  /// up to `max_frames` chunk choices are drawn against the *current* chunk
+  /// beliefs (no intervening feedback), so GPU inference can run on the whole
+  /// batch. `NextBatch(1)` is one Algorithm 1 pick. Any frames still pending
+  /// from the legacy single-frame adapter are drained first.
+  std::vector<video::FrameId> NextBatch(size_t max_frames) override;
+
+  // ObserveBatch: base-class adapter (sequential per-frame Observe calls).
+  // Updates to (n, N1) are additive, so batched bookkeeping matches
+  // unbatched bookkeeping exactly.
+
   std::string name() const override;
 
   /// \brief Read access to the per-chunk statistics (for inspection, tests,
@@ -70,6 +85,9 @@ class ExSampleStrategy : public query::SearchStrategy {
 
  private:
   FrameSampler* SamplerFor(size_t chunk);
+  /// One Thompson pick + within-chunk draw; nullopt when no chunk has frames
+  /// left. This is Algorithm 1 lines 6–7.
+  std::optional<video::FrameId> DrawOne();
   bool FillBatch();
 
   const video::Chunking* chunking_;

@@ -1,7 +1,9 @@
 #include "detect/detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/math_util.h"
@@ -9,6 +11,26 @@
 
 namespace exsample {
 namespace detect {
+
+std::vector<Detections> ObjectDetector::DetectBatch(
+    common::Span<video::FrameId> frames, common::ThreadPool* pool) {
+  std::vector<Detections> out(frames.size());
+  // Frames are independent; results land in their index's slot, so the
+  // output does not depend on which worker ran which frame. ParallelFor
+  // itself degrades to an inline loop for single-thread pools or tiny jobs.
+  if (pool != nullptr) {
+    pool->ParallelFor(frames.size(),
+                      [&](size_t i) { out[i] = Detect(frames[i]); });
+  } else {
+    for (size_t i = 0; i < frames.size(); ++i) out[i] = Detect(frames[i]);
+  }
+  return out;
+}
+
+Detections ThrottledDetector::Detect(video::FrameId frame) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(latency_seconds_));
+  return inner_->Detect(frame);
+}
 
 DetectorOptions DetectorOptions::Perfect(int32_t target_class) {
   DetectorOptions opts;

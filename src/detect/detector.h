@@ -1,8 +1,12 @@
 #ifndef EXSAMPLE_DETECT_DETECTOR_H_
 #define EXSAMPLE_DETECT_DETECTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
+#include "common/span.h"
+#include "common/thread_pool.h"
 #include "detect/detection.h"
 #include "scene/ground_truth.h"
 #include "video/repository.h"
@@ -22,8 +26,19 @@ class ObjectDetector {
   /// \brief Runs detection on one frame.
   ///
   /// Implementations must be deterministic per frame: calling `Detect` twice
-  /// on the same frame returns the same boxes, as a real model would.
+  /// on the same frame returns the same boxes, as a real model would. They
+  /// must also tolerate concurrent `Detect` calls from different threads
+  /// (frames are independent), so `DetectBatch` can fan out.
   virtual Detections Detect(video::FrameId frame) = 0;
+
+  /// \brief Runs detection on a whole batch; result `i` corresponds to
+  /// `frames[i]` regardless of execution order, so the output is
+  /// deterministic for any pool size. When `pool` is null (or has one
+  /// thread), the batch runs sequentially on the caller — bit-identical to a
+  /// `Detect` loop. This is the Sec. III-F batch entry point GPU/remote
+  /// implementations override to amortize per-call cost.
+  virtual std::vector<Detections> DetectBatch(common::Span<video::FrameId> frames,
+                                              common::ThreadPool* pool);
 
   /// \brief Amortized cost of one `Detect` call in seconds.
   virtual double SecondsPerFrame() const = 0;
@@ -74,7 +89,9 @@ class SimulatedDetector : public ObjectDetector {
 
   Detections Detect(video::FrameId frame) override;
   double SecondsPerFrame() const override { return options_.seconds_per_frame; }
-  uint64_t FramesProcessed() const override { return frames_processed_; }
+  uint64_t FramesProcessed() const override {
+    return frames_processed_.load(std::memory_order_relaxed);
+  }
 
   /// \brief Probability that `Detect` reports the given instance in `frame`
   /// (exposed for tests and for the track propagator's observation model).
@@ -86,7 +103,33 @@ class SimulatedDetector : public ObjectDetector {
  private:
   const scene::GroundTruth* truth_;
   DetectorOptions options_;
-  uint64_t frames_processed_ = 0;
+  // Atomic so DetectBatch can fan Detect calls across the thread pool.
+  std::atomic<uint64_t> frames_processed_{0};
+};
+
+/// \brief Decorator that adds fixed wall-clock latency to every `Detect`
+/// call, emulating a detector bound by device latency (GPU inference, a
+/// remote model server) rather than CPU work.
+///
+/// This is what makes the batch pipeline's parallelism measurable in
+/// benchmarks: latency-bound calls overlap across the thread pool, so the
+/// detect stage's frames/sec scales with threads even though each individual
+/// call is no faster. Detections are delegated unchanged, so traces are
+/// identical to the wrapped detector's.
+class ThrottledDetector : public ObjectDetector {
+ public:
+  /// `inner` must outlive this object. `latency_seconds` of real time is
+  /// slept on every `Detect` call.
+  ThrottledDetector(ObjectDetector* inner, double latency_seconds)
+      : inner_(inner), latency_seconds_(latency_seconds) {}
+
+  Detections Detect(video::FrameId frame) override;
+  double SecondsPerFrame() const override { return inner_->SecondsPerFrame(); }
+  uint64_t FramesProcessed() const override { return inner_->FramesProcessed(); }
+
+ private:
+  ObjectDetector* inner_;
+  double latency_seconds_;
 };
 
 }  // namespace detect

@@ -31,5 +31,29 @@ double ProxyScorer::Score(video::FrameId frame) const {
   return common::Clamp(score, 0.0, 1.0);
 }
 
+std::vector<double> ProxyScorer::ScoreBatch(common::Span<video::FrameId> frames,
+                                            common::ThreadPool* pool) const {
+  std::vector<double> scores(frames.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(frames.size(),
+                      [&](size_t i) { scores[i] = Score(frames[i]); });
+  } else {
+    for (size_t i = 0; i < frames.size(); ++i) scores[i] = Score(frames[i]);
+  }
+  return scores;
+}
+
+std::vector<double> ProxyScorer::ScoreRange(video::FrameId begin, video::FrameId end,
+                                            common::ThreadPool* pool) const {
+  const size_t n = end > begin ? static_cast<size_t>(end - begin) : 0;
+  std::vector<double> scores(n);
+  if (pool != nullptr) {
+    pool->ParallelFor(n, [&](size_t i) { scores[i] = Score(begin + i); });
+  } else {
+    for (size_t i = 0; i < n; ++i) scores[i] = Score(begin + i);
+  }
+  return scores;
+}
+
 }  // namespace detect
 }  // namespace exsample

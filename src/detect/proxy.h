@@ -2,7 +2,10 @@
 #define EXSAMPLE_DETECT_PROXY_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/span.h"
+#include "common/thread_pool.h"
 #include "scene/ground_truth.h"
 #include "video/repository.h"
 
@@ -37,8 +40,19 @@ class ProxyScorer {
   ProxyScorer(const scene::GroundTruth* truth, ProxyOptions options);
 
   /// \brief Deterministic per-frame score in [0, 1] (higher = more likely to
-  /// contain a new-to-the-proxy target object).
+  /// contain a new-to-the-proxy target object). Safe to call concurrently.
   double Score(video::FrameId frame) const;
+
+  /// \brief Bulk scoring: result `i` is `Score(frames[i])`. Fans out over
+  /// `pool` when given (scores are per-frame deterministic, so the output is
+  /// independent of thread count).
+  std::vector<double> ScoreBatch(common::Span<video::FrameId> frames,
+                                 common::ThreadPool* pool = nullptr) const;
+
+  /// \brief Scores the contiguous range [begin, end) — the full scan a
+  /// proxy-guided query pays up front, parallelized across `pool`.
+  std::vector<double> ScoreRange(video::FrameId begin, video::FrameId end,
+                                 common::ThreadPool* pool = nullptr) const;
 
   /// \brief Cost of scoring one frame, in seconds.
   double SecondsPerFrame() const { return options_.seconds_per_frame; }

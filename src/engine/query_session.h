@@ -1,0 +1,59 @@
+#ifndef EXSAMPLE_ENGINE_QUERY_SESSION_H_
+#define EXSAMPLE_ENGINE_QUERY_SESSION_H_
+
+#include <memory>
+
+#include "detect/detector.h"
+#include "query/runner.h"
+#include "query/strategy.h"
+#include "query/trace.h"
+#include "track/discriminator.h"
+
+namespace exsample {
+namespace engine {
+
+class SearchEngine;
+
+/// \brief A live query being executed incrementally against a `SearchEngine`.
+///
+/// A session owns the per-query state Algorithm 1 requires to be independent
+/// between queries — the strategy's beliefs, the detector's noise stream, and
+/// the discriminator's matching memory — while sharing everything heavyweight
+/// with its engine: the repository, chunking, proxy-scorer cache, and thread
+/// pool. `Step()` advances by one batch, so a scheduler can interleave many
+/// sessions over the shared resources; that is how `SearchEngine::
+/// RunConcurrent` serves several users' queries at once.
+///
+/// Sessions are created by `SearchEngine::CreateSession` and must not outlive
+/// their engine.
+class QuerySession {
+ public:
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// \brief Processes the next batch; returns false once the query is done.
+  bool Step() { return execution_->Step(); }
+
+  /// \brief True when no further `Step` will make progress.
+  bool Done() const { return execution_->Done(); }
+
+  /// \brief The discovery trace accumulated so far.
+  const query::QueryTrace& Trace() const { return execution_->trace(); }
+
+  /// \brief Runs the query to completion and returns the finalized trace.
+  query::QueryTrace Finish() { return execution_->Finish(); }
+
+ private:
+  friend class SearchEngine;
+  QuerySession() = default;
+
+  std::unique_ptr<query::SearchStrategy> strategy_;
+  std::unique_ptr<detect::ObjectDetector> detector_;
+  std::unique_ptr<track::Discriminator> discriminator_;
+  std::unique_ptr<query::QueryExecution> execution_;
+};
+
+}  // namespace engine
+}  // namespace exsample
+
+#endif  // EXSAMPLE_ENGINE_QUERY_SESSION_H_

@@ -1,5 +1,6 @@
 #include "engine/search_engine.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace exsample {
@@ -66,7 +67,7 @@ common::Result<std::unique_ptr<query::SearchStrategy>> SearchEngine::MakeStrateg
       if (options.method == Method::kProxyGuided) {
         return std::unique_ptr<query::SearchStrategy>(
             std::make_unique<samplers::ProxyGuidedStrategy>(
-                repo_, scorer.get(), options.proxy_guided));
+                repo_, scorer.get(), options.proxy_guided, thread_pool()));
       }
       return std::unique_ptr<query::SearchStrategy>(
           std::make_unique<samplers::HybridProxyExSampleStrategy>(
@@ -76,26 +77,114 @@ common::Result<std::unique_ptr<query::SearchStrategy>> SearchEngine::MakeStrateg
   return common::Status::InvalidArgument("unknown search method");
 }
 
-common::Result<query::QueryTrace> SearchEngine::Run(
+common::ThreadPool* SearchEngine::thread_pool() {
+  if (config_.num_threads == 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<common::ThreadPool>(config_.num_threads);
+  }
+  return pool_.get();
+}
+
+common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
     int32_t class_id, const query::RunnerOptions& runner_options,
     const QueryOptions& options) {
   auto strategy = MakeStrategy(class_id, options);
   if (!strategy.ok()) return strategy.status();
 
+  // Per-query state (Algorithm 1 assumes independent queries): fresh
+  // detector noise stream, fresh discriminator memory, fresh strategy.
+  std::unique_ptr<QuerySession> session(new QuerySession());
+  session->strategy_ = std::move(strategy).value();
+
   detect::DetectorOptions det_opts = config_.detector;
   det_opts.target_class = class_id;
-  detect::SimulatedDetector detector(truth_, det_opts);
+  session->detector_ = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
 
-  std::unique_ptr<track::Discriminator> discriminator;
   if (config_.discriminator == EngineConfig::DiscriminatorKind::kOracle) {
-    discriminator = std::make_unique<track::OracleDiscriminator>();
+    session->discriminator_ = std::make_unique<track::OracleDiscriminator>();
   } else {
-    discriminator =
+    session->discriminator_ =
         std::make_unique<track::IouTrackerDiscriminator>(truth_, config_.tracker);
   }
 
-  query::QueryRunner runner(truth_, &detector, discriminator.get(), runner_options);
-  return runner.Run(strategy.value().get());
+  query::RunnerOptions session_options = runner_options;
+  size_t batch_size = std::max<size_t>(1, options.batch_size);
+  if (options.method == Method::kExSample) {
+    // Honor the strategy-level Sec. III-F knob by mapping it onto the
+    // runner's pipeline batch: B frames drawn per belief refresh either way
+    // (proven equivalent in test_batch_pipeline), so configs predating the
+    // batch-first runner keep their batched semantics.
+    batch_size = std::max(batch_size, options.exsample.batch_size);
+  }
+  session_options.batch_size = batch_size;
+  session_options.thread_pool = thread_pool();
+  session->execution_ = std::make_unique<query::QueryExecution>(
+      truth_, session->detector_.get(), session->discriminator_.get(),
+      session->strategy_.get(), session_options);
+  return session;
+}
+
+common::Result<query::QueryTrace> SearchEngine::Run(
+    int32_t class_id, const query::RunnerOptions& runner_options,
+    const QueryOptions& options) {
+  auto session = MakeSession(class_id, runner_options, options);
+  if (!session.ok()) return session.status();
+  return session.value()->Finish();
+}
+
+common::Result<std::unique_ptr<QuerySession>> SearchEngine::CreateSession(
+    int32_t class_id, uint64_t limit, const QueryOptions& options) {
+  if (limit == 0) {
+    return common::Status::InvalidArgument("result limit must be >= 1");
+  }
+  query::RunnerOptions runner_options;
+  runner_options.result_limit = limit;
+  runner_options.recall_class = class_id;
+  runner_options.max_samples =
+      options.max_samples > 0 ? options.max_samples : repo_->TotalFrames();
+  return MakeSession(class_id, runner_options, options);
+}
+
+common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
+    const std::vector<QuerySpec>& specs) {
+  // Validate every spec's cheap invariants before building any session:
+  // session construction can be expensive (a proxy spec pays its full
+  // scoring scan up front), and a bad later spec must not discard that work.
+  for (const QuerySpec& spec : specs) {
+    if (spec.limit == 0) {
+      return common::Status::InvalidArgument("result limit must be >= 1");
+    }
+    if (spec.options.method == Method::kSequential &&
+        spec.options.sequential_stride == 0) {
+      return common::Status::InvalidArgument("sequential stride must be >= 1");
+    }
+  }
+
+  std::vector<std::unique_ptr<QuerySession>> sessions;
+  sessions.reserve(specs.size());
+  for (const QuerySpec& spec : specs) {
+    auto session = CreateSession(spec.class_id, spec.limit, spec.options);
+    if (!session.ok()) return session.status();
+    sessions.push_back(std::move(session).value());
+  }
+
+  // Fair round-robin: one batch per live session per round. Per-query state
+  // lives in the sessions, so interleaving cannot change any individual
+  // trace; the sessions share the engine's pool and scorer cache.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& session : sessions) {
+      if (session->Step()) progress = true;
+    }
+  }
+
+  std::vector<query::QueryTrace> traces;
+  traces.reserve(sessions.size());
+  for (auto& session : sessions) {
+    traces.push_back(session->Finish());
+  }
+  return traces;
 }
 
 common::Result<query::QueryTrace> SearchEngine::FindDistinct(

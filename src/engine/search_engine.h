@@ -4,11 +4,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "core/adaptive_exsample.h"
 #include "core/exsample.h"
 #include "detect/detector.h"
 #include "detect/proxy.h"
+#include "engine/query_session.h"
 #include "query/runner.h"
 #include "query/strategy.h"
 #include "query/trace.h"
@@ -54,6 +57,12 @@ struct EngineConfig {
 
   /// Proxy model config (only used by kProxyGuided / kHybrid queries).
   detect::ProxyOptions proxy;
+
+  /// Threads in the engine-wide pool shared by every query's detect stage
+  /// (and the proxy scorers' scans). 0 = one per hardware thread; 1 (the
+  /// default) runs everything on the caller, with no synchronization. Thread
+  /// count never changes a trace — only wall-clock time.
+  size_t num_threads = 1;
 };
 
 /// \brief Per-query method configuration.
@@ -66,6 +75,20 @@ struct QueryOptions {
   uint64_t sequential_stride = 30;
   /// Safety cap on detector invocations (default: the whole repository).
   uint64_t max_samples = 0;
+  /// Frames per pipeline iteration (Sec. III-F batched execution). 1 is
+  /// Algorithm 1 verbatim; larger values amortize per-batch costs and let the
+  /// detect stage fan out across the engine's thread pool.
+  size_t batch_size = 1;
+};
+
+/// \brief One query of a concurrent workload (`SearchEngine::RunConcurrent`).
+struct QuerySpec {
+  /// Class to search for.
+  int32_t class_id = 0;
+  /// Stop after this many reported results.
+  uint64_t limit = 20;
+  /// Per-query method configuration.
+  QueryOptions options;
 };
 
 /// \brief High-level facade: distinct-object search over one repository.
@@ -94,12 +117,35 @@ class SearchEngine {
   common::Result<query::QueryTrace> RunToRecall(int32_t class_id, double recall,
                                                 const QueryOptions& options = {});
 
+  /// \brief Opens an incremental session for "find `limit` distinct objects
+  /// of `class_id`". The session shares this engine's repository, chunking,
+  /// proxy-scorer cache, and thread pool; stepping it interleaves with other
+  /// sessions, which is how concurrent user queries are served.
+  common::Result<std::unique_ptr<QuerySession>> CreateSession(
+      int32_t class_id, uint64_t limit, const QueryOptions& options = {});
+
+  /// \brief Executes many queries over the shared engine state, interleaving
+  /// one batch per query round-robin (fair scheduling). Returns one trace per
+  /// spec, in order. Results are identical to running the specs one at a
+  /// time — per-query state is isolated in the sessions — but the shared
+  /// thread pool and scorer cache are paid for once.
+  common::Result<std::vector<query::QueryTrace>> RunConcurrent(
+      const std::vector<QuerySpec>& specs);
+
   /// \brief Builds the strategy object a query with `options` would use
   /// (exposed for tests and custom runners).
   common::Result<std::unique_ptr<query::SearchStrategy>> MakeStrategy(
       int32_t class_id, const QueryOptions& options);
 
+  /// \brief The engine-wide pool, created lazily on first use. Null when
+  /// `config.num_threads == 1` (strictly sequential); 0 yields a
+  /// hardware-sized pool.
+  common::ThreadPool* thread_pool();
+
  private:
+  common::Result<std::unique_ptr<QuerySession>> MakeSession(
+      int32_t class_id, const query::RunnerOptions& runner_options,
+      const QueryOptions& options);
   common::Result<query::QueryTrace> Run(int32_t class_id,
                                         const query::RunnerOptions& runner_options,
                                         const QueryOptions& options);
@@ -111,6 +157,8 @@ class SearchEngine {
   // Proxy scorers are pure functions of (truth, class, options); cached per
   // class so hybrid/proxy queries do not rebuild them.
   std::map<int32_t, std::unique_ptr<detect::ProxyScorer>> scorers_;
+  // Engine-wide worker pool shared by all sessions' detect stages.
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace engine

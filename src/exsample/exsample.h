@@ -16,7 +16,9 @@
 #include "common/math_util.h"
 #include "common/permutation.h"
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/adaptive_exsample.h"
 #include "core/belief_policy.h"
 #include "core/chunk_stats.h"
@@ -26,8 +28,9 @@
 #include "datasets/presets.h"
 #include "detect/detection.h"
 #include "detect/detector.h"
-#include "engine/search_engine.h"
 #include "detect/proxy.h"
+#include "engine/query_session.h"
+#include "engine/search_engine.h"
 #include "opt/optimal_weights.h"
 #include "opt/simplex.h"
 #include "query/curves.h"

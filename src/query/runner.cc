@@ -1,9 +1,134 @@
 #include "query/runner.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 namespace exsample {
 namespace query {
+
+namespace {
+
+/// Applies one frame's d0 detections to the recall counters. Shared between
+/// the batch pipeline and the single-frame reference loop so their
+/// bookkeeping cannot drift apart.
+bool CountNewDistinct(const track::MatchResult& result, const RunnerOptions& options,
+                      std::unordered_set<scene::InstanceId>* found,
+                      DiscoveryPoint* current) {
+  bool changed = false;
+  for (const detect::Detection& det : result.d0) {
+    if (!det.IsTruePositive()) continue;
+    // Only instances of the recall class count toward true recall;
+    // off-class detections can occur when the detector is not class-
+    // filtered.
+    if (options.recall_class != scene::GroundTruth::kAllClasses &&
+        det.class_id != options.recall_class) {
+      continue;
+    }
+    if (found->insert(det.source_instance).second) {
+      ++current->true_distinct;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+QueryExecution::QueryExecution(const scene::GroundTruth* truth,
+                               detect::ObjectDetector* detector,
+                               track::Discriminator* discriminator,
+                               SearchStrategy* strategy, RunnerOptions options)
+    : truth_(truth),
+      detector_(detector),
+      discriminator_(discriminator),
+      strategy_(strategy),
+      options_(options) {
+  trace_.strategy_name = strategy_->name();
+  trace_.total_instances = truth_->NumInstances(options_.recall_class);
+  current_.seconds = strategy_->UpfrontCostSeconds();
+  trace_.points.push_back(current_);
+}
+
+bool QueryExecution::StopConditionHit() const {
+  return current_.samples >= options_.max_samples ||
+         current_.reported_results >= options_.result_limit ||
+         current_.true_distinct >= options_.true_distinct_target;
+}
+
+bool QueryExecution::Step() {
+  if (finished_) return false;
+  if (StopConditionHit()) {
+    finished_ = true;
+    return false;
+  }
+
+  // Never draw past the sample cap: frames handed out by the strategy are
+  // consumed (without-replacement), so over-drawing would waste them.
+  const uint64_t samples_left = options_.max_samples - current_.samples;
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(std::max<size_t>(1, options_.batch_size), samples_left));
+  const std::vector<video::FrameId> frames = strategy_->NextBatch(want);
+  if (frames.empty()) {
+    finished_ = true;
+    return false;
+  }
+
+  // Charge any incremental strategy overhead (e.g. lazy proxy scoring)
+  // accrued while choosing this batch.
+  const double overhead = strategy_->CumulativeOverheadSeconds();
+  current_.seconds += overhead - charged_overhead_;
+  charged_overhead_ = overhead;
+
+  // Decode stage. Charged up front for the whole batch (a real pipeline
+  // prefetches the batch's frames before inference).
+  if (options_.video_store != nullptr) {
+    for (const video::FrameId frame : frames) {
+      const double before = options_.video_store->Stats().total_seconds;
+      options_.video_store->ReadAndDecode(frame);
+      current_.seconds += options_.video_store->Stats().total_seconds - before;
+    }
+  }
+
+  // Detect stage: per-frame-independent, fans out across the pool. Result i
+  // belongs to frames[i] whatever the execution order.
+  const std::vector<detect::Detections> detections =
+      detector_->DetectBatch(frames, options_.thread_pool);
+
+  // Discriminate stage: strictly sequential in batch order — matching is
+  // stateful, and reproducibility requires a fixed observation order.
+  feedback_.clear();
+  for (size_t i = 0; i < frames.size(); ++i) {
+    current_.seconds += detector_->SecondsPerFrame();
+    const track::MatchResult result = discriminator_->Observe(frames[i], detections[i]);
+    feedback_.push_back(FrameFeedback{frames[i], result.d0.size(), result.d1.size()});
+    ++current_.samples;
+    current_.reported_results += result.d0.size();
+    const bool changed = CountNewDistinct(result, options_, &found_, &current_);
+    if (changed || !result.d0.empty()) {
+      trace_.points.push_back(current_);
+    }
+  }
+
+  // Feedback stage: the strategy sees the whole batch's outcomes at once
+  // (Sec. III-F — belief updates are delayed until the batch returns).
+  strategy_->ObserveBatch(feedback_);
+
+  // Keep `final` current so a live session's trace reads correctly mid-run.
+  trace_.final = current_;
+  return true;
+}
+
+QueryTrace QueryExecution::Finish() {
+  while (Step()) {
+  }
+  if (!finalized_) {
+    trace_.final = current_;
+    if (trace_.points.empty() || trace_.points.back().samples != current_.samples) {
+      trace_.points.push_back(current_);
+    }
+    finalized_ = true;
+  }
+  return trace_;
+}
 
 QueryRunner::QueryRunner(const scene::GroundTruth* truth,
                          detect::ObjectDetector* detector,
@@ -14,6 +139,11 @@ QueryRunner::QueryRunner(const scene::GroundTruth* truth,
       options_(options) {}
 
 QueryTrace QueryRunner::Run(SearchStrategy* strategy) {
+  QueryExecution execution(truth_, detector_, discriminator_, strategy, options_);
+  return execution.Finish();
+}
+
+QueryTrace QueryRunner::RunSingleFrame(SearchStrategy* strategy) {
   QueryTrace trace;
   trace.strategy_name = strategy->name();
   trace.total_instances = truth_->NumInstances(options_.recall_class);
@@ -50,21 +180,7 @@ QueryTrace QueryRunner::Run(SearchStrategy* strategy) {
     ++current.samples;
     current.reported_results += result.d0.size();
 
-    bool changed = false;
-    for (const detect::Detection& det : result.d0) {
-      if (!det.IsTruePositive()) continue;
-      // Only instances of the recall class count toward true recall;
-      // off-class detections can occur when the detector is not class-
-      // filtered.
-      if (options_.recall_class != scene::GroundTruth::kAllClasses &&
-          det.class_id != options_.recall_class) {
-        continue;
-      }
-      if (found.insert(det.source_instance).second) {
-        ++current.true_distinct;
-        changed = true;
-      }
-    }
+    const bool changed = CountNewDistinct(result, options_, &found, &current);
     if (changed || !result.d0.empty()) {
       trace.points.push_back(current);
     }

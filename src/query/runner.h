@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <unordered_set>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "detect/detector.h"
 #include "query/strategy.h"
 #include "query/trace.h"
@@ -35,10 +38,69 @@ struct RunnerOptions {
   /// When non-null, frame reads are routed through this store and its decode
   /// cost is added to the trace's seconds.
   video::SimulatedVideoStore* video_store = nullptr;
+  /// Frames pulled from the strategy (and pushed through the detector) per
+  /// pipeline iteration (Sec. III-F). 1 reproduces the single-frame loop of
+  /// Algorithm 1 exactly — including bit-identical cost accounting.
+  size_t batch_size = 1;
+  /// When non-null, `DetectBatch` fans the batch across this pool. Thread
+  /// count affects wall-clock only, never the trace: simulated cost
+  /// accounting stays per-frame and detection is per-frame deterministic.
+  common::ThreadPool* thread_pool = nullptr;
+};
+
+/// \brief Incremental execution state of one distinct-object query.
+///
+/// Runs Algorithm 1 as a batch pipeline: pick-batch (strategy) →
+/// parallel-detect (thread pool) → sequential-discriminate → feed back
+/// (`ObserveBatch`). One `Step` processes one batch; interleaving `Step`
+/// calls of several executions is how the engine serves concurrent queries
+/// over shared resources (`SearchEngine::RunConcurrent`).
+///
+/// Cost accounting is simulated and sequential — each frame is charged
+/// decode + detector seconds as if processed alone — so traces are
+/// comparable across batch sizes and thread counts, and `batch_size=1`
+/// matches the legacy single-frame loop bit for bit.
+class QueryExecution {
+ public:
+  /// All pointees must outlive the execution.
+  QueryExecution(const scene::GroundTruth* truth, detect::ObjectDetector* detector,
+                 track::Discriminator* discriminator, SearchStrategy* strategy,
+                 RunnerOptions options);
+
+  /// \brief Processes one batch. Returns false — without consuming anything —
+  /// when the query is finished (stop condition hit or strategy exhausted).
+  bool Step();
+
+  /// \brief True once no further `Step` will make progress.
+  bool Done() const { return finished_; }
+
+  /// \brief Runs to completion and returns the finalized trace.
+  QueryTrace Finish();
+
+  /// \brief The trace accumulated so far. `final` tracks the last completed
+  /// batch; `Finish` appends the closing point.
+  const QueryTrace& trace() const { return trace_; }
+
+ private:
+  bool StopConditionHit() const;
+
+  const scene::GroundTruth* truth_;
+  detect::ObjectDetector* detector_;
+  track::Discriminator* discriminator_;
+  SearchStrategy* strategy_;
+  RunnerOptions options_;
+
+  QueryTrace trace_;
+  DiscoveryPoint current_;
+  std::unordered_set<scene::InstanceId> found_;
+  std::vector<FrameFeedback> feedback_;  // Reused per batch.
+  double charged_overhead_ = 0.0;
+  bool finished_ = false;
+  bool finalized_ = false;
 };
 
 /// \brief Executes one distinct-object query: the shared loop of Algorithm 1
-/// (pick frame / detect / discriminate / update), parameterized by the
+/// (pick frames / detect / discriminate / update), parameterized by the
 /// frame-selection strategy.
 ///
 /// The runner is what makes comparisons fair: every strategy pays the same
@@ -50,8 +112,15 @@ class QueryRunner {
               track::Discriminator* discriminator, RunnerOptions options);
 
   /// \brief Runs `strategy` until a stop condition triggers; returns the
-  /// discovery trace.
+  /// discovery trace. Uses the batch pipeline with `options.batch_size` /
+  /// `options.thread_pool`.
   QueryTrace Run(SearchStrategy* strategy);
+
+  /// \brief The pre-batching reference implementation: a strictly
+  /// single-frame pull loop over `NextFrame`/`Observe`, ignoring
+  /// `batch_size`/`thread_pool`. Kept as the equivalence baseline the batch
+  /// pipeline is tested against (batch_size=1 must be bit-identical).
+  QueryTrace RunSingleFrame(SearchStrategy* strategy);
 
  private:
   const scene::GroundTruth* truth_;

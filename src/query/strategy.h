@@ -3,19 +3,38 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/span.h"
 #include "video/repository.h"
 
 namespace exsample {
 namespace query {
 
+/// \brief Per-frame discriminator feedback delivered back to a strategy after
+/// a batch has been detected and discriminated.
+struct FrameFeedback {
+  video::FrameId frame = 0;
+  /// |d0|: detections that matched no previous result (new distinct objects).
+  size_t new_results = 0;
+  /// |d1|: detections that matched exactly one previous observation.
+  size_t once_matched = 0;
+};
+
 /// \brief A frame-selection policy: the only thing that differs between
 /// ExSample, random sampling, and proxy-guided search.
 ///
 /// The `QueryRunner` owns the shared loop (detect, discriminate, account
-/// cost); strategies only decide which frame comes next and consume feedback.
+/// cost); strategies only decide which frames come next and consume feedback.
 /// Strategies own their randomness (seeded at construction) so runs are
 /// reproducible.
+///
+/// The pipeline is batch-first (Sec. III-F: GPU inference amortizes over
+/// frame batches): the runner calls `NextBatch` / `ObserveBatch`, and
+/// `NextFrame` / `Observe` are the single-frame special case. A strategy may
+/// implement either side; the default adapters bridge the two, and calling
+/// `NextBatch(1)` must be indistinguishable from calling `NextFrame()` —
+/// batch size 1 is Algorithm 1 verbatim.
 class SearchStrategy {
  public:
   virtual ~SearchStrategy() = default;
@@ -31,6 +50,32 @@ class SearchStrategy {
     (void)frame;
     (void)new_results;
     (void)once_matched;
+  }
+
+  /// \brief Returns up to `max_frames` frames to process as one batch. An
+  /// empty result means the strategy has exhausted the repository. Frames are
+  /// chosen *without* intervening feedback (the statistics the strategy holds
+  /// at call time drive every pick in the batch — the paper's batched
+  /// Thompson draw). The default adapter pulls `NextFrame` repeatedly;
+  /// strategies with cheaper bulk paths override it.
+  virtual std::vector<video::FrameId> NextBatch(size_t max_frames) {
+    std::vector<video::FrameId> batch;
+    batch.reserve(max_frames);
+    while (batch.size() < max_frames) {
+      const std::optional<video::FrameId> frame = NextFrame();
+      if (!frame.has_value()) break;
+      batch.push_back(*frame);
+    }
+    return batch;
+  }
+
+  /// \brief Delivers the feedback for one processed batch, in processing
+  /// order. Updates must be sequential and deterministic (belief updates are
+  /// order-sensitive); the default adapter forwards to `Observe` per frame.
+  virtual void ObserveBatch(common::Span<FrameFeedback> feedback) {
+    for (const FrameFeedback& fb : feedback) {
+      Observe(fb.frame, fb.new_results, fb.once_matched);
+    }
   }
 
   /// \brief One-time cost in seconds paid before the first frame can be

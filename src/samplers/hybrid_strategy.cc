@@ -1,7 +1,5 @@
 #include "samplers/hybrid_strategy.h"
 
-#include <cassert>
-
 #include "common/hash.h"
 
 namespace exsample {
@@ -19,7 +17,8 @@ HybridProxyExSampleStrategy::HybridProxyExSampleStrategy(
       samplers_(chunking->NumChunks()),
       eligible_(chunking->NumChunks(), true),
       eligible_count_(chunking->NumChunks()) {
-  assert(options_.candidates_per_pick >= 1);
+  common::Check(options_.candidates_per_pick >= 1,
+                "HybridOptions: candidates_per_pick must be >= 1");
 }
 
 core::FrameSampler* HybridProxyExSampleStrategy::SamplerFor(size_t chunk) {
@@ -70,8 +69,9 @@ std::optional<video::FrameId> HybridProxyExSampleStrategy::NextFrame() {
 void HybridProxyExSampleStrategy::Observe(video::FrameId frame, size_t new_results,
                                           size_t once_matched) {
   const auto chunk = chunking_->ChunkOfFrame(frame);
-  assert(chunk.ok());
-  if (chunk.ok()) stats_.Update(chunk.value(), new_results, once_matched);
+  common::CheckOk(chunk.status(),
+                  "HybridProxyExSampleStrategy::Observe: frame outside chunking");
+  stats_.Update(chunk.value(), new_results, once_matched);
 }
 
 std::string HybridProxyExSampleStrategy::name() const {

@@ -48,6 +48,10 @@ class HybridProxyExSampleStrategy : public query::SearchStrategy {
 
   std::optional<video::FrameId> NextFrame() override;
   void Observe(video::FrameId frame, size_t new_results, size_t once_matched) override;
+  // Batch execution uses the base-class adapters: a hybrid batch is
+  // `max_frames` independent Thompson picks (each refined by proxy-scored
+  // candidates) against the current beliefs, which is exactly what looping
+  // NextFrame without intervening feedback produces.
   double CumulativeOverheadSeconds() const override { return scoring_seconds_; }
   std::string name() const override;
 

@@ -7,15 +7,20 @@ namespace samplers {
 
 ProxyGuidedStrategy::ProxyGuidedStrategy(const video::VideoRepository* repo,
                                          const detect::ProxyScorer* scorer,
-                                         ProxyGuidedOptions options)
+                                         ProxyGuidedOptions options,
+                                         common::ThreadPool* scan_pool)
     : options_(options) {
   const uint64_t total = repo->TotalFrames();
   // The mandatory full scan: score every frame. Charged as upfront cost even
-  // though we materialize it eagerly here.
+  // though we materialize it eagerly here (and fan it across the pool when
+  // one is available — the scan is embarrassingly parallel).
   upfront_seconds_ = static_cast<double>(total) * scorer->SecondsPerFrame();
+  const std::vector<double> raw = scorer->ScoreRange(0, total, scan_pool);
+  // Quantize to float as before so tie-breaking (and thus the frame order)
+  // is independent of the scan path.
   std::vector<float> scores(total);
   for (uint64_t f = 0; f < total; ++f) {
-    scores[f] = static_cast<float>(scorer->Score(f));
+    scores[f] = static_cast<float>(raw[f]);
   }
   order_.resize(total);
   for (uint64_t f = 0; f < total; ++f) order_[f] = f;
@@ -40,6 +45,18 @@ std::optional<video::FrameId> ProxyGuidedStrategy::NextFrame() {
     return frame;
   }
   return std::nullopt;
+}
+
+std::vector<video::FrameId> ProxyGuidedStrategy::NextBatch(size_t max_frames) {
+  std::vector<video::FrameId> batch;
+  batch.reserve(max_frames);
+  while (batch.size() < max_frames && cursor_ < order_.size()) {
+    const video::FrameId frame = order_[cursor_++];
+    if (NearProcessed(frame)) continue;  // Near-duplicate: never processed.
+    processed_.insert(frame);
+    batch.push_back(frame);
+  }
+  return batch;
 }
 
 std::string ProxyGuidedStrategy::name() const {

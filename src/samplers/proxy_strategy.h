@@ -30,11 +30,20 @@ struct ProxyGuidedOptions {
 /// an ExSample query.
 class ProxyGuidedStrategy : public query::SearchStrategy {
  public:
+  /// `scan_pool` (optional) parallelizes the upfront scoring scan; it only
+  /// changes the scan's wall-clock time, never the resulting frame order or
+  /// the charged upfront cost.
   ProxyGuidedStrategy(const video::VideoRepository* repo,
                       const detect::ProxyScorer* scorer,
-                      ProxyGuidedOptions options = {});
+                      ProxyGuidedOptions options = {},
+                      common::ThreadPool* scan_pool = nullptr);
 
   std::optional<video::FrameId> NextFrame() override;
+
+  /// \brief Bulk form: the next `max_frames` not-yet-skipped frames of the
+  /// precomputed score order, in one slice of the ranking.
+  std::vector<video::FrameId> NextBatch(size_t max_frames) override;
+
   double UpfrontCostSeconds() const override { return upfront_seconds_; }
   std::string name() const override;
 

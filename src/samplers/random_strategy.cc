@@ -15,12 +15,37 @@ std::optional<video::FrameId> UniformRandomStrategy::NextFrame() {
   return sampler_.Next(rng_);
 }
 
+std::vector<video::FrameId> UniformRandomStrategy::NextBatch(size_t max_frames) {
+  // Natural bulk form: a run of permutation positions, no per-frame virtual
+  // dispatch. Draw order (and therefore the trace) matches the single-frame
+  // adapter exactly.
+  std::vector<video::FrameId> batch;
+  batch.reserve(max_frames);
+  while (batch.size() < max_frames) {
+    const std::optional<video::FrameId> frame = sampler_.Next(rng_);
+    if (!frame.has_value()) break;
+    batch.push_back(*frame);
+  }
+  return batch;
+}
+
 RandomPlusStrategy::RandomPlusStrategy(const video::VideoRepository* repo,
                                        uint64_t seed)
     : rng_(seed), sampler_(0, repo->TotalFrames(), common::Mix64(seed)) {}
 
 std::optional<video::FrameId> RandomPlusStrategy::NextFrame() {
   return sampler_.Next(rng_);
+}
+
+std::vector<video::FrameId> RandomPlusStrategy::NextBatch(size_t max_frames) {
+  std::vector<video::FrameId> batch;
+  batch.reserve(max_frames);
+  while (batch.size() < max_frames) {
+    const std::optional<video::FrameId> frame = sampler_.Next(rng_);
+    if (!frame.has_value()) break;
+    batch.push_back(*frame);
+  }
+  return batch;
 }
 
 SequentialStrategy::SequentialStrategy(const video::VideoRepository* repo,

@@ -18,6 +18,7 @@ class UniformRandomStrategy : public query::SearchStrategy {
   UniformRandomStrategy(const video::VideoRepository* repo, uint64_t seed);
 
   std::optional<video::FrameId> NextFrame() override;
+  std::vector<video::FrameId> NextBatch(size_t max_frames) override;
   std::string name() const override { return "random"; }
 
  private:
@@ -33,6 +34,7 @@ class RandomPlusStrategy : public query::SearchStrategy {
   RandomPlusStrategy(const video::VideoRepository* repo, uint64_t seed);
 
   std::optional<video::FrameId> NextFrame() override;
+  std::vector<video::FrameId> NextBatch(size_t max_frames) override;
   std::string name() const override { return "random+"; }
 
  private:
@@ -48,6 +50,8 @@ class SequentialStrategy : public query::SearchStrategy {
   SequentialStrategy(const video::VideoRepository* repo, uint64_t stride);
 
   std::optional<video::FrameId> NextFrame() override;
+  // NextBatch: base-class adapter; a sequential batch is just the next run
+  // of the pass.
   std::string name() const override;
 
  private:

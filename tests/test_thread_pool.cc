@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace exsample {
+namespace common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResultsLandInDeterministicSlots) {
+  ThreadPool pool(4);
+  std::vector<uint64_t> out(777, 0);
+  pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  uint64_t sum = 0;  // No synchronization: everything runs on this thread.
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndTinyJobs) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, MoreIndicesThanThreadsAndViceVersa) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(3, [&](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 6u);
+  sum = 0;
+  pool.ParallelFor(10000, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 49995000u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(17, [&](size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,12 @@
+// Compile-only check: the umbrella header must build as the sole include of
+// a translation unit (no hidden ordering dependencies between the public
+// headers). There is nothing to run; being compiled is the test.
+
+#include "exsample/exsample.h"
+
+namespace exsample {
+
+// Reference one symbol so the TU is not empty under aggressive linkers.
+const char* UmbrellaCompileCheckAnchor() { return engine::MethodName(engine::Method::kExSample); }
+
+}  // namespace exsample
