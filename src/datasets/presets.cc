@@ -226,5 +226,30 @@ common::Result<BuiltDataset> BuiltDataset::Build(const DatasetSpec& spec, uint64
                       std::move(chunking).value(), std::move(truth).value());
 }
 
+common::Result<BuiltShardedDataset> BuiltShardedDataset::Build(const DatasetSpec& spec,
+                                                               size_t num_shards,
+                                                               uint64_t seed,
+                                                               double scale) {
+  auto dataset = BuiltDataset::Build(spec, seed, scale);
+  if (!dataset.ok()) return dataset.status();
+  // Sharding happens *after* the build: the repository, chunking, and ground
+  // truth are exactly what the unsharded build produces, so queries over the
+  // shards reproduce unsharded traces bit for bit.
+  auto sharded = video::ShardedRepository::ShardByClips(dataset.value().repo(),
+                                                        num_shards);
+  if (!sharded.ok()) return sharded.status();
+  std::vector<video::Chunking> shard_chunkings;
+  auto split =
+      video::SplitChunkingByShard(sharded.value(), dataset.value().chunking());
+  if (split.ok()) {
+    // Shard-aligned chunk scheme (per-clip chunks always are): each shard
+    // gets its local chunk view. Fixed-count chunks may straddle a shard
+    // boundary, in which case only the global view exists.
+    shard_chunkings = std::move(split).value();
+  }
+  return BuiltShardedDataset(std::move(dataset).value(), std::move(sharded).value(),
+                             std::move(shard_chunkings));
+}
+
 }  // namespace datasets
 }  // namespace exsample

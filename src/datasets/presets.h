@@ -11,6 +11,7 @@
 #include "scene/ground_truth.h"
 #include "video/chunking.h"
 #include "video/repository.h"
+#include "video/sharded_repository.h"
 
 namespace exsample {
 namespace datasets {
@@ -89,6 +90,46 @@ class BuiltDataset {
   video::VideoRepository repo_;
   video::Chunking chunking_;
   scene::GroundTruth truth_;
+};
+
+/// \brief A materialized dataset split across shards: the same repository,
+/// chunking, and ground truth as `BuiltDataset::Build` at the same seed and
+/// scale (traces over the sharded build are bit-identical to the unsharded
+/// one), plus the clip-aligned `ShardedRepository` an engine dispatches over
+/// and — when the spec's chunk scheme is shard-aligned — each shard's local
+/// chunk view.
+class BuiltShardedDataset {
+ public:
+  /// \brief Builds the dataset and splits it into `num_shards` clip-aligned
+  /// shards of near-equal frame counts.
+  static common::Result<BuiltShardedDataset> Build(const DatasetSpec& spec,
+                                                   size_t num_shards, uint64_t seed,
+                                                   double scale = 1.0);
+
+  const DatasetSpec& spec() const { return dataset_.spec(); }
+  const BuiltDataset& dataset() const { return dataset_; }
+  const video::ShardedRepository& sharded() const { return sharded_; }
+  const video::Chunking& chunking() const { return dataset_.chunking(); }
+  const scene::GroundTruth& truth() const { return dataset_.truth(); }
+
+  /// \brief Per-shard chunk views in shard-local coordinates (composing them
+  /// back with `ComposeShardChunkings` reproduces `chunking()`). Empty when
+  /// the global chunking is not shard-aligned — fixed-count chunks may span
+  /// shard boundaries; per-clip chunks never do.
+  const std::vector<video::Chunking>& shard_chunkings() const {
+    return shard_chunkings_;
+  }
+
+ private:
+  BuiltShardedDataset(BuiltDataset dataset, video::ShardedRepository sharded,
+                      std::vector<video::Chunking> shard_chunkings)
+      : dataset_(std::move(dataset)),
+        sharded_(std::move(sharded)),
+        shard_chunkings_(std::move(shard_chunkings)) {}
+
+  BuiltDataset dataset_;
+  video::ShardedRepository sharded_;
+  std::vector<video::Chunking> shard_chunkings_;
 };
 
 /// \name The six evaluation datasets (Sec. V-A)

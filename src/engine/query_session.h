@@ -2,9 +2,11 @@
 #define EXSAMPLE_ENGINE_QUERY_SESSION_H_
 
 #include <memory>
+#include <vector>
 
 #include "detect/detector.h"
 #include "query/runner.h"
+#include "query/shard_dispatch.h"
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "track/discriminator.h"
@@ -43,12 +45,29 @@ class QuerySession {
   /// \brief Runs the query to completion and returns the finalized trace.
   query::QueryTrace Finish() { return execution_->Finish(); }
 
+  /// \brief The session's shard dispatcher, or null when the engine is not
+  /// sharded. Exposes per-shard execution stats for observability.
+  const query::ShardDispatcher* shard_dispatcher() const {
+    return shard_dispatcher_.get();
+  }
+
+  /// \brief The per-shard partial traces accumulated so far (empty when the
+  /// engine is not sharded).
+  const std::vector<query::ShardTracePart>& ShardParts() const {
+    return execution_->ShardParts();
+  }
+
  private:
   friend class SearchEngine;
   QuerySession() = default;
 
   std::unique_ptr<query::SearchStrategy> strategy_;
   std::unique_ptr<detect::ObjectDetector> detector_;
+  // Sharded engines: one detector context per shard plus the dispatcher that
+  // routes batches to them (detector noise streams stay per-query, so each
+  // session owns its shard detectors; pools are shared via the engine).
+  std::vector<std::unique_ptr<detect::ObjectDetector>> shard_detectors_;
+  std::unique_ptr<query::ShardDispatcher> shard_dispatcher_;
   std::unique_ptr<track::Discriminator> discriminator_;
   std::unique_ptr<query::QueryExecution> execution_;
 };

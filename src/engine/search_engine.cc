@@ -29,7 +29,26 @@ const char* MethodName(Method method) {
 SearchEngine::SearchEngine(const video::VideoRepository* repo,
                            const video::Chunking* chunking,
                            const scene::GroundTruth* truth, EngineConfig config)
-    : repo_(repo), chunking_(chunking), truth_(truth), config_(config) {}
+    : repo_(repo), chunking_(chunking), truth_(truth), config_(config) {
+  if (config_.num_shards > 1) {
+    // Shard the caller's repository clip-aligned; clips never split, so the
+    // global frame view (and therefore every trace) is unchanged.
+    auto sharded = video::ShardedRepository::ShardByClips(*repo, config_.num_shards);
+    common::CheckOk(sharded.status(), "engine repository sharding failed");
+    owned_sharded_ =
+        std::make_unique<video::ShardedRepository>(std::move(sharded).value());
+    sharded_ = owned_sharded_.get();
+  }
+}
+
+SearchEngine::SearchEngine(const video::ShardedRepository* sharded,
+                           const video::Chunking* chunking,
+                           const scene::GroundTruth* truth, EngineConfig config)
+    : repo_(&sharded->Global()),
+      chunking_(chunking),
+      truth_(truth),
+      config_(config),
+      sharded_(sharded) {}
 
 common::Result<std::unique_ptr<query::SearchStrategy>> SearchEngine::MakeStrategy(
     int32_t class_id, const QueryOptions& options) {
@@ -85,6 +104,18 @@ common::ThreadPool* SearchEngine::thread_pool() {
   return pool_.get();
 }
 
+common::ThreadPool* SearchEngine::shard_pool(uint32_t shard) {
+  if (config_.threads_per_shard == 0) return thread_pool();
+  if (shard_pools_.empty()) {
+    shard_pools_.resize(sharded_->NumShards());
+  }
+  if (shard_pools_[shard] == nullptr) {
+    shard_pools_[shard] =
+        std::make_unique<common::ThreadPool>(config_.threads_per_shard);
+  }
+  return shard_pools_[shard].get();
+}
+
 common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
     int32_t class_id, const query::RunnerOptions& runner_options,
     const QueryOptions& options) {
@@ -98,7 +129,26 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
 
   detect::DetectorOptions det_opts = config_.detector;
   det_opts.target_class = class_id;
-  session->detector_ = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
+  if (sharded_ != nullptr) {
+    // One detector context per shard. Each shard's detector carries the same
+    // options (and seed) as the unsharded detector would, and detection is a
+    // pure per-frame function of (truth, options, frame) — so shard routing
+    // returns exactly the detections a single detector would have.
+    std::vector<query::ShardContext> contexts(sharded_->NumShards());
+    session->shard_detectors_.reserve(sharded_->NumShards());
+    for (uint32_t s = 0; s < sharded_->NumShards(); ++s) {
+      if (sharded_->Shard(s).TotalFrames() == 0) continue;
+      auto detector = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
+      contexts[s].detector = detector.get();
+      contexts[s].pool = shard_pool(s);
+      session->shard_detectors_.push_back(std::move(detector));
+    }
+    session->shard_dispatcher_ = std::make_unique<query::ShardDispatcher>(
+        sharded_, std::move(contexts),
+        /*parallel_shards=*/config_.threads_per_shard > 0);
+  } else {
+    session->detector_ = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
+  }
 
   if (config_.discriminator == EngineConfig::DiscriminatorKind::kOracle) {
     session->discriminator_ = std::make_unique<track::OracleDiscriminator>();
@@ -118,6 +168,7 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   }
   session_options.batch_size = batch_size;
   session_options.thread_pool = thread_pool();
+  session_options.shard_dispatcher = session->shard_dispatcher_.get();
   session->execution_ = std::make_unique<query::QueryExecution>(
       truth_, session->detector_.get(), session->discriminator_.get(),
       session->strategy_.get(), session_options);

@@ -23,6 +23,7 @@
 #include "track/oracle_discriminator.h"
 #include "video/chunking.h"
 #include "video/repository.h"
+#include "video/sharded_repository.h"
 
 namespace exsample {
 namespace engine {
@@ -63,6 +64,20 @@ struct EngineConfig {
   /// default) runs everything on the caller, with no synchronization. Thread
   /// count never changes a trace — only wall-clock time.
   size_t num_threads = 1;
+
+  /// Shard the repository into this many contiguous, clip-aligned shards,
+  /// each serving its frames with its own detector context (the in-process
+  /// stand-in for "one query spans machines"). Picked batches are routed per
+  /// shard and the per-shard partial traces merge into a global trace
+  /// identical to the single-repository run — shard count never changes a
+  /// trace (proven by the shard equivalence suite). 1 (the default) executes
+  /// unsharded. Ignored when the engine is constructed over an explicit
+  /// `ShardedRepository`, whose own shard count wins.
+  size_t num_shards = 1;
+  /// Threads in each shard's private detect pool ("one GPU's worth" per
+  /// shard); shards then detect their sub-batches concurrently. 0 (the
+  /// default) shares the engine-wide pool across shards, one shard at a time.
+  size_t threads_per_shard = 0;
 };
 
 /// \brief Per-query method configuration.
@@ -105,6 +120,14 @@ class SearchEngine {
   SearchEngine(const video::VideoRepository* repo, const video::Chunking* chunking,
                const scene::GroundTruth* truth, EngineConfig config = {});
 
+  /// \brief Shard-aware construction: queries run over `sharded`'s global
+  /// frame view, with every picked batch dispatched to the owning shards'
+  /// detector contexts. `chunking` and `truth` address the global frame
+  /// space. `config.num_shards` is ignored (the repository's shard count
+  /// wins).
+  SearchEngine(const video::ShardedRepository* sharded, const video::Chunking* chunking,
+               const scene::GroundTruth* truth, EngineConfig config = {});
+
   /// \brief "Find `limit` distinct objects of `class_id`": runs until the
   /// discriminator has returned `limit` results (or the repository is
   /// exhausted) and returns the discovery trace.
@@ -142,7 +165,15 @@ class SearchEngine {
   /// hardware-sized pool.
   common::ThreadPool* thread_pool();
 
+  /// \brief The sharded repository queries are dispatched over, or null for a
+  /// single-repository engine.
+  const video::ShardedRepository* sharded_repository() const { return sharded_; }
+
  private:
+  /// The pool a shard's detect stage fans out over: the shard's private pool
+  /// when `config.threads_per_shard > 0` (created lazily, shared by all
+  /// sessions), else the engine-wide pool.
+  common::ThreadPool* shard_pool(uint32_t shard);
   common::Result<std::unique_ptr<QuerySession>> MakeSession(
       int32_t class_id, const query::RunnerOptions& runner_options,
       const QueryOptions& options);
@@ -154,11 +185,18 @@ class SearchEngine {
   const video::Chunking* chunking_;
   const scene::GroundTruth* truth_;
   EngineConfig config_;
+  // Sharded execution: non-null when this engine dispatches per shard. Either
+  // borrowed (shard-aware constructor) or owned (`config.num_shards > 1` on
+  // the plain constructor, split clip-aligned from the caller's repository).
+  const video::ShardedRepository* sharded_ = nullptr;
+  std::unique_ptr<video::ShardedRepository> owned_sharded_;
   // Proxy scorers are pure functions of (truth, class, options); cached per
   // class so hybrid/proxy queries do not rebuild them.
   std::map<int32_t, std::unique_ptr<detect::ProxyScorer>> scorers_;
   // Engine-wide worker pool shared by all sessions' detect stages.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Per-shard private pools (config.threads_per_shard > 0), lazily created.
+  std::vector<std::unique_ptr<common::ThreadPool>> shard_pools_;
 };
 
 }  // namespace engine

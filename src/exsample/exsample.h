@@ -35,6 +35,8 @@
 #include "opt/simplex.h"
 #include "query/curves.h"
 #include "query/runner.h"
+#include "query/shard_dispatch.h"
+#include "query/shard_trace.h"
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "query/trace_io.h"
@@ -59,5 +61,6 @@
 #include "video/chunking.h"
 #include "video/decode.h"
 #include "video/repository.h"
+#include "video/sharded_repository.h"
 
 #endif  // EXSAMPLE_EXSAMPLE_H_

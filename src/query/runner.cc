@@ -42,10 +42,37 @@ QueryExecution::QueryExecution(const scene::GroundTruth* truth,
       discriminator_(discriminator),
       strategy_(strategy),
       options_(options) {
+  common::Check(detector_ != nullptr || options_.shard_dispatcher != nullptr,
+                "query execution needs a detector or a shard dispatcher");
   trace_.strategy_name = strategy_->name();
   trace_.total_instances = truth_->NumInstances(options_.recall_class);
   current_.seconds = strategy_->UpfrontCostSeconds();
   trace_.points.push_back(current_);
+  if (options_.shard_dispatcher != nullptr) {
+    // Partial traces: part 0 is the coordinator, part 1 + s is shard s. The
+    // upfront cost belongs to the coordinator (a proxy scan happens before
+    // any frame is routed anywhere) and opens the trace, mirroring the
+    // initial point pushed above.
+    parts_.resize(1 + options_.shard_dispatcher->NumShards());
+    parts_[0].shard_id = kCoordinatorShard;
+    for (size_t s = 0; s < options_.shard_dispatcher->NumShards(); ++s) {
+      parts_[1 + s].shard_id = static_cast<int32_t>(s);
+    }
+    RecordEvent(0, current_.seconds, 0, 0, 0, /*emit_point=*/true);
+  }
+}
+
+void QueryExecution::RecordEvent(size_t part, double seconds, uint32_t samples,
+                                 uint32_t reported, uint32_t distinct,
+                                 bool emit_point) {
+  ShardTraceEvent event;
+  event.seq = next_seq_++;
+  event.seconds = seconds;
+  event.samples = samples;
+  event.reported = reported;
+  event.distinct = distinct;
+  event.emit_point = emit_point;
+  parts_[part].events.push_back(event);
 }
 
 bool QueryExecution::StopConditionHit() const {
@@ -72,39 +99,85 @@ bool QueryExecution::Step() {
     return false;
   }
 
-  // Charge any incremental strategy overhead (e.g. lazy proxy scoring)
-  // accrued while choosing this batch.
-  const double overhead = strategy_->CumulativeOverheadSeconds();
-  current_.seconds += overhead - charged_overhead_;
-  charged_overhead_ = overhead;
+  ShardDispatcher* dispatcher = options_.shard_dispatcher;
 
-  // Decode stage. Charged up front for the whole batch (a real pipeline
-  // prefetches the batch's frames before inference).
-  if (options_.video_store != nullptr) {
+  // Resolve each frame's owning shard once per batch; decode attribution,
+  // detect dispatch, and per-frame accounting below all reuse it.
+  if (dispatcher != nullptr) {
+    frame_shards_.clear();
     for (const video::FrameId frame : frames) {
-      const double before = options_.video_store->Stats().total_seconds;
-      options_.video_store->ReadAndDecode(frame);
-      current_.seconds += options_.video_store->Stats().total_seconds - before;
+      frame_shards_.push_back(dispatcher->ShardOfFrame(frame));
     }
   }
 
-  // Detect stage: per-frame-independent, fans out across the pool. Result i
-  // belongs to frames[i] whatever the execution order.
+  // Charge any incremental strategy overhead (e.g. lazy proxy scoring)
+  // accrued while choosing this batch. Overhead is the coordinator's: it is
+  // paid choosing frames, before any shard is involved.
+  const double overhead = strategy_->CumulativeOverheadSeconds();
+  current_.seconds += overhead - charged_overhead_;
+  if (dispatcher != nullptr) {
+    RecordEvent(0, overhead - charged_overhead_, 0, 0, 0, false);
+  }
+  charged_overhead_ = overhead;
+
+  // Decode stage. Charged up front for the whole batch (a real pipeline
+  // prefetches the batch's frames before inference). Sharded executions with
+  // per-shard stores decode on the owning shard (each shard keeps its own
+  // position state); otherwise the query-global store is used and the cost is
+  // still attributed to the owning shard's partial trace.
+  if (dispatcher != nullptr && dispatcher->HasStores()) {
+    for (size_t i = 0; i < frames.size(); ++i) {
+      const double seconds = dispatcher->ChargeDecode(frames[i], frame_shards_[i]);
+      current_.seconds += seconds;
+      RecordEvent(1 + frame_shards_[i], seconds, 0, 0, 0, false);
+    }
+  } else if (options_.video_store != nullptr) {
+    for (size_t i = 0; i < frames.size(); ++i) {
+      const double before = options_.video_store->Stats().total_seconds;
+      options_.video_store->ReadAndDecode(frames[i]);
+      const double seconds = options_.video_store->Stats().total_seconds - before;
+      current_.seconds += seconds;
+      if (dispatcher != nullptr) {
+        RecordEvent(1 + frame_shards_[i], seconds, 0, 0, 0, false);
+      }
+    }
+  }
+
+  // Detect stage: per-frame-independent, fans out across the pool — or, when
+  // the repository is sharded, across the owning shards' detector contexts.
+  // Result i belongs to frames[i] whatever the execution order.
   const std::vector<detect::Detections> detections =
-      detector_->DetectBatch(frames, options_.thread_pool);
+      dispatcher != nullptr
+          ? dispatcher->DetectBatch(frames, common::Span<const uint32_t>(
+                                                frame_shards_.data(), frame_shards_.size()))
+                            : detector_->DetectBatch(frames, options_.thread_pool);
 
   // Discriminate stage: strictly sequential in batch order — matching is
-  // stateful, and reproducibility requires a fixed observation order.
+  // stateful, and reproducibility requires a fixed observation order. This is
+  // the merge point of a sharded execution: whatever shard detected a frame,
+  // its detections are observed here, in the coordinator's batch order.
   feedback_.clear();
   for (size_t i = 0; i < frames.size(); ++i) {
-    current_.seconds += detector_->SecondsPerFrame();
+    const uint32_t shard = dispatcher != nullptr ? frame_shards_[i] : 0;
+    const double detect_seconds = dispatcher != nullptr
+                                      ? dispatcher->SecondsPerFrame(shard)
+                                      : detector_->SecondsPerFrame();
+    current_.seconds += detect_seconds;
     const track::MatchResult result = discriminator_->Observe(frames[i], detections[i]);
     feedback_.push_back(FrameFeedback{frames[i], result.d0.size(), result.d1.size()});
     ++current_.samples;
     current_.reported_results += result.d0.size();
+    const uint64_t distinct_before = current_.true_distinct;
     const bool changed = CountNewDistinct(result, options_, &found_, &current_);
-    if (changed || !result.d0.empty()) {
+    const bool emit = changed || !result.d0.empty();
+    if (emit) {
       trace_.points.push_back(current_);
+    }
+    if (dispatcher != nullptr) {
+      RecordEvent(1 + shard, detect_seconds, 1,
+                  static_cast<uint32_t>(result.d0.size()),
+                  static_cast<uint32_t>(current_.true_distinct - distinct_before),
+                  emit);
     }
   }
 
@@ -124,6 +197,21 @@ QueryTrace QueryExecution::Finish() {
     trace_.final = current_;
     if (trace_.points.empty() || trace_.points.back().samples != current_.samples) {
       trace_.points.push_back(current_);
+    }
+    if (options_.shard_dispatcher != nullptr) {
+      // A sharded run's trace is *assembled from the shards' partial traces*:
+      // the merge replays the per-shard events in global sequence order. It
+      // must reproduce the directly-accumulated trace bit for bit — a merge
+      // that drifts means shard accounting lost information, which would
+      // silently corrupt every cross-shard comparison, so it is fatal rather
+      // than best-effort.
+      auto merged = MergeShardTraces(
+          trace_.strategy_name, trace_.total_instances,
+          common::Span<const ShardTracePart>(parts_.data(), parts_.size()));
+      common::CheckOk(merged.status(), "shard trace merge failed");
+      common::Check(TracesBitIdentical(merged.value(), trace_),
+                    "merged shard trace diverged from direct accumulation");
+      trace_ = std::move(merged).value();
     }
     finalized_ = true;
   }

@@ -8,6 +8,8 @@
 
 #include "common/thread_pool.h"
 #include "detect/detector.h"
+#include "query/shard_dispatch.h"
+#include "query/shard_trace.h"
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "scene/ground_truth.h"
@@ -46,6 +48,21 @@ struct RunnerOptions {
   /// count affects wall-clock only, never the trace: simulated cost
   /// accounting stays per-frame and detection is per-frame deterministic.
   common::ThreadPool* thread_pool = nullptr;
+  /// When non-null, the repository is sharded: the decode and detect stages
+  /// route every picked frame to its owning shard's context (detector, store,
+  /// pool) instead of the query-global `detector`/`video_store`/`thread_pool`
+  /// above, and the execution records per-shard partial traces that `Finish`
+  /// merges into the returned global trace. Detect routing never changes a
+  /// trace (shard detectors are per-frame deterministic and discrimination
+  /// stays sequential in batch order) — the shard equivalence suite enforces
+  /// bit-identity against the unsharded run for the configurations
+  /// `SearchEngine` wires up (no stores, or one shared `video_store`). The
+  /// exception is *per-shard* stores (`ShardDispatcher::HasStores()`): each
+  /// shard then keeps its own decode position state, which by design prices
+  /// sequential-read locality per shard and so can change `seconds` relative
+  /// to a single global store. The query-global `detector` may be null when a
+  /// dispatcher is set.
+  ShardDispatcher* shard_dispatcher = nullptr;
 };
 
 /// \brief Incremental execution state of one distinct-object query.
@@ -62,7 +79,9 @@ struct RunnerOptions {
 /// matches the legacy single-frame loop bit for bit.
 class QueryExecution {
  public:
-  /// All pointees must outlive the execution.
+  /// All pointees must outlive the execution. `detector` may be null only
+  /// when `options.shard_dispatcher` is set (detection is then routed to the
+  /// owning shards' detectors).
   QueryExecution(const scene::GroundTruth* truth, detect::ObjectDetector* detector,
                  track::Discriminator* discriminator, SearchStrategy* strategy,
                  RunnerOptions options);
@@ -81,8 +100,16 @@ class QueryExecution {
   /// batch; `Finish` appends the closing point.
   const QueryTrace& trace() const { return trace_; }
 
+  /// \brief The per-shard partial traces of a sharded execution (empty when
+  /// `options.shard_dispatcher` is null). Part 0 is the coordinator
+  /// (`kCoordinatorShard`: upfront cost, strategy overhead); part 1 + s is
+  /// shard s. `Finish` merges these into the returned trace.
+  const std::vector<ShardTracePart>& ShardParts() const { return parts_; }
+
  private:
   bool StopConditionHit() const;
+  void RecordEvent(size_t part, double seconds, uint32_t samples, uint32_t reported,
+                   uint32_t distinct, bool emit_point);
 
   const scene::GroundTruth* truth_;
   detect::ObjectDetector* detector_;
@@ -94,6 +121,9 @@ class QueryExecution {
   DiscoveryPoint current_;
   std::unordered_set<scene::InstanceId> found_;
   std::vector<FrameFeedback> feedback_;  // Reused per batch.
+  std::vector<uint32_t> frame_shards_;   // Owner per batch frame; sharded only.
+  std::vector<ShardTracePart> parts_;    // Sharded runs only.
+  uint64_t next_seq_ = 0;
   double charged_overhead_ = 0.0;
   bool finished_ = false;
   bool finalized_ = false;

@@ -1,0 +1,116 @@
+#ifndef EXSAMPLE_QUERY_SHARD_DISPATCH_H_
+#define EXSAMPLE_QUERY_SHARD_DISPATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "detect/detector.h"
+#include "video/decode.h"
+#include "video/sharded_repository.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief One shard's execution resources: the detector that serves its
+/// frames, an optional decode store, and an optional private worker pool.
+///
+/// In a real deployment this is "one machine's worth" of a query: the shard's
+/// video lives next to its decoder and detector, and only frame ids and
+/// detections cross the network. In this reproduction the members are
+/// in-process objects; the seam is what matters.
+struct ShardContext {
+  /// Serves `Detect` for the shard's frames. Required for non-empty shards.
+  /// Frames are addressed by *global* id (the shard's detector shares the
+  /// global ground truth), so a shard detector with the same options as the
+  /// unsharded detector produces identical detections — the first half of the
+  /// sharded-equals-unsharded equivalence contract.
+  detect::ObjectDetector* detector = nullptr;
+  /// Optional per-shard decode accounting. A shard's store keeps its own
+  /// position state (each shard decodes independently), so sequential-read
+  /// locality is per shard. Must be built over the *global* repository view.
+  video::SimulatedVideoStore* store = nullptr;
+  /// Optional private pool the shard's detect stage fans out over ("one GPU's
+  /// worth of workers"). Null runs the shard's sub-batch on the dispatching
+  /// thread.
+  common::ThreadPool* pool = nullptr;
+};
+
+/// \brief Per-shard execution tallies.
+struct ShardStats {
+  uint64_t frames_detected = 0;
+  uint64_t batches = 0;
+  uint64_t frames_decoded = 0;
+  double detect_seconds = 0.0;  ///< Simulated detector seconds charged.
+  double decode_seconds = 0.0;  ///< Simulated decode seconds charged.
+};
+
+/// \brief Routes a picked batch to the shards that own its frames.
+///
+/// The batch pipeline's detect stage hands the whole batch to the dispatcher;
+/// the dispatcher partitions it by owning shard (stable, preserving batch
+/// order within each shard), runs every shard's sub-batch through that
+/// shard's detector context, and scatters results back so result `i`
+/// corresponds to `frames[i]` — the same contract as
+/// `ObjectDetector::DetectBatch`, so shard count can never reorder what the
+/// discriminator observes.
+///
+/// With `parallel_shards`, sub-batches of different shards run concurrently
+/// (one dispatch thread per shard, each driving its own shard's pool), which
+/// is what the shard-scaling bench measures. Results land in fixed slots and
+/// detectors are per-frame deterministic, so parallel dispatch — like thread
+/// count everywhere else in the pipeline — changes wall-clock only, never the
+/// trace.
+class ShardDispatcher {
+ public:
+  /// `repo` and every context member must outlive the dispatcher. `contexts`
+  /// must have one entry per shard; non-empty shards require a detector.
+  ShardDispatcher(const video::ShardedRepository* repo,
+                  std::vector<ShardContext> contexts, bool parallel_shards = false);
+
+  size_t NumShards() const { return contexts_.size(); }
+  const video::ShardedRepository& repo() const { return *repo_; }
+
+  /// \brief The shard owning a global frame. Frames past the repository are a
+  /// fatal error (the strategy layer never emits them).
+  uint32_t ShardOfFrame(video::FrameId frame) const;
+
+  /// \brief Detects a whole batch across the owning shards; result `i`
+  /// corresponds to `frames[i]`. `shards`, when non-empty, must be the
+  /// precomputed owner of each frame (`ShardOfFrame`), saving the per-frame
+  /// lookup; empty resolves owners internally.
+  std::vector<detect::Detections> DetectBatch(common::Span<video::FrameId> frames,
+                                              common::Span<const uint32_t> shards = {});
+
+  /// \brief Simulated per-frame detector cost of one shard.
+  double SecondsPerFrame(uint32_t shard) const;
+
+  /// \brief True when every non-empty shard has a decode store (decode is
+  /// then routed per shard instead of through the query-global store).
+  bool HasStores() const { return has_stores_; }
+
+  /// \brief Charges the decode of `frame` to `shard`'s store (which must be
+  /// the frame's owner, as `ShardOfFrame` reports) and returns the seconds
+  /// charged. Requires `HasStores()`.
+  double ChargeDecode(video::FrameId frame, uint32_t shard);
+
+  const ShardContext& Context(uint32_t shard) const { return contexts_[shard]; }
+  const std::vector<ShardStats>& Stats() const { return stats_; }
+
+ private:
+  const video::ShardedRepository* repo_;
+  std::vector<ShardContext> contexts_;
+  std::vector<ShardStats> stats_;
+  bool parallel_shards_ = false;
+  bool has_stores_ = false;
+
+  // Per-batch scratch, reused to keep the steady state allocation-free.
+  std::vector<std::vector<size_t>> shard_slots_;  // Batch positions per shard.
+  std::vector<std::vector<video::FrameId>> shard_frames_;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_SHARD_DISPATCH_H_

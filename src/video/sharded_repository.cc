@@ -1,0 +1,157 @@
+#include "video/sharded_repository.h"
+
+#include <algorithm>
+#include <string>
+
+namespace exsample {
+namespace video {
+
+common::Result<ShardedRepository> ShardedRepository::Make(
+    std::vector<VideoRepository> shards) {
+  if (shards.empty()) {
+    return common::Status::InvalidArgument("sharded repository needs at least one shard");
+  }
+  ShardedRepository sharded;
+  sharded.shard_offsets_.reserve(shards.size());
+  for (const VideoRepository& shard : shards) {
+    sharded.shard_offsets_.push_back(sharded.global_.TotalFrames());
+    for (const VideoClip& clip : shard.Clips()) {
+      auto added = sharded.global_.AddClip(clip.name, clip.frame_count, clip.fps);
+      if (!added.ok()) return added.status();
+    }
+  }
+  if (sharded.global_.TotalFrames() == 0) {
+    return common::Status::InvalidArgument("sharded repository needs at least one frame");
+  }
+  sharded.shards_ = std::move(shards);
+  return sharded;
+}
+
+common::Result<ShardedRepository> ShardedRepository::ShardByClips(
+    const VideoRepository& repo, size_t num_shards) {
+  if (num_shards == 0) {
+    return common::Status::InvalidArgument("shard count must be >= 1");
+  }
+  if (repo.TotalFrames() == 0) {
+    return common::Status::InvalidArgument("cannot shard an empty repository");
+  }
+  std::vector<VideoRepository> shards(num_shards);
+  uint32_t clip = 0;
+  uint64_t assigned = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t shards_after = num_shards - s - 1;
+    const uint64_t remaining = repo.TotalFrames() - assigned;
+    // Aim each shard at an equal split of what is left; clip granularity
+    // makes the split approximate, never worse than one clip of imbalance.
+    const uint64_t target = (remaining + shards_after) / (shards_after + 1);
+    uint64_t got = 0;
+    while (clip < repo.NumClips()) {
+      const VideoClip& c = repo.Clip(clip);
+      // Take at least one clip, then stop at the target — but never strand a
+      // later shard without clips when enough remain to go around.
+      if (got > 0 && got + c.frame_count > target) break;
+      if (got > 0 && repo.NumClips() - clip <= shards_after) break;
+      auto added = shards[s].AddClip(c.name, c.frame_count, c.fps);
+      if (!added.ok()) return added.status();
+      got += c.frame_count;
+      ++clip;
+    }
+    assigned += got;
+  }
+  return Make(std::move(shards));
+}
+
+common::Result<uint32_t> ShardedRepository::ShardOfFrame(FrameId frame) const {
+  if (frame >= TotalFrames()) {
+    return common::Status::OutOfRange("frame id past end of sharded repository");
+  }
+  // Last shard whose begin offset is <= frame. Empty shards share their begin
+  // with the following shard, so upper_bound lands past them.
+  auto it = std::upper_bound(shard_offsets_.begin(), shard_offsets_.end(), frame);
+  return static_cast<uint32_t>(it - shard_offsets_.begin()) - 1;
+}
+
+common::Result<ShardFrameRef> ShardedRepository::Locate(FrameId frame) const {
+  auto shard = ShardOfFrame(frame);
+  if (!shard.ok()) return shard.status();
+  return ShardFrameRef{shard.value(), frame - shard_offsets_[shard.value()]};
+}
+
+common::Result<FrameId> ShardedRepository::ToGlobal(uint32_t shard,
+                                                    FrameId frame_in_shard) const {
+  if (shard >= shards_.size()) {
+    return common::Status::OutOfRange("unknown shard id");
+  }
+  if (frame_in_shard >= shards_[shard].TotalFrames()) {
+    return common::Status::OutOfRange("frame id past end of shard");
+  }
+  return shard_offsets_[shard] + frame_in_shard;
+}
+
+common::Result<Chunking> ComposeShardChunkings(
+    const ShardedRepository& repo, const std::vector<const Chunking*>& per_shard) {
+  if (per_shard.size() != repo.NumShards()) {
+    return common::Status::InvalidArgument(
+        "need exactly one chunking (or null for an empty shard) per shard");
+  }
+  std::vector<Chunk> chunks;
+  for (uint32_t s = 0; s < repo.NumShards(); ++s) {
+    const uint64_t shard_frames = repo.Shard(s).TotalFrames();
+    if (per_shard[s] == nullptr) {
+      if (shard_frames != 0) {
+        return common::Status::InvalidArgument(
+            "missing chunking for non-empty shard " + std::to_string(s));
+      }
+      continue;
+    }
+    if (per_shard[s]->TotalFrames() != shard_frames) {
+      return common::Status::InvalidArgument(
+          "shard " + std::to_string(s) + " chunking covers " +
+          std::to_string(per_shard[s]->TotalFrames()) + " frames, shard has " +
+          std::to_string(shard_frames));
+    }
+    const FrameId offset = repo.ShardBegin(s);
+    for (const Chunk& chunk : per_shard[s]->Chunks()) {
+      chunks.push_back(Chunk{0, chunk.begin + offset, chunk.end + offset});
+    }
+  }
+  return Chunking::Make(std::move(chunks), repo.TotalFrames());
+}
+
+common::Result<std::vector<Chunking>> SplitChunkingByShard(const ShardedRepository& repo,
+                                                           const Chunking& global) {
+  if (global.TotalFrames() != repo.TotalFrames()) {
+    return common::Status::InvalidArgument(
+        "chunking and sharded repository cover different frame ranges");
+  }
+  std::vector<std::vector<Chunk>> local(repo.NumShards());
+  for (const Chunk& chunk : global.Chunks()) {
+    auto shard = repo.ShardOfFrame(chunk.begin);
+    if (!shard.ok()) return shard.status();
+    const uint32_t s = shard.value();
+    if (chunk.end > repo.ShardEnd(s)) {
+      return common::Status::InvalidArgument(
+          "chunk " + std::to_string(chunk.chunk_id) + " spans shard boundary at frame " +
+          std::to_string(repo.ShardEnd(s)));
+    }
+    const FrameId offset = repo.ShardBegin(s);
+    local[s].push_back(Chunk{0, chunk.begin - offset, chunk.end - offset});
+  }
+  std::vector<Chunking> out;
+  out.reserve(repo.NumShards());
+  for (uint32_t s = 0; s < repo.NumShards(); ++s) {
+    // A Chunking cannot be empty, so every shard must own at least one chunk
+    // (empty shards in particular have no shard-local chunk view).
+    auto chunking = Chunking::Make(std::move(local[s]), repo.Shard(s).TotalFrames());
+    if (!chunking.ok()) {
+      return common::Status::InvalidArgument(
+          "shard " + std::to_string(s) + " has no valid chunk cover: " +
+          chunking.status().message());
+    }
+    out.push_back(std::move(chunking).value());
+  }
+  return out;
+}
+
+}  // namespace video
+}  // namespace exsample

@@ -1,0 +1,125 @@
+#ifndef EXSAMPLE_VIDEO_SHARDED_REPOSITORY_H_
+#define EXSAMPLE_VIDEO_SHARDED_REPOSITORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace video {
+
+/// \brief Location of a frame inside a specific shard.
+struct ShardFrameRef {
+  uint32_t shard = 0;
+  FrameId frame_in_shard = 0;
+};
+
+/// \brief A video repository partitioned into shards.
+///
+/// Shards split the global `FrameId` space into contiguous, clip-aligned
+/// ranges: shard 0's frames come first, then shard 1's, and so on, exactly as
+/// clips are laid out inside a single `VideoRepository`. Each shard is itself
+/// a complete `VideoRepository` (whole clips, local frame ids starting at 0),
+/// so a shard can live on its own machine with its own decoder and detector
+/// while sampling code keeps working in the one global frame space.
+///
+/// The flattened `Global()` view is frame-for-frame identical to the
+/// single-repository layout the shards were cut from — which is what makes
+/// sharded execution trace-equivalent to unsharded execution (strategies,
+/// chunkings, and ground truth all address the global space; only the
+/// execution of a picked frame is routed to its owning shard).
+///
+/// Empty shards are legal (a deployment may provision more shards than it has
+/// clips); they own no frames and are skipped by the frame mapping.
+class ShardedRepository {
+ public:
+  /// \brief Validated constructor from per-shard repositories.
+  ///
+  /// Requires at least one shard and at least one frame overall. Shards may
+  /// be empty.
+  static common::Result<ShardedRepository> Make(std::vector<VideoRepository> shards);
+
+  /// \brief Partitions `repo`'s clips into `num_shards` contiguous groups
+  /// with near-equal frame counts (clips are never split across shards).
+  ///
+  /// When `num_shards` exceeds the clip count, the trailing shards are empty.
+  /// The resulting `Global()` view has the same clip layout as `repo`.
+  static common::Result<ShardedRepository> ShardByClips(const VideoRepository& repo,
+                                                        size_t num_shards);
+
+  /// \brief Number of shards (including empty ones).
+  size_t NumShards() const { return shards_.size(); }
+
+  /// \brief Shard contents by id.
+  const VideoRepository& Shard(uint32_t shard) const { return shards_[shard]; }
+
+  /// \brief The flattened single-repository view (concatenation of all
+  /// shards' clips, in shard order). Strategies and chunkings address this
+  /// global frame space.
+  const VideoRepository& Global() const { return global_; }
+
+  /// \brief First global frame id owned by a shard.
+  FrameId ShardBegin(uint32_t shard) const { return shard_offsets_[shard]; }
+
+  /// \brief One-past-last global frame id owned by a shard.
+  FrameId ShardEnd(uint32_t shard) const {
+    return shard_offsets_[shard] + shards_[shard].TotalFrames();
+  }
+
+  /// \brief Total frames across all shards.
+  uint64_t TotalFrames() const { return global_.TotalFrames(); }
+
+  /// \brief Total clips across all shards.
+  size_t NumClips() const { return global_.NumClips(); }
+
+  /// \brief The shard owning a global frame (empty shards never own frames).
+  ///
+  /// Returns OutOfRange when `frame` is past the end of the repository.
+  common::Result<uint32_t> ShardOfFrame(FrameId frame) const;
+
+  /// \brief Maps a global frame id to (shard, local frame).
+  common::Result<ShardFrameRef> Locate(FrameId frame) const;
+
+  /// \brief Maps (shard, local frame) back to the global frame id.
+  ///
+  /// Returns OutOfRange for unknown shards or local frames past the shard's
+  /// end (in particular, any local frame of an empty shard).
+  common::Result<FrameId> ToGlobal(uint32_t shard, FrameId frame_in_shard) const;
+
+ private:
+  ShardedRepository() = default;
+
+  std::vector<VideoRepository> shards_;
+  std::vector<FrameId> shard_offsets_;  // Parallel to shards_: global begin.
+  VideoRepository global_;
+};
+
+/// \brief Composes per-shard chunkings (in shard-local frame coordinates)
+/// into one chunking over the global frame space.
+///
+/// `per_shard[s]` must cover shard `s`'s local frame range exactly; it may be
+/// null only for empty shards (a `Chunking` cannot be empty). The composed
+/// chunking has one chunk per per-shard chunk, offset by the shard's global
+/// begin, so per-shard chunk statistics and the global bandit view describe
+/// the same arms.
+common::Result<Chunking> ComposeShardChunkings(const ShardedRepository& repo,
+                                               const std::vector<const Chunking*>& per_shard);
+
+/// \brief Splits a global chunking into per-shard chunkings in shard-local
+/// coordinates — the inverse of `ComposeShardChunkings`.
+///
+/// Every chunk must lie entirely within one shard (clip-aligned chunk schemes
+/// always satisfy this; fixed-count chunks that straddle a shard boundary are
+/// rejected with InvalidArgument), and every shard must own at least one
+/// chunk. `ComposeShardChunkings` over the result reproduces `global` chunk
+/// for chunk.
+common::Result<std::vector<Chunking>> SplitChunkingByShard(const ShardedRepository& repo,
+                                                           const Chunking& global);
+
+}  // namespace video
+}  // namespace exsample
+
+#endif  // EXSAMPLE_VIDEO_SHARDED_REPOSITORY_H_

@@ -148,6 +148,149 @@ TEST(SearchEngineTest, MaxSamplesCapRespected) {
   EXPECT_EQ(trace.value().final.samples, 50u);
 }
 
+// --- Sharded-engine concurrency determinism ---------------------------------
+//
+// `RunConcurrent` over a sharded repository must yield per-session traces
+// identical to solo runs (and to the unsharded engine): interleaving many
+// queries over shared shard contexts never leaks state between sessions.
+
+struct ShardedEngineFixture {
+  video::VideoRepository repo;
+  video::ShardedRepository sharded;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+
+  ShardedEngineFixture(video::VideoRepository r, video::ShardedRepository s,
+                       video::Chunking c, scene::GroundTruth t)
+      : repo(std::move(r)),
+        sharded(std::move(s)),
+        chunking(std::move(c)),
+        truth(std::move(t)) {}
+
+  /// Multi-clip variant of EngineFixture (same frame count, chunking, and
+  /// scene) so clip-aligned sharding has boundaries to cut at.
+  static std::unique_ptr<ShardedEngineFixture> Make(size_t num_shards,
+                                                    uint64_t seed = 5) {
+    common::Rng rng(seed);
+    const uint64_t frames = 100000;
+    auto repo = video::VideoRepository::UniformClips(8, frames / 8);
+    auto sharded = video::ShardedRepository::ShardByClips(repo, num_shards).value();
+    auto chunking = video::MakeFixedCountChunks(frames, 16).value();
+    scene::SceneSpec spec;
+    spec.total_frames = frames;
+    scene::ClassPopulationSpec lights;
+    lights.class_id = 0;
+    lights.instance_count = 120;
+    lights.duration.mean_frames = 150.0;
+    lights.placement = scene::PlacementSpec::NormalCenter(0.25);
+    spec.classes.push_back(lights);
+    auto truth = std::move(scene::GenerateScene(spec, &chunking, rng)).value();
+    return std::make_unique<ShardedEngineFixture>(std::move(repo), std::move(sharded),
+                                                  std::move(chunking),
+                                                  std::move(truth));
+  }
+};
+
+void ExpectSameTrace(const query::QueryTrace& a, const query::QueryTrace& b,
+                     const char* what) {
+  EXPECT_TRUE(query::TracesBitIdentical(a, b)) << what;
+  EXPECT_EQ(a.final.samples, b.final.samples) << what;
+  EXPECT_EQ(a.final.seconds, b.final.seconds) << what;
+  EXPECT_EQ(a.final.reported_results, b.final.reported_results) << what;
+  EXPECT_EQ(a.final.true_distinct, b.final.true_distinct) << what;
+}
+
+TEST(SearchEngineShardTest, RunConcurrentOnShardedEngineMatchesSoloRuns) {
+  auto fx = ShardedEngineFixture::Make(/*num_shards=*/4);
+  EngineConfig config = OracleConfig();
+  config.num_threads = 2;  // Shared engine pool exercised across sessions.
+  engine::SearchEngine sharded_engine(&fx->sharded, &fx->chunking, &fx->truth, config);
+  engine::SearchEngine unsharded_engine(&fx->repo, &fx->chunking, &fx->truth, config);
+
+  std::vector<QuerySpec> specs;
+  for (const Method method :
+       {Method::kExSample, Method::kRandomPlus, Method::kHybrid}) {
+    QuerySpec spec;
+    spec.class_id = 0;
+    spec.limit = 15;
+    spec.options.method = method;
+    spec.options.batch_size = 8;
+    specs.push_back(spec);
+  }
+
+  auto concurrent = sharded_engine.RunConcurrent(specs);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+  ASSERT_EQ(concurrent.value().size(), specs.size());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    // Interleaved == solo on the sharded engine == solo on the unsharded one.
+    auto solo = sharded_engine.FindDistinct(specs[i].class_id, specs[i].limit,
+                                            specs[i].options);
+    auto unsharded = unsharded_engine.FindDistinct(specs[i].class_id, specs[i].limit,
+                                                   specs[i].options);
+    ASSERT_TRUE(solo.ok() && unsharded.ok());
+    ExpectSameTrace(solo.value(), concurrent.value()[i], "sharded concurrent vs solo");
+    ExpectSameTrace(unsharded.value(), concurrent.value()[i],
+                    "sharded concurrent vs unsharded solo");
+  }
+}
+
+TEST(SearchEngineShardTest, InterleavedShardedSessionsMatchSoloRuns) {
+  auto fx = ShardedEngineFixture::Make(/*num_shards=*/3);
+  EngineConfig config = OracleConfig();
+  config.threads_per_shard = 2;  // Per-shard pools shared by both sessions.
+  engine::SearchEngine engine(&fx->sharded, &fx->chunking, &fx->truth, config);
+
+  QueryOptions a_options;
+  a_options.method = Method::kExSample;
+  a_options.batch_size = 4;
+  QueryOptions b_options;
+  b_options.method = Method::kRandom;
+  b_options.batch_size = 4;
+
+  auto a = engine.CreateSession(0, 20, a_options);
+  auto b = engine.CreateSession(0, 20, b_options);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Unfair interleaving (two A steps per B step): scheduling order must not
+  // matter because session state is fully isolated.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (a.value()->Step()) progress = true;
+    if (a.value()->Step()) progress = true;
+    if (b.value()->Step()) progress = true;
+  }
+  const query::QueryTrace a_trace = a.value()->Finish();
+  const query::QueryTrace b_trace = b.value()->Finish();
+
+  auto a_solo = engine.FindDistinct(0, 20, a_options);
+  auto b_solo = engine.FindDistinct(0, 20, b_options);
+  ASSERT_TRUE(a_solo.ok() && b_solo.ok());
+  ExpectSameTrace(a_solo.value(), a_trace, "interleaved session A");
+  ExpectSameTrace(b_solo.value(), b_trace, "interleaved session B");
+}
+
+TEST(SearchEngineShardTest, SessionExposesShardObservability) {
+  auto fx = ShardedEngineFixture::Make(/*num_shards=*/4);
+  engine::SearchEngine engine(&fx->sharded, &fx->chunking, &fx->truth, OracleConfig());
+  auto session = engine.CreateSession(0, 10);
+  ASSERT_TRUE(session.ok());
+  ASSERT_NE(session.value()->shard_dispatcher(), nullptr);
+  EXPECT_EQ(session.value()->shard_dispatcher()->NumShards(), 4u);
+  const query::QueryTrace trace = session.value()->Finish();
+  uint64_t detected = 0;
+  for (const query::ShardStats& stats : session.value()->shard_dispatcher()->Stats()) {
+    detected += stats.frames_detected;
+  }
+  EXPECT_EQ(detected, trace.final.samples);
+  // Unsharded engines have no dispatcher.
+  engine::SearchEngine plain(&fx->repo, &fx->chunking, &fx->truth, OracleConfig());
+  auto plain_session = plain.CreateSession(0, 10);
+  ASSERT_TRUE(plain_session.ok());
+  EXPECT_EQ(plain_session.value()->shard_dispatcher(), nullptr);
+}
+
 TEST(MethodNameTest, AllNamed) {
   EXPECT_STREQ(MethodName(Method::kExSample), "exsample");
   EXPECT_STREQ(MethodName(Method::kExSampleAdaptive), "exsample-adaptive");

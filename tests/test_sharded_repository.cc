@@ -1,0 +1,323 @@
+// Unit and property/fuzz tests for the shard layer's frame-space mapping:
+// `video::ShardedRepository` (global ↔ (shard, local) round trips over uneven
+// shard sizes, empty shards, single-frame clips, and every shard-boundary
+// frame) and the per-shard ↔ global chunking composition.
+
+#include "video/sharded_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace exsample {
+namespace video {
+namespace {
+
+VideoRepository RepoOf(const std::vector<uint64_t>& clip_frames) {
+  VideoRepository repo;
+  for (size_t i = 0; i < clip_frames.size(); ++i) {
+    auto added = repo.AddClip("clip" + std::to_string(i), clip_frames[i]);
+    EXPECT_TRUE(added.ok());
+  }
+  return repo;
+}
+
+// Exhaustive mapping check: every global frame round-trips through
+// (shard, local) and lands inside its shard's advertised range.
+void ExpectMappingConsistent(const ShardedRepository& sharded) {
+  ASSERT_GT(sharded.TotalFrames(), 0u);
+  // Shard ranges tile [0, total) in order, empty shards collapsing to a point.
+  FrameId cursor = 0;
+  for (uint32_t s = 0; s < sharded.NumShards(); ++s) {
+    EXPECT_EQ(sharded.ShardBegin(s), cursor);
+    EXPECT_EQ(sharded.ShardEnd(s) - sharded.ShardBegin(s),
+              sharded.Shard(s).TotalFrames());
+    cursor = sharded.ShardEnd(s);
+  }
+  EXPECT_EQ(cursor, sharded.TotalFrames());
+
+  for (FrameId frame = 0; frame < sharded.TotalFrames(); ++frame) {
+    auto loc = sharded.Locate(frame);
+    ASSERT_TRUE(loc.ok()) << "frame " << frame;
+    const uint32_t s = loc.value().shard;
+    EXPECT_GT(sharded.Shard(s).TotalFrames(), 0u) << "empty shard owns frame " << frame;
+    EXPECT_GE(frame, sharded.ShardBegin(s));
+    EXPECT_LT(frame, sharded.ShardEnd(s));
+    EXPECT_EQ(loc.value().frame_in_shard, frame - sharded.ShardBegin(s));
+    auto shard_only = sharded.ShardOfFrame(frame);
+    ASSERT_TRUE(shard_only.ok());
+    EXPECT_EQ(shard_only.value(), s);
+    auto back = sharded.ToGlobal(s, loc.value().frame_in_shard);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), frame) << "round trip broke at frame " << frame;
+  }
+  EXPECT_FALSE(sharded.Locate(sharded.TotalFrames()).ok());
+  EXPECT_FALSE(sharded.ShardOfFrame(sharded.TotalFrames()).ok());
+}
+
+TEST(ShardedRepositoryTest, MakeRejectsNoShardsAndNoFrames) {
+  EXPECT_FALSE(ShardedRepository::Make({}).ok());
+  std::vector<VideoRepository> empty_shards(3);  // Shards exist, frames do not.
+  EXPECT_FALSE(ShardedRepository::Make(std::move(empty_shards)).ok());
+}
+
+TEST(ShardedRepositoryTest, MakeAllowsEmptyShards) {
+  std::vector<VideoRepository> shards;
+  shards.push_back(RepoOf({10}));
+  shards.push_back(VideoRepository());  // Empty middle shard.
+  shards.push_back(RepoOf({5}));
+  auto sharded = ShardedRepository::Make(std::move(shards));
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.value().NumShards(), 3u);
+  EXPECT_EQ(sharded.value().TotalFrames(), 15u);
+  EXPECT_EQ(sharded.value().ShardBegin(1), 10u);
+  EXPECT_EQ(sharded.value().ShardEnd(1), 10u);
+  // Frame 10 belongs to shard 2, not the empty shard sharing its offset.
+  ASSERT_TRUE(sharded.value().ShardOfFrame(10).ok());
+  EXPECT_EQ(sharded.value().ShardOfFrame(10).value(), 2u);
+  // Empty shards have no addressable local frames.
+  EXPECT_FALSE(sharded.value().ToGlobal(1, 0).ok());
+  ExpectMappingConsistent(sharded.value());
+}
+
+TEST(ShardedRepositoryTest, ShardByClipsValidates) {
+  const VideoRepository repo = RepoOf({10, 20});
+  EXPECT_FALSE(ShardedRepository::ShardByClips(repo, 0).ok());
+  EXPECT_FALSE(ShardedRepository::ShardByClips(VideoRepository(), 2).ok());
+}
+
+TEST(ShardedRepositoryTest, SingleShardIsWholeRepository) {
+  const VideoRepository repo = RepoOf({7, 3, 12});
+  auto sharded = ShardedRepository::ShardByClips(repo, 1);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.value().NumShards(), 1u);
+  EXPECT_EQ(sharded.value().Shard(0).NumClips(), 3u);
+  EXPECT_EQ(sharded.value().TotalFrames(), 22u);
+  ExpectMappingConsistent(sharded.value());
+}
+
+TEST(ShardedRepositoryTest, MoreShardsThanClipsLeavesTrailingShardsEmpty) {
+  const VideoRepository repo = RepoOf({4, 6});
+  auto sharded = ShardedRepository::ShardByClips(repo, 5);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.value().NumShards(), 5u);
+  EXPECT_EQ(sharded.value().NumClips(), 2u);
+  uint64_t non_empty = 0;
+  for (uint32_t s = 0; s < 5; ++s) {
+    if (sharded.value().Shard(s).TotalFrames() > 0) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 2u);
+  ExpectMappingConsistent(sharded.value());
+}
+
+TEST(ShardedRepositoryTest, UniformClipsSplitEvenly) {
+  const VideoRepository repo = VideoRepository::UniformClips(12, 100);
+  auto sharded = ShardedRepository::ShardByClips(repo, 4);
+  ASSERT_TRUE(sharded.ok());
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(sharded.value().Shard(s).TotalFrames(), 300u) << "shard " << s;
+    EXPECT_EQ(sharded.value().Shard(s).NumClips(), 3u) << "shard " << s;
+  }
+  ExpectMappingConsistent(sharded.value());
+}
+
+TEST(ShardedRepositoryTest, GlobalViewMatchesSourceRepository) {
+  const VideoRepository repo = RepoOf({13, 1, 250, 8, 41});
+  auto sharded = ShardedRepository::ShardByClips(repo, 3);
+  ASSERT_TRUE(sharded.ok());
+  const VideoRepository& global = sharded.value().Global();
+  ASSERT_EQ(global.NumClips(), repo.NumClips());
+  EXPECT_EQ(global.TotalFrames(), repo.TotalFrames());
+  EXPECT_DOUBLE_EQ(global.TotalSeconds(), repo.TotalSeconds());
+  for (uint32_t c = 0; c < repo.NumClips(); ++c) {
+    EXPECT_EQ(global.Clip(c).name, repo.Clip(c).name);
+    EXPECT_EQ(global.Clip(c).frame_count, repo.Clip(c).frame_count);
+    EXPECT_EQ(global.ClipBegin(c), repo.ClipBegin(c));
+    EXPECT_EQ(global.ClipEnd(c), repo.ClipEnd(c));
+  }
+}
+
+TEST(ShardedRepositoryTest, BoundaryFramesOnEveryShardEdge) {
+  const VideoRepository repo = RepoOf({5, 1, 1, 9, 2, 30});
+  for (size_t num_shards : {2, 3, 4, 6}) {
+    auto sharded = ShardedRepository::ShardByClips(repo, num_shards);
+    ASSERT_TRUE(sharded.ok());
+    for (uint32_t s = 0; s < sharded.value().NumShards(); ++s) {
+      if (sharded.value().Shard(s).TotalFrames() == 0) continue;
+      // First and last frame of every shard map to that shard exactly.
+      for (const FrameId frame :
+           {sharded.value().ShardBegin(s), sharded.value().ShardEnd(s) - 1}) {
+        auto loc = sharded.value().Locate(frame);
+        ASSERT_TRUE(loc.ok());
+        EXPECT_EQ(loc.value().shard, s) << "shards=" << num_shards;
+        auto back = sharded.value().ToGlobal(s, loc.value().frame_in_shard);
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(back.value(), frame);
+      }
+    }
+  }
+}
+
+TEST(ShardedRepositoryTest, ToGlobalRejectsOutOfRange) {
+  auto sharded = ShardedRepository::ShardByClips(RepoOf({10, 10}), 2);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_FALSE(sharded.value().ToGlobal(2, 0).ok());   // Unknown shard.
+  EXPECT_FALSE(sharded.value().ToGlobal(0, 10).ok());  // Past shard end.
+  EXPECT_TRUE(sharded.value().ToGlobal(1, 9).ok());
+}
+
+// Property/fuzz: randomized clip structures (uneven sizes, many single-frame
+// clips) sharded by clips — the full mapping must round-trip exhaustively.
+TEST(ShardedRepositoryFuzzTest, RoundTripOverRandomClipLayouts) {
+  common::Rng rng(20260726);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t clips = 1 + static_cast<size_t>(rng.NextBounded(20));
+    std::vector<uint64_t> clip_frames;
+    for (size_t c = 0; c < clips; ++c) {
+      // Bias toward tiny clips; single-frame clips are the sharpest corner.
+      clip_frames.push_back(rng.Bernoulli(0.3) ? 1 : 1 + rng.NextBounded(40));
+    }
+    const VideoRepository repo = RepoOf(clip_frames);
+    const size_t num_shards = 1 + static_cast<size_t>(rng.NextBounded(clips + 3));
+    auto sharded = ShardedRepository::ShardByClips(repo, num_shards);
+    ASSERT_TRUE(sharded.ok()) << "trial " << trial;
+    ASSERT_EQ(sharded.value().TotalFrames(), repo.TotalFrames()) << "trial " << trial;
+    ExpectMappingConsistent(sharded.value());
+  }
+}
+
+// Property/fuzz: explicit random partitions via Make, including empty shards
+// in arbitrary positions.
+TEST(ShardedRepositoryFuzzTest, RoundTripOverRandomExplicitPartitions) {
+  common::Rng rng(987654321);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t num_shards = 1 + static_cast<size_t>(rng.NextBounded(6));
+    std::vector<VideoRepository> shards(num_shards);
+    uint64_t total = 0;
+    std::vector<uint64_t> shard_frames(num_shards, 0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t clips = static_cast<size_t>(rng.NextBounded(4));  // 0 = empty.
+      for (size_t c = 0; c < clips; ++c) {
+        const uint64_t frames = rng.Bernoulli(0.25) ? 1 : 1 + rng.NextBounded(30);
+        ASSERT_TRUE(shards[s]
+                        .AddClip("s" + std::to_string(s) + "c" + std::to_string(c),
+                                 frames)
+                        .ok());
+        total += frames;
+        shard_frames[s] += frames;
+      }
+    }
+    auto sharded = ShardedRepository::Make(std::move(shards));
+    if (total == 0) {
+      EXPECT_FALSE(sharded.ok()) << "trial " << trial;
+      continue;
+    }
+    ASSERT_TRUE(sharded.ok()) << "trial " << trial;
+    EXPECT_EQ(sharded.value().TotalFrames(), total);
+    for (size_t s = 0; s < num_shards; ++s) {
+      EXPECT_EQ(sharded.value().Shard(s).TotalFrames(), shard_frames[s]);
+    }
+    ExpectMappingConsistent(sharded.value());
+  }
+}
+
+TEST(ShardChunkingTest, SplitThenComposeReproducesGlobalChunking) {
+  const VideoRepository repo = RepoOf({30, 10, 25, 15, 20});
+  auto sharded = ShardedRepository::ShardByClips(repo, 3);
+  ASSERT_TRUE(sharded.ok());
+  auto global = MakePerClipChunks(repo);  // Clip-aligned → shard-aligned.
+  ASSERT_TRUE(global.ok());
+
+  auto split = SplitChunkingByShard(sharded.value(), global.value());
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_EQ(split.value().size(), sharded.value().NumShards());
+  for (uint32_t s = 0; s < sharded.value().NumShards(); ++s) {
+    EXPECT_EQ(split.value()[s].TotalFrames(), sharded.value().Shard(s).TotalFrames());
+  }
+
+  std::vector<const Chunking*> views;
+  for (const Chunking& chunking : split.value()) views.push_back(&chunking);
+  auto composed = ComposeShardChunkings(sharded.value(), views);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  ASSERT_EQ(composed.value().NumChunks(), global.value().NumChunks());
+  for (size_t i = 0; i < global.value().NumChunks(); ++i) {
+    EXPECT_EQ(composed.value().GetChunk(i).begin, global.value().GetChunk(i).begin);
+    EXPECT_EQ(composed.value().GetChunk(i).end, global.value().GetChunk(i).end);
+  }
+}
+
+TEST(ShardChunkingTest, PerShardClipChunksComposeToGlobalClipChunks) {
+  const VideoRepository repo = RepoOf({12, 7, 7, 9, 40, 3});
+  auto sharded = ShardedRepository::ShardByClips(repo, 4);
+  ASSERT_TRUE(sharded.ok());
+
+  // Each shard chunks its own clips locally — no global coordination — and
+  // the composed view still equals the global per-clip chunking.
+  std::vector<Chunking> local;
+  for (uint32_t s = 0; s < sharded.value().NumShards(); ++s) {
+    if (sharded.value().Shard(s).TotalFrames() == 0) continue;
+    auto chunking = MakePerClipChunks(sharded.value().Shard(s));
+    ASSERT_TRUE(chunking.ok());
+    local.push_back(std::move(chunking).value());
+  }
+  std::vector<const Chunking*> views;
+  size_t next = 0;
+  for (uint32_t s = 0; s < sharded.value().NumShards(); ++s) {
+    views.push_back(sharded.value().Shard(s).TotalFrames() == 0 ? nullptr
+                                                                : &local[next++]);
+  }
+
+  auto composed = ComposeShardChunkings(sharded.value(), views);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  auto global = MakePerClipChunks(repo);
+  ASSERT_TRUE(global.ok());
+  ASSERT_EQ(composed.value().NumChunks(), global.value().NumChunks());
+  for (size_t i = 0; i < global.value().NumChunks(); ++i) {
+    EXPECT_EQ(composed.value().GetChunk(i).begin, global.value().GetChunk(i).begin);
+    EXPECT_EQ(composed.value().GetChunk(i).end, global.value().GetChunk(i).end);
+  }
+}
+
+TEST(ShardChunkingTest, SplitRejectsChunksSpanningShards) {
+  const VideoRepository repo = RepoOf({10, 10});
+  auto sharded = ShardedRepository::ShardByClips(repo, 2);
+  ASSERT_TRUE(sharded.ok());
+  // 3 equal chunks over 20 frames: the middle chunk [6, 13) crosses the
+  // shard boundary at 10.
+  auto global = MakeFixedCountChunks(repo, 3);
+  ASSERT_TRUE(global.ok());
+  auto split = SplitChunkingByShard(sharded.value(), global.value());
+  EXPECT_FALSE(split.ok());
+}
+
+TEST(ShardChunkingTest, ComposeValidatesShapes) {
+  const VideoRepository repo = RepoOf({10, 10});
+  auto sharded = ShardedRepository::ShardByClips(repo, 2);
+  ASSERT_TRUE(sharded.ok());
+  auto chunking = MakeFixedCountChunks(static_cast<uint64_t>(10), 2);
+  ASSERT_TRUE(chunking.ok());
+
+  // Wrong number of views.
+  EXPECT_FALSE(ComposeShardChunkings(sharded.value(), {&chunking.value()}).ok());
+  // Null view for a non-empty shard.
+  EXPECT_FALSE(
+      ComposeShardChunkings(sharded.value(), {&chunking.value(), nullptr}).ok());
+  // A view that does not cover its shard.
+  auto short_chunking = MakeFixedCountChunks(static_cast<uint64_t>(6), 2);
+  ASSERT_TRUE(short_chunking.ok());
+  EXPECT_FALSE(
+      ComposeShardChunkings(sharded.value(),
+                            {&chunking.value(), &short_chunking.value()})
+          .ok());
+  // Correct shapes compose.
+  EXPECT_TRUE(
+      ComposeShardChunkings(sharded.value(), {&chunking.value(), &chunking.value()})
+          .ok());
+}
+
+}  // namespace
+}  // namespace video
+}  // namespace exsample

@@ -11,9 +11,12 @@
 //   --recall=R         run to recall fraction R instead of a limit
 //   --scale=S          dataset linear scale            (default: 0.1)
 //   --seed=N           RNG seed                        (default: 1)
+//   --shards=N         split the repository into N clip-aligned shards
+//                      (traces are invariant to shard count; default: 1)
 //   --csv=PATH         write the discovery trace as CSV
 //   --oracle           use the oracle discriminator (default: IoU tracker)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +40,7 @@ struct CliArgs {
   std::optional<double> recall;
   double scale = 0.1;
   uint64_t seed = 1;
+  size_t shards = 1;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -73,6 +77,8 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.scale = std::strtod(value.c_str(), nullptr);
     } else if (ParseArg(arg, "--seed", &value)) {
       args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--shards", &value)) {
+      args.shards = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -143,18 +149,37 @@ int main(int argc, char** argv) {
 
   std::printf("building %s at scale %.2f (seed %llu)...\n", spec->name.c_str(),
               args.scale, static_cast<unsigned long long>(args.seed));
-  auto built = datasets::BuiltDataset::Build(*spec, args.seed, args.scale);
+  auto built = datasets::BuiltShardedDataset::Build(*spec, std::max<size_t>(1, args.shards),
+                                                    args.seed, args.scale);
   if (!built.ok()) {
     std::fprintf(stderr, "build failed: %s\n", built.status().ToString().c_str());
     return 1;
   }
-  const datasets::BuiltDataset& ds = built.value();
+  const datasets::BuiltDataset& ds = built.value().dataset();
+  const video::ShardedRepository& sharded = built.value().sharded();
+  const bool use_shards = sharded.NumShards() > 1;
+  if (use_shards) {
+    std::printf("shards: %zu clip-aligned (", sharded.NumShards());
+    for (uint32_t s = 0; s < sharded.NumShards(); ++s) {
+      std::printf("%s%s", s == 0 ? "" : " | ",
+                  common::FormatCount(sharded.Shard(s).TotalFrames()).c_str());
+    }
+    std::printf(" frames)\n");
+  }
 
   engine::EngineConfig config;
   if (args.oracle) {
     config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
   }
-  engine::SearchEngine search(&ds.repo(), &ds.chunking(), &ds.truth(), config);
+  // --shards=1 (the default) keeps the zero-overhead single-repository path;
+  // traces are identical either way.
+  std::optional<engine::SearchEngine> engine_storage;
+  if (use_shards) {
+    engine_storage.emplace(&sharded, &ds.chunking(), &ds.truth(), config);
+  } else {
+    engine_storage.emplace(&ds.repo(), &ds.chunking(), &ds.truth(), config);
+  }
+  engine::SearchEngine& search = *engine_storage;
   engine::QueryOptions options;
   options.method = *method;
   options.exsample.seed = args.seed;
