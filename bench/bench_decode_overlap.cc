@@ -1,0 +1,223 @@
+// Decode/detect overlap: end-to-end frames/sec, synchronous vs prefetching
+// decode.
+//
+// The pipelined decode stage (`query::DecodePrefetcher`) decodes ahead of the
+// detect stage on an I/O pool, bounded by the prefetch depth. This bench
+// measures what that overlap buys end to end — a full query loop (pick →
+// prefetch → detect → discriminate) with *real* wall-clock costs on both
+// stages: the store spends `wall_clock_scale`-scaled time per decoded frame
+// and the detector is latency-bound (`ThrottledDetector`) — under three cost
+// profiles:
+//
+//   decode-bound  the regime EKO names: decode dominates, the detector
+//                 starves. Overlap + decode fan-out should win big (the
+//                 acceptance line: >= 1.5x at depth 4; expected ~3-4x).
+//   detect-bound  inference dominates; overlap can only hide the small
+//                 decode cost behind the detector.
+//   balanced      both stages comparable; pipelining approaches the
+//                 max(decode, detect) bound instead of their sum.
+//
+// Traces are asserted bit-identical across depths — the speedup must come
+// from scheduling alone. Equivalence across methods/shards is proven by
+// tests/test_decode_prefetch.cc; this reports the wall-clock.
+//
+// --json=PATH writes the measurements as JSON (CI uploads it per PR to track
+// the perf trajectory).
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+struct Profile {
+  const char* name;
+  double detect_latency_seconds;  // Wall-clock per Detect call.
+  double wall_clock_scale;        // Store charge -> wall-clock multiplier.
+};
+
+struct Cell {
+  size_t depth;
+  double fps;
+  double speedup;
+};
+
+struct ProfileResult {
+  Profile profile;
+  double avg_decode_wall_ms = 0.0;
+  std::vector<Cell> cells;
+};
+
+struct RunResult {
+  query::QueryTrace trace;
+  double wall_seconds = 0.0;
+  double decode_wall_seconds = 0.0;  // Total store wall time (charged * scale).
+};
+
+RunResult RunQuery(const Workload& workload, const Profile& profile, size_t depth,
+                   uint64_t frames_to_process, uint64_t seed) {
+  const size_t kBatch = 32;
+  const size_t kDetectThreads = 4;
+  const size_t kIoThreads = 4;
+
+  samplers::UniformRandomStrategy strategy(&workload.repo, seed);
+  detect::SimulatedDetector base(&workload.truth, detect::DetectorOptions::Perfect(0));
+  detect::ThrottledDetector detector(&base, profile.detect_latency_seconds);
+  track::OracleDiscriminator discriminator;
+
+  video::DecodeCostModel cost;
+  cost.wall_clock_scale = profile.wall_clock_scale;
+  video::SimulatedVideoStore store(&workload.repo, cost);
+
+  common::ThreadPool detect_pool(kDetectThreads);
+  common::ThreadPool io_pool(kIoThreads);
+
+  query::RunnerOptions options;
+  options.recall_class = 0;
+  options.max_samples = frames_to_process;
+  options.batch_size = kBatch;
+  options.thread_pool = &detect_pool;
+  options.video_store = &store;
+  options.prefetch_depth = depth;
+  options.decode_pool = &io_pool;
+
+  query::QueryExecution execution(&workload.truth, &detector, &discriminator,
+                                  &strategy, options);
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result{execution.Finish(), 0.0, 0.0};
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.decode_wall_seconds =
+      store.Stats().total_seconds * store.Cost().wall_clock_scale;
+  return result;
+}
+
+int OverlapSweep(const BenchConfig& config, const std::string& json_path) {
+  const uint64_t kFrames = 20000;
+  const uint64_t frames_to_process = config.full ? 1536 : 384;
+  const size_t kDepths[] = {0, 1, 4};
+
+  // The average *charged* random read under the default cost model is
+  // ~22.5 ms (2 ms seek + ~10.5 warmup frames at 500 fps); the scales below
+  // put its wall-clock cost around 2.2 ms / 0.2 ms / 1.1 ms.
+  const Profile kProfiles[] = {
+      {"decode-bound", 0.0002, 0.10},
+      {"detect-bound", 0.0020, 0.01},
+      {"balanced", 0.0010, 0.05},
+  };
+
+  auto workload = Workload::Simulated(kFrames, 8, 50, 300.0, 1.0, config.seed);
+
+  std::printf("=== Decode/detect overlap: end-to-end frames/sec, sync vs prefetch ===\n");
+  std::printf("batch 32; 4 detect threads; 4 I/O threads; %llu frames per run;\n"
+              "depth 0 = synchronous decode (plan+perform inline, the legacy\n"
+              "schedule); depth d decodes up to d frames ahead of the detector.\n\n",
+              static_cast<unsigned long long>(frames_to_process));
+
+  std::vector<ProfileResult> results;
+  bool traces_identical = true;
+  for (const Profile& profile : kProfiles) {
+    ProfileResult pr;
+    pr.profile = profile;
+    common::TextTable table;
+    table.SetHeader({"depth", "frames/sec", "speedup vs sync"});
+    query::QueryTrace reference;
+    double sync_fps = 0.0;
+    for (const size_t depth : kDepths) {
+      const RunResult run =
+          RunQuery(*workload, profile, depth, frames_to_process, config.seed);
+      if (depth == 0) {
+        reference = run.trace;
+        pr.avg_decode_wall_ms = 1e3 * run.decode_wall_seconds /
+                                static_cast<double>(run.trace.final.samples);
+      } else if (!query::TracesBitIdentical(reference, run.trace)) {
+        // The whole point of the prefetcher: depth must never leak into the
+        // trace. A mismatch is a correctness bug, not a perf regression.
+        std::fprintf(stderr, "FATAL: depth %zu changed the trace (%s)\n", depth,
+                     profile.name);
+        traces_identical = false;
+      }
+      const double fps =
+          static_cast<double>(run.trace.final.samples) / run.wall_seconds;
+      if (depth == 0) sync_fps = fps;
+      char fps_buf[32], speedup_buf[32];
+      std::snprintf(fps_buf, sizeof(fps_buf), "%.0f", fps);
+      std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                    sync_fps > 0.0 ? fps / sync_fps : 0.0);
+      table.AddRow({std::to_string(depth), fps_buf, speedup_buf});
+      pr.cells.push_back(Cell{depth, fps, sync_fps > 0.0 ? fps / sync_fps : 0.0});
+    }
+    std::printf("--- %s: %.1f ms detect latency, ~%.1f ms decode wall/frame ---\n",
+                profile.name, profile.detect_latency_seconds * 1e3,
+                pr.avg_decode_wall_ms);
+    std::printf("%s\n", table.ToString().c_str());
+    results.push_back(std::move(pr));
+  }
+
+  // Acceptance line: the decode-bound profile must clear 1.5x at depth 4 —
+  // the overlap has to be real, not a rounding artifact.
+  double decode_bound_speedup = 0.0;
+  for (const ProfileResult& pr : results) {
+    if (std::strcmp(pr.profile.name, "decode-bound") != 0) continue;
+    for (const Cell& cell : pr.cells) {
+      if (cell.depth == 4) decode_bound_speedup = cell.speedup;
+    }
+  }
+  std::printf("decode-bound speedup at depth 4: %.2fx (target >= 1.50x) — %s\n",
+              decode_bound_speedup, decode_bound_speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("traces bit-identical across depths: %s\n",
+              traces_identical ? "yes" : "NO — BUG");
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    json << "{\n  \"bench\": \"decode_overlap\",\n";
+    json << "  \"full\": " << (config.full ? "true" : "false") << ",\n";
+    json << "  \"frames_per_run\": " << frames_to_process << ",\n";
+    json << "  \"traces_bit_identical\": " << (traces_identical ? "true" : "false")
+         << ",\n";
+    json << "  \"decode_bound_speedup_depth4\": " << decode_bound_speedup << ",\n";
+    json << "  \"profiles\": [\n";
+    for (size_t p = 0; p < results.size(); ++p) {
+      const ProfileResult& pr = results[p];
+      json << "    {\"name\": \"" << pr.profile.name << "\", "
+           << "\"detect_latency_ms\": " << pr.profile.detect_latency_seconds * 1e3
+           << ", \"decode_wall_ms_per_frame\": " << pr.avg_decode_wall_ms
+           << ", \"rows\": [";
+      for (size_t c = 0; c < pr.cells.size(); ++c) {
+        json << "{\"depth\": " << pr.cells[c].depth
+             << ", \"fps\": " << pr.cells[c].fps
+             << ", \"speedup\": " << pr.cells[c].speedup << "}"
+             << (c + 1 < pr.cells.size() ? ", " : "");
+      }
+      json << "]}" << (p + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  if (!traces_identical) return 2;
+  return decode_bound_speedup >= 1.5 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  return OverlapSweep(config, json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

@@ -40,15 +40,46 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-      if (stop_) return;
-      seen_generation = generation_;
-      job = job_;  // May be null if the job finished before we woke.
+      wake_cv_.wait(lock, [&] {
+        return stop_ || !tasks_.empty() || generation_ != seen_generation;
+      });
+      if (!tasks_.empty()) {
+        // Submitted tasks take priority, and are drained even during
+        // shutdown: a submitter may be blocked waiting on a task's side
+        // effect, so dropping queued work could strand it.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stop_) {
+        return;
+      } else {
+        seen_generation = generation_;
+        job = job_;  // May be null if the job finished before we woke.
+      }
     }
-    if (job != nullptr) RunJob(*job);
+    if (task) {
+      task();
+    } else if (job != nullptr) {
+      RunJob(*job);
+    }
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers to hand off to: run inline, preserving the invariant that a
+    // submitted task has run (or is running) once Submit returns control flow
+    // to a single-threaded program.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,13 @@ namespace common {
 ///
 /// One caller drives the pool at a time (`ParallelFor` is not re-entrant and
 /// must not be invoked concurrently from two threads). Tasks must not throw.
+///
+/// Beyond the blocking `ParallelFor`, the pool accepts fire-and-forget work
+/// via `Submit` — the seam the decode prefetcher uses to push frame decodes
+/// ahead of the detect stage. Workers service both kinds of work: queued
+/// tasks take priority, and a `ParallelFor` driven from the caller thread
+/// still completes even while every worker is busy with submitted tasks
+/// (the caller participates in its own job).
 class ThreadPool {
  public:
   /// \brief Starts `num_threads` workers. 0 means one worker per hardware
@@ -46,6 +54,18 @@ class ThreadPool {
   /// dynamically, so per-index cost imbalance self-balances.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// \brief Enqueues `task` to run asynchronously on a worker and returns
+  /// immediately. A pool without workers (constructed with 1) runs the task
+  /// inline before returning — the deterministic single-threaded fallback.
+  ///
+  /// Completion is the submitter's business: tasks carry their own signaling
+  /// (the prefetcher marks a slot ready and notifies a condition variable).
+  /// Destruction drains the queue — every submitted task runs before the
+  /// workers exit — but callers that *wait* on task side effects must not
+  /// destroy the pool from inside that wait. Tasks must not throw and must
+  /// not call `ParallelFor` or `Submit` on their own pool.
+  void Submit(std::function<void()> task);
+
  private:
   struct Job {
     const std::function<void(size_t)>* fn = nullptr;
@@ -59,9 +79,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable wake_cv_;   // Workers wait here for a new job.
+  std::condition_variable wake_cv_;   // Workers wait here for a new job/task.
   std::condition_variable done_cv_;   // ParallelFor waits here for completion.
   std::shared_ptr<Job> job_;          // Current job, null between jobs.
+  std::deque<std::function<void()>> tasks_;  // Submitted fire-and-forget work.
   uint64_t generation_ = 0;           // Bumped per job so workers wake once each.
   bool stop_ = false;
 };

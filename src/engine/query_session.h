@@ -5,11 +5,13 @@
 #include <vector>
 
 #include "detect/detector.h"
+#include "query/prefetch.h"
 #include "query/runner.h"
 #include "query/shard_dispatch.h"
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "track/discriminator.h"
+#include "video/decode.h"
 
 namespace exsample {
 namespace engine {
@@ -57,12 +59,29 @@ class QuerySession {
     return execution_->ShardParts();
   }
 
+  /// \brief The session's decode prefetcher, or null when the engine does not
+  /// simulate decode (`EngineConfig::simulate_decode`). Exposes decode-ahead
+  /// stats for observability.
+  const query::DecodePrefetcher* prefetcher() const {
+    return execution_->prefetcher();
+  }
+
+  /// \brief The session's decode store (unsharded engines with
+  /// `simulate_decode`), or null. Sharded engines keep one store per shard in
+  /// the dispatcher's contexts instead.
+  const video::SimulatedVideoStore* video_store() const { return store_.get(); }
+
  private:
   friend class SearchEngine;
   QuerySession() = default;
 
   std::unique_ptr<query::SearchStrategy> strategy_;
   std::unique_ptr<detect::ObjectDetector> detector_;
+  // Decode accounting (EngineConfig::simulate_decode): position state is
+  // per-query, so each session owns its store(s) — one query-global, or one
+  // per shard, routed via the dispatcher's contexts.
+  std::unique_ptr<video::SimulatedVideoStore> store_;
+  std::vector<std::unique_ptr<video::SimulatedVideoStore>> shard_stores_;
   // Sharded engines: one detector context per shard plus the dispatcher that
   // routes batches to them (detector noise streams stay per-query, so each
   // session owns its shard detectors; pools are shared via the engine).

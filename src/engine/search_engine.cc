@@ -104,6 +104,14 @@ common::ThreadPool* SearchEngine::thread_pool() {
   return pool_.get();
 }
 
+common::ThreadPool* SearchEngine::io_pool() {
+  if (config_.io_threads == 0) return nullptr;
+  if (io_pool_ == nullptr) {
+    io_pool_ = std::make_unique<common::ThreadPool>(config_.io_threads);
+  }
+  return io_pool_.get();
+}
+
 common::ThreadPool* SearchEngine::shard_pool(uint32_t shard) {
   if (config_.threads_per_shard == 0) return thread_pool();
   if (shard_pools_.empty()) {
@@ -114,6 +122,18 @@ common::ThreadPool* SearchEngine::shard_pool(uint32_t shard) {
         std::make_unique<common::ThreadPool>(config_.threads_per_shard);
   }
   return shard_pools_[shard].get();
+}
+
+common::ThreadPool* SearchEngine::shard_io_pool(uint32_t shard) {
+  if (config_.io_threads_per_shard == 0) return nullptr;
+  if (shard_io_pools_.empty()) {
+    shard_io_pools_.resize(sharded_->NumShards());
+  }
+  if (shard_io_pools_[shard] == nullptr) {
+    shard_io_pools_[shard] =
+        std::make_unique<common::ThreadPool>(config_.io_threads_per_shard);
+  }
+  return shard_io_pools_[shard].get();
 }
 
 common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
@@ -141,6 +161,17 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
       auto detector = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
       contexts[s].detector = detector.get();
       contexts[s].pool = shard_pool(s);
+      if (config_.simulate_decode) {
+        // Per-shard decode: each shard owns its position state (and,
+        // optionally, its private I/O pool), so a shard's sequential-read
+        // locality is priced next to its video — the documented carve-out to
+        // shard-count trace-invariance.
+        auto store = std::make_unique<video::SimulatedVideoStore>(
+            &sharded_->Global(), config_.decode_cost);
+        contexts[s].store = store.get();
+        contexts[s].io_pool = shard_io_pool(s);
+        session->shard_stores_.push_back(std::move(store));
+      }
       session->shard_detectors_.push_back(std::move(detector));
     }
     session->shard_dispatcher_ = std::make_unique<query::ShardDispatcher>(
@@ -148,6 +179,10 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
         /*parallel_shards=*/config_.threads_per_shard > 0);
   } else {
     session->detector_ = std::make_unique<detect::SimulatedDetector>(truth_, det_opts);
+    if (config_.simulate_decode) {
+      session->store_ =
+          std::make_unique<video::SimulatedVideoStore>(repo_, config_.decode_cost);
+    }
   }
 
   if (config_.discriminator == EngineConfig::DiscriminatorKind::kOracle) {
@@ -169,6 +204,12 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   session_options.batch_size = batch_size;
   session_options.thread_pool = thread_pool();
   session_options.shard_dispatcher = session->shard_dispatcher_.get();
+  session_options.video_store = session->store_.get();
+  // Pipelined decode: all sessions share the engine's I/O pool(s), so
+  // concurrent queries' prefetchers draw from one set of decode workers just
+  // as their detect stages share the detect pool.
+  session_options.prefetch_depth = config_.prefetch_depth;
+  session_options.decode_pool = io_pool();
   session->execution_ = std::make_unique<query::QueryExecution>(
       truth_, session->detector_.get(), session->discriminator_.get(),
       session->strategy_.get(), session_options);

@@ -65,6 +65,31 @@ struct EngineConfig {
   /// count never changes a trace — only wall-clock time.
   size_t num_threads = 1;
 
+  /// Simulate decode cost: when true, every session charges I/O+decode
+  /// seconds through its own `SimulatedVideoStore` priced by `decode_cost`
+  /// (decode position state is per query, like detector noise and tracker
+  /// memory). Sharded engines give each shard its own store — each shard
+  /// decodes independently, so sequential-read locality is priced per shard
+  /// (the documented carve-out to shard-count trace-invariance). False (the
+  /// default) charges no decode cost, as before.
+  bool simulate_decode = false;
+  video::DecodeCostModel decode_cost;
+
+  /// Decode-ahead window of every session's pipelined decode stage
+  /// (`RunnerOptions::prefetch_depth`). 0 (the default) decodes synchronously
+  /// before each detect window; depth d overlaps the decode of the next d
+  /// frames with detection, on the I/O pool. Never changes a trace — only
+  /// wall-clock (the `decode`-labeled suite proves bit-identity).
+  size_t prefetch_depth = 0;
+  /// Threads in the engine-wide I/O pool all sessions' prefetchers share
+  /// (decode work runs there, detect fan-out stays on `num_threads`). 0 (the
+  /// default) shares the engine-wide detect pool instead.
+  size_t io_threads = 0;
+  /// Threads in each shard's private I/O pool ("the disk next to that shard's
+  /// video"); decode work for a shard's frames then runs beside its detector.
+  /// 0 (the default) shares the engine-wide I/O pool across shards.
+  size_t io_threads_per_shard = 0;
+
   /// Shard the repository into this many contiguous, clip-aligned shards,
   /// each serving its frames with its own detector context (the in-process
   /// stand-in for "one query spans machines"). Picked batches are routed per
@@ -165,6 +190,11 @@ class SearchEngine {
   /// hardware-sized pool.
   common::ThreadPool* thread_pool();
 
+  /// \brief The engine-wide I/O pool the sessions' decode prefetchers share,
+  /// created lazily. Null when `config.io_threads == 0` (decode work then
+  /// shares the detect pool).
+  common::ThreadPool* io_pool();
+
   /// \brief The sharded repository queries are dispatched over, or null for a
   /// single-repository engine.
   const video::ShardedRepository* sharded_repository() const { return sharded_; }
@@ -174,6 +204,10 @@ class SearchEngine {
   /// when `config.threads_per_shard > 0` (created lazily, shared by all
   /// sessions), else the engine-wide pool.
   common::ThreadPool* shard_pool(uint32_t shard);
+  /// The pool a shard's decode prefetch runs on: the shard's private I/O pool
+  /// when `config.io_threads_per_shard > 0` (created lazily, shared by all
+  /// sessions), else null (the prefetcher falls back to the engine I/O pool).
+  common::ThreadPool* shard_io_pool(uint32_t shard);
   common::Result<std::unique_ptr<QuerySession>> MakeSession(
       int32_t class_id, const query::RunnerOptions& runner_options,
       const QueryOptions& options);
@@ -195,8 +229,12 @@ class SearchEngine {
   std::map<int32_t, std::unique_ptr<detect::ProxyScorer>> scorers_;
   // Engine-wide worker pool shared by all sessions' detect stages.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Engine-wide I/O pool shared by all sessions' decode prefetchers.
+  std::unique_ptr<common::ThreadPool> io_pool_;
   // Per-shard private pools (config.threads_per_shard > 0), lazily created.
   std::vector<std::unique_ptr<common::ThreadPool>> shard_pools_;
+  // Per-shard private I/O pools (config.io_threads_per_shard > 0), lazy.
+  std::vector<std::unique_ptr<common::ThreadPool>> shard_io_pools_;
 };
 
 }  // namespace engine

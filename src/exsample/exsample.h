@@ -34,6 +34,7 @@
 #include "opt/optimal_weights.h"
 #include "opt/simplex.h"
 #include "query/curves.h"
+#include "query/prefetch.h"
 #include "query/runner.h"
 #include "query/shard_dispatch.h"
 #include "query/shard_trace.h"

@@ -44,6 +44,21 @@ QueryExecution::QueryExecution(const scene::GroundTruth* truth,
       options_(options) {
   common::Check(detector_ != nullptr || options_.shard_dispatcher != nullptr,
                 "query execution needs a detector or a shard dispatcher");
+  // Every decode call site routes through the prefetcher. Depth 0 keeps the
+  // synchronous schedule (plan + perform inline, in batch order); depth >= 1
+  // overlaps the decode work with the detect stage. Either way the charges
+  // are planned in batch order, so the trace cannot depend on the depth.
+  PrefetchOptions prefetch_options;
+  prefetch_options.depth = options_.prefetch_depth;
+  common::ThreadPool* decode_pool =
+      options_.decode_pool != nullptr ? options_.decode_pool : options_.thread_pool;
+  if (options_.shard_dispatcher != nullptr && options_.shard_dispatcher->HasStores()) {
+    prefetcher_ = std::make_unique<DecodePrefetcher>(options_.shard_dispatcher,
+                                                     decode_pool, prefetch_options);
+  } else if (options_.video_store != nullptr) {
+    prefetcher_ = std::make_unique<DecodePrefetcher>(options_.video_store,
+                                                     decode_pool, prefetch_options);
+  }
   trace_.strategy_name = strategy_->name();
   trace_.total_instances = truth_->NumInstances(options_.recall_class);
   current_.seconds = strategy_->UpfrontCostSeconds();
@@ -73,6 +88,57 @@ void QueryExecution::RecordEvent(size_t part, double seconds, uint32_t samples,
   event.distinct = distinct;
   event.emit_point = emit_point;
   parts_[part].events.push_back(event);
+}
+
+std::vector<detect::Detections> QueryExecution::DetectStage(
+    const std::vector<video::FrameId>& frames) {
+  ShardDispatcher* dispatcher = options_.shard_dispatcher;
+  const auto detect_range = [&](size_t begin, size_t count) {
+    const common::Span<video::FrameId> sub(frames.data() + begin, count);
+    return dispatcher != nullptr
+               ? dispatcher->DetectBatch(
+                     sub, common::Span<const uint32_t>(frame_shards_.data() + begin,
+                                                       count))
+               : detector_->DetectBatch(sub, options_.thread_pool);
+  };
+
+  if (prefetcher_ == nullptr || prefetcher_->depth() == 0) {
+    // No decode overlap configured: one full-batch detect call, as before.
+    return detect_range(0, frames.size());
+  }
+
+  // Windowed consumption: wait for the next window of frames to be decoded,
+  // detect them, repeat. While window w is in the detector, the prefetcher
+  // decodes ahead (up to `depth` frames past the last-waited one) — waiting
+  // on a frame opens the decode-ahead window past it. The window is never
+  // smaller than the detect stage's parallelism: decode-ahead is bounded by
+  // `depth` either way, but a too-small window would serialize latency-bound
+  // detect calls the full-batch path fans out. Windowing never changes
+  // results: detection is per-frame deterministic and result slots are
+  // fixed, so this is the same output the single full-batch call produces.
+  std::vector<detect::Detections> out(frames.size());
+  size_t parallelism = 1;
+  if (options_.thread_pool != nullptr) {
+    parallelism = options_.thread_pool->NumThreads();
+  }
+  if (dispatcher != nullptr) {
+    for (uint32_t s = 0; s < dispatcher->NumShards(); ++s) {
+      common::ThreadPool* pool = dispatcher->Context(s).pool;
+      if (pool != nullptr) parallelism = std::max(parallelism, pool->NumThreads());
+    }
+  }
+  const size_t window = std::max(prefetcher_->depth(), parallelism);
+  for (size_t begin = 0; begin < frames.size(); begin += window) {
+    const size_t count = std::min(window, frames.size() - begin);
+    for (size_t i = begin; i < begin + count; ++i) {
+      prefetcher_->WaitFrame(i);
+    }
+    std::vector<detect::Detections> sub = detect_range(begin, count);
+    for (size_t j = 0; j < count; ++j) {
+      out[begin + j] = std::move(sub[j]);
+    }
+  }
+  return out;
 }
 
 bool QueryExecution::StopConditionHit() const {
@@ -120,37 +186,33 @@ bool QueryExecution::Step() {
   }
   charged_overhead_ = overhead;
 
-  // Decode stage. Charged up front for the whole batch (a real pipeline
-  // prefetches the batch's frames before inference). Sharded executions with
-  // per-shard stores decode on the owning shard (each shard keeps its own
-  // position state); otherwise the query-global store is used and the cost is
-  // still attributed to the owning shard's partial trace.
-  if (dispatcher != nullptr && dispatcher->HasStores()) {
+  // Decode stage, behind the prefetcher. Charged up front for the whole
+  // batch: the prefetcher plans every read now, in batch order — per-shard
+  // stores plan on the owning shard (each shard keeps its own position
+  // state), otherwise the query-global store is used and the cost is still
+  // attributed to the owning shard's partial trace. The decode *work* runs
+  // asynchronously while the detect stage below consumes the batch.
+  if (prefetcher_ != nullptr) {
+    const bool sharded_stores = dispatcher != nullptr && dispatcher->HasStores();
+    const std::vector<double>& charges = prefetcher_->SubmitBatch(
+        frames, sharded_stores
+                    ? common::Span<const uint32_t>(frame_shards_.data(),
+                                                   frame_shards_.size())
+                    : common::Span<const uint32_t>());
     for (size_t i = 0; i < frames.size(); ++i) {
-      const double seconds = dispatcher->ChargeDecode(frames[i], frame_shards_[i]);
-      current_.seconds += seconds;
-      RecordEvent(1 + frame_shards_[i], seconds, 0, 0, 0, false);
-    }
-  } else if (options_.video_store != nullptr) {
-    for (size_t i = 0; i < frames.size(); ++i) {
-      const double before = options_.video_store->Stats().total_seconds;
-      options_.video_store->ReadAndDecode(frames[i]);
-      const double seconds = options_.video_store->Stats().total_seconds - before;
-      current_.seconds += seconds;
+      current_.seconds += charges[i];
       if (dispatcher != nullptr) {
-        RecordEvent(1 + frame_shards_[i], seconds, 0, 0, 0, false);
+        RecordEvent(1 + frame_shards_[i], charges[i], 0, 0, 0, false);
       }
     }
   }
 
   // Detect stage: per-frame-independent, fans out across the pool — or, when
   // the repository is sharded, across the owning shards' detector contexts.
-  // Result i belongs to frames[i] whatever the execution order.
-  const std::vector<detect::Detections> detections =
-      dispatcher != nullptr
-          ? dispatcher->DetectBatch(frames, common::Span<const uint32_t>(
-                                                frame_shards_.data(), frame_shards_.size()))
-                            : detector_->DetectBatch(frames, options_.thread_pool);
+  // With a decode-ahead window the batch is consumed in windows, each
+  // detected while later frames still decode. Result i belongs to frames[i]
+  // whatever the execution order.
+  const std::vector<detect::Detections> detections = DetectStage(frames);
 
   // Discriminate stage: strictly sequential in batch order — matching is
   // stateful, and reproducibility requires a fixed observation order. This is

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "detect/detector.h"
+#include "query/prefetch.h"
 #include "query/shard_dispatch.h"
 #include "query/shard_trace.h"
 #include "query/strategy.h"
@@ -63,15 +65,32 @@ struct RunnerOptions {
   /// to a single global store. The query-global `detector` may be null when a
   /// dispatcher is set.
   ShardDispatcher* shard_dispatcher = nullptr;
+  /// Decode-ahead window of the pipelined decode stage (the pick → prefetch →
+  /// detect → discriminate loop). Whenever a decode store is configured
+  /// (`video_store`, or per-shard stores on the dispatcher), the execution
+  /// routes every read through a `DecodePrefetcher`; with depth 0 (the
+  /// default) the prefetcher runs synchronously — plan + perform inline
+  /// before the detect stage, the legacy schedule. Depth d >= 1 performs the
+  /// decode work on `decode_pool` while the detect stage consumes the batch
+  /// in windows of d frames, keeping at most d frames decoded ahead — decode
+  /// of window w+1 overlaps detection of window w. Like thread count, depth
+  /// changes wall-clock only, never a trace: charges are planned in batch
+  /// order on the coordinator (enforced bit-identical by the decode suite).
+  size_t prefetch_depth = 0;
+  /// Pool the prefetcher's decode work runs on. Null shares `thread_pool`.
+  /// Sharded executions prefer each shard's `ShardContext::io_pool`.
+  common::ThreadPool* decode_pool = nullptr;
 };
 
 /// \brief Incremental execution state of one distinct-object query.
 ///
-/// Runs Algorithm 1 as a batch pipeline: pick-batch (strategy) →
-/// parallel-detect (thread pool) → sequential-discriminate → feed back
-/// (`ObserveBatch`). One `Step` processes one batch; interleaving `Step`
-/// calls of several executions is how the engine serves concurrent queries
-/// over shared resources (`SearchEngine::RunConcurrent`).
+/// Runs Algorithm 1 as a batch pipeline: pick-batch (strategy) → prefetch
+/// (async decode on the pool, bounded window) → parallel-detect (thread
+/// pool), consuming the batch in windows so decode overlaps detection →
+/// sequential-discriminate → feed back (`ObserveBatch`). One `Step` processes
+/// one batch; interleaving `Step` calls of several executions is how the
+/// engine serves concurrent queries over shared resources
+/// (`SearchEngine::RunConcurrent`).
 ///
 /// Cost accounting is simulated and sequential — each frame is charged
 /// decode + detector seconds as if processed alone — so traces are
@@ -106,10 +125,18 @@ class QueryExecution {
   /// shard s. `Finish` merges these into the returned trace.
   const std::vector<ShardTracePart>& ShardParts() const { return parts_; }
 
+  /// \brief The execution's decode prefetcher, or null when no decode store
+  /// is configured. Exposes decode-ahead stats for observability.
+  const DecodePrefetcher* prefetcher() const { return prefetcher_.get(); }
+
  private:
   bool StopConditionHit() const;
   void RecordEvent(size_t part, double seconds, uint32_t samples, uint32_t reported,
                    uint32_t distinct, bool emit_point);
+  /// Detect stage over `frames` (owners in `frame_shards_` when sharded):
+  /// waits for prefetched windows and overlaps their detection with the
+  /// decode of later windows.
+  std::vector<detect::Detections> DetectStage(const std::vector<video::FrameId>& frames);
 
   const scene::GroundTruth* truth_;
   detect::ObjectDetector* detector_;
@@ -119,6 +146,8 @@ class QueryExecution {
 
   QueryTrace trace_;
   DiscoveryPoint current_;
+  // Pipelined decode stage; null when the execution has no decode store.
+  std::unique_ptr<DecodePrefetcher> prefetcher_;
   std::unordered_set<scene::InstanceId> found_;
   std::vector<FrameFeedback> feedback_;  // Reused per batch.
   std::vector<uint32_t> frame_shards_;   // Owner per batch frame; sharded only.

@@ -87,16 +87,21 @@ double ShardDispatcher::SecondsPerFrame(uint32_t shard) const {
   return contexts_[shard].detector->SecondsPerFrame();
 }
 
-double ShardDispatcher::ChargeDecode(video::FrameId frame, uint32_t shard) {
+video::ReadPlan ShardDispatcher::PlanDecode(video::FrameId frame, uint32_t shard) {
   common::Check(shard < contexts_.size(), "unknown shard id");
   video::SimulatedVideoStore* store = contexts_[shard].store;
   common::Check(store != nullptr, "shard has no decode store");
-  const double before = store->Stats().total_seconds;
-  common::CheckOk(store->ReadAndDecode(frame), "sharded decode failed");
-  const double seconds = store->Stats().total_seconds - before;
+  auto plan = store->PlanRead(frame);
+  common::CheckOk(plan.status(), "sharded decode failed");
   stats_[shard].frames_decoded += 1;
-  stats_[shard].decode_seconds += seconds;
-  return seconds;
+  stats_[shard].decode_seconds += plan.value().seconds;
+  return plan.value();
+}
+
+double ShardDispatcher::ChargeDecode(video::FrameId frame, uint32_t shard) {
+  const video::ReadPlan plan = PlanDecode(frame, shard);
+  contexts_[shard].store->PerformRead(plan);
+  return plan.seconds;
 }
 
 }  // namespace query

@@ -35,6 +35,11 @@ struct ShardContext {
   /// worth of workers"). Null runs the shard's sub-batch on the dispatching
   /// thread.
   common::ThreadPool* pool = nullptr;
+  /// Optional private I/O pool the shard's *decode prefetch* work runs on
+  /// (the disk+decoder next to the shard's video, kept separate from the
+  /// detect pool so decode and inference overlap instead of contending).
+  /// Null falls back to the prefetcher's own pool.
+  common::ThreadPool* io_pool = nullptr;
 };
 
 /// \brief Per-shard execution tallies.
@@ -92,8 +97,16 @@ class ShardDispatcher {
 
   /// \brief Charges the decode of `frame` to `shard`'s store (which must be
   /// the frame's owner, as `ShardOfFrame` reports) and returns the seconds
-  /// charged. Requires `HasStores()`.
+  /// charged. Requires `HasStores()`. Synchronous: plans *and* performs the
+  /// read (`PlanDecode` + `PerformRead` on the shard's store).
   double ChargeDecode(video::FrameId frame, uint32_t shard);
+
+  /// \brief Accounting half of `ChargeDecode`: plans the read on `shard`'s
+  /// store (advancing that shard's sequential position) and books the charge
+  /// into `Stats()`, without performing the decode work. The prefetcher calls
+  /// this in batch order — charges are bit-identical to `ChargeDecode` — and
+  /// later performs the plan on the shard's I/O pool. Requires `HasStores()`.
+  video::ReadPlan PlanDecode(video::FrameId frame, uint32_t shard);
 
   const ShardContext& Context(uint32_t shard) const { return contexts_[shard]; }
   const std::vector<ShardStats>& Stats() const { return stats_; }

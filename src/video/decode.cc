@@ -1,5 +1,8 @@
 #include "video/decode.h"
 
+#include <chrono>
+#include <thread>
+
 namespace exsample {
 namespace video {
 
@@ -10,22 +13,39 @@ double DecodeCostModel::RandomReadSeconds(uint64_t frame_in_clip) const {
 
 double DecodeCostModel::SequentialReadSeconds() const { return 1.0 / decode_fps; }
 
-common::Status SimulatedVideoStore::ReadAndDecode(FrameId frame) {
+common::Result<ReadPlan> SimulatedVideoStore::PlanRead(FrameId frame) {
   auto loc = repo_->Locate(frame);
   if (!loc.ok()) return loc.status();
-  const bool sequential = has_position_ && frame == last_frame_ + 1;
-  if (sequential) {
+  ReadPlan plan;
+  plan.frame = frame;
+  plan.sequential = has_position_ && frame == last_frame_ + 1;
+  if (plan.sequential) {
+    plan.frames_decoded = 1;
+    plan.seconds = cost_.SequentialReadSeconds();
     ++stats_.sequential_reads;
-    ++stats_.frames_decoded;
-    stats_.total_seconds += cost_.SequentialReadSeconds();
   } else {
-    ++stats_.random_reads;
     const uint64_t warmup = loc.value().frame_in_clip % cost_.keyframe_interval;
-    stats_.frames_decoded += warmup + 1;
-    stats_.total_seconds += cost_.RandomReadSeconds(loc.value().frame_in_clip);
+    plan.frames_decoded = warmup + 1;
+    plan.seconds = cost_.RandomReadSeconds(loc.value().frame_in_clip);
+    ++stats_.random_reads;
   }
+  stats_.frames_decoded += plan.frames_decoded;
+  stats_.total_seconds += plan.seconds;
   has_position_ = true;
   last_frame_ = frame;
+  return plan;
+}
+
+void SimulatedVideoStore::PerformRead(const ReadPlan& plan) const {
+  if (cost_.wall_clock_scale <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(plan.seconds * cost_.wall_clock_scale));
+}
+
+common::Status SimulatedVideoStore::ReadAndDecode(FrameId frame) {
+  auto plan = PlanRead(frame);
+  if (!plan.ok()) return plan.status();
+  PerformRead(plan.value());
   return common::Status::OK();
 }
 

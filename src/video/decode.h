@@ -22,6 +22,11 @@ struct DecodeCostModel {
   double seek_seconds = 0.002;
   /// Throughput of the decoder in frames per second.
   double decode_fps = 500.0;
+  /// When > 0, `PerformRead` spends `charged seconds * wall_clock_scale` of
+  /// real time per read (a sleep standing in for the decoder's actual work),
+  /// so benchmarks can measure decode/detect overlap in wall-clock. 0 (the
+  /// default) keeps the store accounting-only, exactly as before.
+  double wall_clock_scale = 0.0;
 
   /// \brief Seconds to randomly access and decode local frame `frame_in_clip`.
   double RandomReadSeconds(uint64_t frame_in_clip) const;
@@ -38,12 +43,39 @@ struct DecodeStats {
   double total_seconds = 0.0;
 };
 
+/// \brief The accounting half of one frame read, produced by
+/// `SimulatedVideoStore::PlanRead` and executable by `PerformRead`.
+///
+/// Splitting a read into plan + perform is what makes asynchronous decode
+/// deterministic: plans are made on the coordinator thread in batch order
+/// (position state and charged seconds advance exactly as the synchronous
+/// loop's would), while the wall-clock work they describe can run on any
+/// thread, in any order, concurrently.
+struct ReadPlan {
+  FrameId frame = 0;
+  /// Seconds charged to the trace for this read.
+  double seconds = 0.0;
+  /// Whether the read continued the store's sequential position.
+  bool sequential = false;
+  /// Decode work units performed (keyframe warmup + target for random reads).
+  uint64_t frames_decoded = 0;
+};
+
 /// \brief Simulated frame store that accounts for decode cost.
 ///
 /// Frames are opaque — this class exists so that examples and benchmarks can
 /// report realistic I/O+decode accounting alongside detector cost, mirroring
 /// the paper's observation that the sampling loop is "dominated first by the
 /// detector call, and second by the random read and decode".
+///
+/// Two call styles share one accounting core:
+///  - `ReadAndDecode(frame)` — the synchronous Algorithm 1 read;
+///  - `PlanRead(frame)` then `PerformRead(plan)` — the asynchronous split the
+///    decode prefetcher uses to overlap decode with detection. Plans made in
+///    the same frame order charge bit-identical seconds to the synchronous
+///    calls; `PerformRead` touches no store state and is safe to run from any
+///    thread. A real decoder backend (FFmpeg) implements `PerformRead`'s
+///    contract — do the work for a read the planner already priced.
 class SimulatedVideoStore {
  public:
   SimulatedVideoStore(const VideoRepository* repo, DecodeCostModel cost)
@@ -53,10 +85,27 @@ class SimulatedVideoStore {
   ///
   /// Consecutive reads of adjacent frames are charged at the sequential rate;
   /// anything else is a random read. Returns OutOfRange for invalid frames.
+  /// Equivalent to `PlanRead` + `PerformRead`.
   common::Status ReadAndDecode(FrameId frame);
+
+  /// \brief Accounting half of a read: classifies `frame` against the current
+  /// sequential position, advances the position, updates `Stats()`, and
+  /// returns the plan — without performing the decode work. Not thread-safe:
+  /// plans must be made from one thread, in read order (that order *is* the
+  /// accounting).
+  common::Result<ReadPlan> PlanRead(FrameId frame);
+
+  /// \brief Wall-clock half of a read: performs the work `plan` describes.
+  /// Touches no store state, so outstanding plans may execute concurrently on
+  /// any threads, in any order. With `wall_clock_scale > 0` this sleeps
+  /// `plan.seconds * wall_clock_scale`; otherwise it is free.
+  void PerformRead(const ReadPlan& plan) const;
 
   /// \brief Accumulated decode statistics.
   const DecodeStats& Stats() const { return stats_; }
+
+  /// \brief The cost model the store prices reads with.
+  const DecodeCostModel& Cost() const { return cost_; }
 
   /// \brief Resets statistics (not position state).
   void ResetStats() { stats_ = DecodeStats{}; }

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace exsample {
@@ -62,6 +66,106 @@ TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+// A small completion latch for the Submit tests: tasks signal it, the test
+// thread waits — the same signaling pattern the decode prefetcher uses.
+class Latch {
+ public:
+  explicit Latch(int count) : remaining_(count) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+TEST(ThreadPoolSubmitTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::atomic<int> count{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolSubmitTest, WorkerlessPoolRunsInline) {
+  ThreadPool pool(1);
+  int count = 0;  // No synchronization: Submit runs on this thread.
+  pool.Submit([&] { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolSubmitTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    // Destruction must run every queued task before the workers exit.
+  }
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPoolSubmitTest, ParallelForCompletesWhileTasksAreInFlight) {
+  // Submitted tasks occupy workers (they block on the latch below); the
+  // caller-participation guarantee means ParallelFor still finishes.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  Latch done(2);
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      done.CountDown();
+    });
+  }
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  done.Wait();
+}
+
+TEST(ThreadPoolSubmitTest, InterleavesWithParallelForAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> task_count{0};
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    Latch latch(4);
+    for (int t = 0; t < 4; ++t) {
+      pool.Submit([&] {
+        task_count.fetch_add(1);
+        latch.CountDown();
+      });
+    }
+    pool.ParallelFor(17, [&](size_t i) { sum.fetch_add(i); });
+    latch.Wait();
+  }
+  EXPECT_EQ(task_count.load(), 200);
+  EXPECT_EQ(sum.load(), 50u * 136u);
 }
 
 }  // namespace

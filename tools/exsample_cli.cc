@@ -13,6 +13,11 @@
 //   --seed=N           RNG seed                        (default: 1)
 //   --shards=N         split the repository into N clip-aligned shards
 //                      (traces are invariant to shard count; default: 1)
+//   --decode           simulate I/O+decode cost (per-query video store)
+//   --prefetch=D       decode-ahead window: overlap decode of the next D
+//                      frames with detection (implies --decode; 0 = sync)
+//   --io-threads=N     decode worker threads for the prefetcher (implies
+//                      --decode; default: 0 = share the detect pool)
 //   --csv=PATH         write the discovery trace as CSV
 //   --oracle           use the oracle discriminator (default: IoU tracker)
 
@@ -41,6 +46,9 @@ struct CliArgs {
   double scale = 0.1;
   uint64_t seed = 1;
   size_t shards = 1;
+  bool decode = false;
+  size_t prefetch = 0;
+  size_t io_threads = 0;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -79,6 +87,14 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(arg, "--shards", &value)) {
       args.shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(arg, "--decode") == 0) {
+      args.decode = true;
+    } else if (ParseArg(arg, "--prefetch", &value)) {
+      args.prefetch = std::strtoull(value.c_str(), nullptr, 10);
+      args.decode = true;
+    } else if (ParseArg(arg, "--io-threads", &value)) {
+      args.io_threads = std::strtoull(value.c_str(), nullptr, 10);
+      args.decode = true;  // Decode workers are meaningless without decode.
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -170,6 +186,11 @@ int main(int argc, char** argv) {
   engine::EngineConfig config;
   if (args.oracle) {
     config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
+  }
+  if (args.decode) {
+    config.simulate_decode = true;
+    config.prefetch_depth = args.prefetch;
+    config.io_threads = args.io_threads;
   }
   // --shards=1 (the default) keeps the zero-overhead single-repository path;
   // traces are identical either way.
