@@ -7,6 +7,7 @@
 #include "detect/detector.h"
 #include "query/prefetch.h"
 #include "query/runner.h"
+#include "query/scheduler.h"
 #include "query/shard_dispatch.h"
 #include "query/strategy.h"
 #include "query/trace.h"
@@ -36,7 +37,26 @@ class QuerySession {
   QuerySession& operator=(const QuerySession&) = delete;
 
   /// \brief Processes the next batch; returns false once the query is done.
-  bool Step() { return execution_->Step(); }
+  bool Step() {
+    const bool progressed = execution_->Step();
+    if (progressed) ++scheduler_stats_.steps_granted;
+    return progressed;
+  }
+
+  /// \brief Split-phase stepping, the seam cross-session batch coalescing
+  /// hangs off: `BeginStep` picks and stages the next batch (submitting its
+  /// detect work to the engine's shared `DetectorService` when coalescing is
+  /// on) and returns false once the query is done; after the service flush,
+  /// `FinishStep` completes the step. `Step()` remains the one-call
+  /// composition. Drivers that begin a step must finish it before beginning
+  /// another (`DetectPending` tells which half is owed).
+  bool BeginStep() {
+    const bool progressed = execution_->BeginStep();
+    if (progressed) ++scheduler_stats_.steps_granted;
+    return progressed;
+  }
+  void FinishStep() { execution_->FinishStep(); }
+  bool DetectPending() const { return execution_->DetectPending(); }
 
   /// \brief True when no further `Step` will make progress.
   bool Done() const { return execution_->Done(); }
@@ -71,6 +91,15 @@ class QuerySession {
   /// the dispatcher's contexts instead.
   const video::SimulatedVideoStore* video_store() const { return store_.get(); }
 
+  /// \brief Scheduling/coalescing observability, mirroring `PrefetchStats`:
+  /// steps granted to this session, frames submitted through the shared
+  /// detector service, and how many of its frames/device batches were
+  /// coalesced with other sessions'. All zeros (except `steps_granted`) when
+  /// the engine does not coalesce (`EngineConfig::coalesce_detect`).
+  const query::SessionSchedulerStats& scheduler_stats() const {
+    return scheduler_stats_;
+  }
+
  private:
   friend class SearchEngine;
   QuerySession() = default;
@@ -89,6 +118,10 @@ class QuerySession {
   std::unique_ptr<query::ShardDispatcher> shard_dispatcher_;
   std::unique_ptr<track::Discriminator> discriminator_;
   std::unique_ptr<query::QueryExecution> execution_;
+  // Scheduler/coalescing tallies: `steps_granted` counted here, the
+  // coalescing fields filled in by the engine's shared detector service
+  // (wired via RunnerOptions::session_stats).
+  query::SessionSchedulerStats scheduler_stats_;
 };
 
 }  // namespace engine

@@ -124,6 +124,26 @@ common::ThreadPool* SearchEngine::shard_pool(uint32_t shard) {
   return shard_pools_[shard].get();
 }
 
+query::DetectorService* SearchEngine::detector_service() {
+  if (!config_.coalesce_detect) return nullptr;
+  if (detector_service_ == nullptr) {
+    query::DetectorServiceOptions options;
+    options.device_batch = std::max<size_t>(1, config_.device_batch);
+    // Mirror the dispatcher's parallelism rule: shards flush concurrently
+    // only when each owns a private pool (ParallelFor is single-driver).
+    options.parallel_shards = sharded_ != nullptr && config_.threads_per_shard > 0;
+    const size_t num_shards = sharded_ != nullptr ? sharded_->NumShards() : 1;
+    std::vector<common::ThreadPool*> pools;
+    if (sharded_ != nullptr && config_.threads_per_shard > 0) {
+      pools.reserve(num_shards);
+      for (uint32_t s = 0; s < num_shards; ++s) pools.push_back(shard_pool(s));
+    }
+    detector_service_ = std::make_unique<query::DetectorService>(
+        options, num_shards, std::move(pools), thread_pool());
+  }
+  return detector_service_.get();
+}
+
 common::ThreadPool* SearchEngine::shard_io_pool(uint32_t shard) {
   if (config_.io_threads_per_shard == 0) return nullptr;
   if (shard_io_pools_.empty()) {
@@ -210,6 +230,12 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   // as their detect stages share the detect pool.
   session_options.prefetch_depth = config_.prefetch_depth;
   session_options.decode_pool = io_pool();
+  // Cross-session detect coalescing: every session of a coalescing engine
+  // submits to the one shared service (solo runs flush themselves at width
+  // 1 — bit-identical, which is the contract the sched suite checks).
+  session_options.detector_service = detector_service();
+  session_options.service_session_id = next_session_id_++;
+  session_options.session_stats = &session->scheduler_stats_;
   session->execution_ = std::make_unique<query::QueryExecution>(
       truth_, session->detector_.get(), session->discriminator_.get(),
       session->strategy_.get(), session_options);
@@ -239,6 +265,11 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::CreateSession(
 
 common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
     const std::vector<QuerySpec>& specs) {
+  return RunConcurrent(specs, SessionObserver());
+}
+
+common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
+    const std::vector<QuerySpec>& specs, const SessionObserver& observer) {
   // Validate every spec's cheap invariants before building any session:
   // session construction can be expensive (a proxy spec pays its full
   // scoring scan up front), and a bad later spec must not discard that work.
@@ -260,15 +291,70 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
     sessions.push_back(std::move(session).value());
   }
 
-  // Fair round-robin: one batch per live session per round. Per-query state
-  // lives in the sessions, so interleaving cannot change any individual
-  // trace; the sessions share the engine's pool and scorer cache.
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto& session : sessions) {
-      if (session->Step()) progress = true;
+  // The scheduled round loop. Each round the scheduler plans a sequence of
+  // step grants from coordinator-side tallies (it can weight sessions, not
+  // change what they compute); the grants are executed in *waves*: every
+  // session in a wave begins its step (submitting its detect work to the
+  // shared service when coalescing is on), the service flushes the merged
+  // queues as full cross-session device batches, and the wave's sessions
+  // finish their steps in submission order. A session scheduled twice in a
+  // round closes the current wave first — a wave holds at most one pending
+  // step per session. Without a service the waves degenerate to plain
+  // sequential stepping. Per-query state lives in the sessions, so neither
+  // the grant order nor the coalescing can change any individual trace.
+  query::SessionSchedulerOptions scheduler_options;
+  scheduler_options.seed = config_.scheduler_seed;
+  scheduler_options.starvation_rounds =
+      std::max<uint64_t>(1, config_.scheduler_starvation_rounds);
+  const std::unique_ptr<query::SessionScheduler> scheduler =
+      query::MakeSessionScheduler(config_.scheduler, scheduler_options);
+  query::DetectorService* service = detector_service();
+
+  std::vector<query::SessionSchedulerInfo> infos(sessions.size());
+  std::vector<size_t> order;
+  std::vector<size_t> wave;
+  const auto flush_wave = [&] {
+    if (wave.empty()) return;
+    if (service != nullptr) service->Flush();
+    for (const size_t idx : wave) {
+      sessions[idx]->FinishStep();
+      if (observer) observer(idx, *sessions[idx]);
     }
+    wave.clear();
+  };
+
+  while (true) {
+    size_t live = 0;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      const query::DiscoveryPoint& final = sessions[i]->Trace().final;
+      infos[i].steps = sessions[i]->scheduler_stats().steps_granted;
+      infos[i].samples = final.samples;
+      infos[i].reported_results = final.reported_results;
+      infos[i].result_limit = specs[i].limit;
+      infos[i].seconds = final.seconds;
+      infos[i].deadline_seconds = specs[i].deadline_seconds;
+      infos[i].done = sessions[i]->Done();
+      if (!infos[i].done) ++live;
+    }
+    if (live == 0) break;
+
+    order.clear();
+    scheduler->PlanRound(common::Span<const query::SessionSchedulerInfo>(
+                             infos.data(), infos.size()),
+                         &order);
+    if (order.empty()) break;  // A scheduler that refuses to plan live work.
+    for (const size_t idx : order) {
+      common::Check(idx < sessions.size(), "scheduler planned an unknown session");
+      common::Check(!infos[idx].done, "scheduler planned a finished session");
+      if (sessions[idx]->Done()) continue;  // Finished earlier this round.
+      if (sessions[idx]->DetectPending()) flush_wave();
+      if (sessions[idx]->BeginStep()) wave.push_back(idx);
+    }
+    flush_wave();
+    // A round with no progress still terminates the loop eventually: its
+    // first grant to a then-live session either progressed or marked that
+    // session done, so no-progress rounds strictly shrink the live set and
+    // the next round replans against refreshed tallies.
   }
 
   std::vector<query::QueryTrace> traces;

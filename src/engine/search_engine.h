@@ -1,6 +1,7 @@
 #ifndef EXSAMPLE_ENGINE_SEARCH_ENGINE_H_
 #define EXSAMPLE_ENGINE_SEARCH_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,7 +13,9 @@
 #include "detect/detector.h"
 #include "detect/proxy.h"
 #include "engine/query_session.h"
+#include "query/detector_service.h"
 #include "query/runner.h"
+#include "query/scheduler.h"
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "samplers/hybrid_strategy.h"
@@ -90,6 +93,34 @@ struct EngineConfig {
   /// 0 (the default) shares the engine-wide I/O pool across shards.
   size_t io_threads_per_shard = 0;
 
+  /// Share the detect stage across sessions: the engine owns one
+  /// `query::DetectorService`, every session submits its picked batches to
+  /// it, and `RunConcurrent` flushes the merged per-shard queues as device
+  /// batches of up to `device_batch` frames — so a multi-query workload
+  /// fills the detector with frames from many sessions instead of paying a
+  /// under-filled batch per session. Never changes a trace (each frame is
+  /// still detected by its own session's detector context, per-frame
+  /// deterministically; the `sched` suite enforces bit-identity against
+  /// solo runs). False (the default) keeps the per-session detect stage.
+  bool coalesce_detect = false;
+  /// Target frames per coalesced device batch ("one GPU inference call's
+  /// worth"); the service's fill-rate statistic is measured against it.
+  size_t device_batch = 32;
+
+  /// Which `query::SessionScheduler` orders (and weights) the sessions'
+  /// `Step` calls in `RunConcurrent`: fair round-robin (the default,
+  /// bit-compatible with the old hard-coded loop), Thompson-style
+  /// marginal-result-rate priority, or deadline/budget-aware. Scheduling
+  /// only reorders step grants — per-session traces never change.
+  query::SchedulerKind scheduler = query::SchedulerKind::kFair;
+  /// Seed of the priority scheduler's Thompson draws (fixed seed, fixed
+  /// grant order).
+  uint64_t scheduler_seed = 17;
+  /// Starvation bound of the non-fair schedulers: every live session is
+  /// granted at least one step per this many rounds
+  /// (`SessionSchedulerOptions::starvation_rounds`).
+  uint64_t scheduler_starvation_rounds = 4;
+
   /// Shard the repository into this many contiguous, clip-aligned shards,
   /// each serving its frames with its own detector context (the in-process
   /// stand-in for "one query spans machines"). Picked batches are routed per
@@ -129,6 +160,11 @@ struct QuerySpec {
   uint64_t limit = 20;
   /// Per-query method configuration.
   QueryOptions options;
+  /// Budget in simulated seconds this query would like to finish within; 0
+  /// means none. Read only by the deadline scheduler, which steps the
+  /// session closest to blowing its budget first — it never truncates a
+  /// query, so traces are unaffected.
+  double deadline_seconds = 0.0;
 };
 
 /// \brief High-level facade: distinct-object search over one repository.
@@ -172,13 +208,30 @@ class SearchEngine {
   common::Result<std::unique_ptr<QuerySession>> CreateSession(
       int32_t class_id, uint64_t limit, const QueryOptions& options = {});
 
-  /// \brief Executes many queries over the shared engine state, interleaving
-  /// one batch per query round-robin (fair scheduling). Returns one trace per
-  /// spec, in order. Results are identical to running the specs one at a
-  /// time — per-query state is isolated in the sessions — but the shared
-  /// thread pool and scorer cache are paid for once.
+  /// \brief Executes many queries over the shared engine state. Each round,
+  /// the configured `SessionScheduler` plans which sessions step (fair
+  /// round-robin by default; priority/deadline variants reorder and weight
+  /// the grants); with `coalesce_detect`, the scheduled sessions submit
+  /// their batches to the shared `DetectorService`, which flushes them as
+  /// full cross-session device batches. Returns one trace per spec, in
+  /// order. Results are identical to running the specs one at a time — per-
+  /// query state is isolated in the sessions, scheduling only reorders step
+  /// grants, and coalescing only re-packs device batches — but the shared
+  /// thread pool, scorer cache, and detector batches are paid for once.
   common::Result<std::vector<query::QueryTrace>> RunConcurrent(
       const std::vector<QuerySpec>& specs);
+
+  /// Called by the observing `RunConcurrent` overload after every completed
+  /// step of a session, in execution order, with the session's spec index.
+  /// The session reference is valid for the duration of the call only.
+  using SessionObserver = std::function<void(size_t index, const QuerySession&)>;
+
+  /// \brief `RunConcurrent` with a per-step observer — the hook benchmarks
+  /// and monitors use to watch the workload's progress (e.g. the global cost
+  /// clock at which each session reported its first result) while the real
+  /// driver, not a reimplementation of it, executes the schedule.
+  common::Result<std::vector<query::QueryTrace>> RunConcurrent(
+      const std::vector<QuerySpec>& specs, const SessionObserver& observer);
 
   /// \brief Builds the strategy object a query with `options` would use
   /// (exposed for tests and custom runners).
@@ -198,6 +251,12 @@ class SearchEngine {
   /// \brief The sharded repository queries are dispatched over, or null for a
   /// single-repository engine.
   const video::ShardedRepository* sharded_repository() const { return sharded_; }
+
+  /// \brief The shared cross-session detect service, created lazily on first
+  /// use. Null when `config.coalesce_detect` is off (sessions then run their
+  /// own detect stages). Exposes coalescing stats (device-batch fill rate,
+  /// shared batches) for observability.
+  query::DetectorService* detector_service();
 
  private:
   /// The pool a shard's detect stage fans out over: the shard's private pool
@@ -231,6 +290,10 @@ class SearchEngine {
   std::unique_ptr<common::ThreadPool> pool_;
   // Engine-wide I/O pool shared by all sessions' decode prefetchers.
   std::unique_ptr<common::ThreadPool> io_pool_;
+  // Shared cross-session detect service (config.coalesce_detect), lazy.
+  std::unique_ptr<query::DetectorService> detector_service_;
+  // Session identities for the service's shared-batch attribution.
+  uint64_t next_session_id_ = 1;
   // Per-shard private pools (config.threads_per_shard > 0), lazily created.
   std::vector<std::unique_ptr<common::ThreadPool>> shard_pools_;
   // Per-shard private I/O pools (config.io_threads_per_shard > 0), lazy.

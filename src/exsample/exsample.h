@@ -34,8 +34,10 @@
 #include "opt/optimal_weights.h"
 #include "opt/simplex.h"
 #include "query/curves.h"
+#include "query/detector_service.h"
 #include "query/prefetch.h"
 #include "query/runner.h"
+#include "query/scheduler.h"
 #include "query/shard_dispatch.h"
 #include "query/shard_trace.h"
 #include "query/strategy.h"

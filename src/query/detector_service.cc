@@ -1,0 +1,192 @@
+#include "query/detector_service.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace exsample {
+namespace query {
+
+DetectorService::DetectorService(DetectorServiceOptions options, size_t num_shards,
+                                 std::vector<common::ThreadPool*> pools,
+                                 common::ThreadPool* default_pool)
+    : options_(options), pools_(std::move(pools)), default_pool_(default_pool) {
+  common::Check(options_.device_batch >= 1, "device batch must hold a frame");
+  common::Check(num_shards >= 1, "detector service needs at least one shard queue");
+  common::Check(pools_.empty() || pools_.size() == num_shards,
+                "per-shard pools must cover every shard");
+  queues_.resize(num_shards);
+  slice_sessions_.resize(num_shards);
+}
+
+DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
+  common::Check(!request.frames.empty(), "empty detect request");
+  common::Check(request.shards.empty() || request.shards.size() == request.frames.size(),
+                "per-frame shard owners must cover the whole request");
+  common::Check(request.dispatcher != nullptr || request.detector != nullptr,
+                "detect request needs a detector or a dispatcher");
+
+  const size_t request_index = pending_.size();
+  pending_.emplace_back();
+  PendingRequest& pr = pending_.back();
+  pr.ticket = next_ticket_++;
+  pr.request = request;
+  pr.results.resize(request.frames.size());
+
+  for (size_t i = 0; i < request.frames.size(); ++i) {
+    const uint32_t shard = request.shards.empty() ? 0 : request.shards[i];
+    common::Check(shard < queues_.size(), "frame routed past the shard queues");
+    queues_[shard].push_back(QueueEntry{request_index, i});
+  }
+  pending_frames_ += request.frames.size();
+  stats_.requests += 1;
+  if (request.session_stats != nullptr) {
+    request.session_stats->frames_submitted += request.frames.size();
+  }
+  return pr.ticket;
+}
+
+void DetectorService::RunShardQueue(uint32_t shard) {
+  const std::vector<QueueEntry>& queue = queues_[shard];
+  common::ThreadPool* pool =
+      shard < pools_.size() && pools_[shard] != nullptr ? pools_[shard] : default_pool_;
+  // Slice the merged queue into device batches and fan each across the
+  // shard's pool. Results land in fixed per-request slots, so neither the
+  // slicing nor the pool size can reorder what any session observes.
+  for (size_t begin = 0; begin < queue.size(); begin += options_.device_batch) {
+    const size_t count = std::min(options_.device_batch, queue.size() - begin);
+    const auto detect_one = [&](size_t j) {
+      const QueueEntry& entry = queue[begin + j];
+      PendingRequest& pr = pending_[entry.request_index];
+      detect::ObjectDetector* detector =
+          pr.request.dispatcher != nullptr
+              ? pr.request.dispatcher->Context(shard).detector
+              : pr.request.detector;
+      pr.results[entry.frame_index] =
+          detector->Detect(pr.request.frames[entry.frame_index]);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(count, detect_one);
+    } else {
+      for (size_t j = 0; j < count; ++j) detect_one(j);
+    }
+  }
+}
+
+void DetectorService::Flush() {
+  if (pending_.empty()) return;
+  stats_.flushes += 1;
+
+  // Decode barrier: every request's prefetcher has been decoding on the I/O
+  // pools since its session submitted — the decode-ahead window spans the
+  // whole coalesce window. Drain in ticket order before any detection runs
+  // (plans were already charged, in batch order, at submit time).
+  for (PendingRequest& pr : pending_) {
+    if (pr.request.prefetcher != nullptr) pr.request.prefetcher->Drain();
+  }
+
+  std::vector<uint32_t> active;
+  for (uint32_t s = 0; s < queues_.size(); ++s) {
+    if (!queues_[s].empty()) active.push_back(s);
+  }
+
+  if (options_.parallel_shards && active.size() > 1) {
+    // One dispatch thread per owning shard, each driving that shard's own
+    // pool. A shard thread never touches the shared default pool: ParallelFor
+    // is single-driver, so shards without a private pool run their slices
+    // inline on their dispatch thread.
+    common::ThreadPool* default_pool = default_pool_;
+    default_pool_ = nullptr;
+    std::vector<std::thread> threads;
+    threads.reserve(active.size());
+    for (const uint32_t s : active) {
+      threads.emplace_back([this, s] { RunShardQueue(s); });
+    }
+    for (std::thread& t : threads) t.join();
+    default_pool_ = default_pool;
+  } else {
+    for (const uint32_t s : active) RunShardQueue(s);
+  }
+
+  // Bookkeeping, on the coordinator after every slice completed. Slice
+  // boundaries are a pure function of the queues, so the tallies are
+  // deterministic whatever the shards' execution order was.
+  for (const uint32_t s : active) {
+    const std::vector<QueueEntry>& queue = queues_[s];
+    for (size_t begin = 0; begin < queue.size(); begin += options_.device_batch) {
+      const size_t count = std::min(options_.device_batch, queue.size() - begin);
+      std::vector<size_t>& requests_in_slice = slice_sessions_[s];
+      requests_in_slice.clear();
+      for (size_t j = 0; j < count; ++j) {
+        const size_t r = queue[begin + j].request_index;
+        if (std::find(requests_in_slice.begin(), requests_in_slice.end(), r) ==
+            requests_in_slice.end()) {
+          requests_in_slice.push_back(r);
+        }
+      }
+      bool shared = false;
+      for (const size_t r : requests_in_slice) {
+        if (pending_[r].request.session_id !=
+            pending_[requests_in_slice.front()].request.session_id) {
+          shared = true;
+          break;
+        }
+      }
+      stats_.device_batches += 1;
+      stats_.frames += count;
+      if (shared) stats_.shared_batches += 1;
+      for (const size_t r : requests_in_slice) {
+        SessionSchedulerStats* session = pending_[r].request.session_stats;
+        if (session == nullptr) continue;
+        session->device_batches += 1;
+        if (shared) {
+          session->batches_shared += 1;
+          for (size_t j = 0; j < count; ++j) {
+            if (queue[begin + j].request_index == r) session->frames_coalesced += 1;
+          }
+        }
+      }
+    }
+    // Per-session dispatcher stats: book each request's frames on this shard
+    // as one service-detected batch, mirroring what the session's own
+    // `ShardDispatcher::DetectBatch` call would have recorded.
+    for (size_t r = 0; r < pending_.size(); ++r) {
+      if (pending_[r].request.dispatcher == nullptr) continue;
+      size_t frames_on_shard = 0;
+      for (const QueueEntry& entry : queue) {
+        if (entry.request_index == r) ++frames_on_shard;
+      }
+      if (frames_on_shard > 0) {
+        pending_[r].request.dispatcher->RecordServiceDetect(s, frames_on_shard);
+      }
+    }
+  }
+
+  for (PendingRequest& pr : pending_) {
+    ready_.emplace(pr.ticket, std::move(pr.results));
+  }
+  pending_.clear();
+  for (auto& queue : queues_) queue.clear();
+  pending_frames_ = 0;
+}
+
+bool DetectorService::Ready(Ticket ticket) const {
+  return ready_.find(ticket) != ready_.end();
+}
+
+std::vector<detect::Detections> DetectorService::Take(Ticket ticket) {
+  const auto it = ready_.find(ticket);
+  common::Check(it != ready_.end(), "taking a detect result that is not ready");
+  std::vector<detect::Detections> results = std::move(it->second);
+  ready_.erase(it);
+  return results;
+}
+
+double DetectorService::FillRate() const {
+  if (stats_.device_batches == 0) return 0.0;
+  return static_cast<double>(stats_.frames) /
+         (static_cast<double>(stats_.device_batches) *
+          static_cast<double>(options_.device_batch));
+}
+
+}  // namespace query
+}  // namespace exsample

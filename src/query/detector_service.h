@@ -1,0 +1,183 @@
+#ifndef EXSAMPLE_QUERY_DETECTOR_SERVICE_H_
+#define EXSAMPLE_QUERY_DETECTOR_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "detect/detector.h"
+#include "query/prefetch.h"
+#include "query/scheduler.h"
+#include "query/shard_dispatch.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief Coalescing configuration of a `DetectorService`.
+struct DetectorServiceOptions {
+  /// Target frames per coalesced device batch: a flush slices each shard's
+  /// merged queue into `DetectBatch`-style calls of at most this many frames.
+  /// The fill-rate statistic is measured against it ("how full were the
+  /// device batches we paid for"). Must be >= 1.
+  size_t device_batch = 32;
+  /// Flush the shards' sliced device batches concurrently, one dispatch
+  /// thread per owning shard (each driving its own shard's pool) — the same
+  /// stand-in for per-machine shard detectors `ShardDispatcher` uses.
+  bool parallel_shards = false;
+};
+
+/// \brief Aggregate tallies of a service's coalescing work.
+struct DetectorServiceStats {
+  /// Session submissions accepted (one per `QueryExecution` step).
+  uint64_t requests = 0;
+  /// Frames detected through the service.
+  uint64_t frames = 0;
+  /// Coalesced device batches executed (queue slices, per shard).
+  uint64_t device_batches = 0;
+  /// Of those, batches holding frames of at least two sessions.
+  uint64_t shared_batches = 0;
+  /// `Flush` calls that found work.
+  uint64_t flushes = 0;
+};
+
+/// \brief Shared detect stage: coalesces pending frames from many query
+/// sessions into full device batches.
+///
+/// ExSample's premise is that the detector is the scarce resource; under a
+/// concurrent workload, per-session batching under-fills it — a session
+/// stepping with batch 8 occupies a 64-frame device batch alone. The service
+/// is the cross-session remedy: each session *submits* its picked batch
+/// (`Submit`, non-blocking) and yields; once the scheduler has stepped the
+/// other sessions of the round, `Flush` merges everything pending into
+/// per-shard queues and executes them as device batches of up to
+/// `device_batch` frames, routing each frame through *its own session's*
+/// detector context (per-query noise streams stay per-query) and scattering
+/// results back per request. Results are then collected per session
+/// (`Take`), which discriminates and feeds back exactly as before.
+///
+/// Determinism contract: coalescing never changes a trace. Requests carry
+/// monotonically increasing sequence numbers (tickets); within a flush, a
+/// shard queue holds frames in (ticket, batch-position) order, results land
+/// in fixed per-request slots, detection is per-frame deterministic per
+/// session, and every order-sensitive stage (decode planning, discrimination,
+/// belief updates) already ran or runs on the coordinator in session batch
+/// order — so the service at any coalesce width is bit-identical to today's
+/// per-session batching (width 1), which the `sched` suite enforces fatally.
+///
+/// The decode-ahead seam moves with the detect stage: a request's prefetcher
+/// keeps decoding on the I/O pools from submit time until the flush that
+/// consumes the request — the decode window now spans the service's coalesce
+/// window (everything queued between two flushes), not one session's detect
+/// windows. `Flush` drains each request's prefetcher, in ticket order, before
+/// any detection runs.
+///
+/// One coordinator thread drives the service (Submit/Flush/Take); only the
+/// per-frame detect fan-out (and, with `parallel_shards`, the per-shard
+/// dispatch) runs on workers. This queue is the seam the ROADMAP names for
+/// cross-machine dispatch: a remote shard's runner would drain its
+/// sub-queue over RPC instead of a local pool.
+class DetectorService {
+ public:
+  using Ticket = uint64_t;
+
+  /// One session's pending detect work. Spans must stay valid until the
+  /// request's results are taken; the pointees must outlive the flush.
+  struct DetectRequest {
+    /// Stable identity of the submitting session (stats attribution only).
+    uint64_t session_id = 0;
+    /// Frames to detect, in the session's batch order.
+    common::Span<const video::FrameId> frames;
+    /// Owning shard per frame (parallel to `frames`); empty means every
+    /// frame belongs to shard 0 (unsharded execution).
+    common::Span<const uint32_t> shards;
+    /// The session's detector (unsharded sessions). Ignored when
+    /// `dispatcher` is set.
+    detect::ObjectDetector* detector = nullptr;
+    /// The session's shard dispatcher: per-shard detectors + stats. When
+    /// set, each frame is detected by `dispatcher->Context(shard).detector`
+    /// and the dispatcher's per-shard stats are updated as if it had
+    /// dispatched the sub-batches itself.
+    ShardDispatcher* dispatcher = nullptr;
+    /// The session's decode prefetcher; drained (in ticket order) before the
+    /// flush detects anything. Null when the session does not decode.
+    DecodePrefetcher* prefetcher = nullptr;
+    /// The session's scheduler/coalescing tallies; updated at flush time.
+    SessionSchedulerStats* session_stats = nullptr;
+  };
+
+  /// `num_shards` fixes the submission-queue fan-out (1 for unsharded
+  /// engines). `pools` — when non-empty, one per shard — name the worker
+  /// pool each shard's device batches fan out over (null entries run
+  /// inline); `default_pool` serves shards without one.
+  DetectorService(DetectorServiceOptions options, size_t num_shards = 1,
+                  std::vector<common::ThreadPool*> pools = {},
+                  common::ThreadPool* default_pool = nullptr);
+
+  /// \brief Enqueues a session's batch and returns its ticket. Non-blocking:
+  /// nothing is detected until `Flush`.
+  Ticket Submit(const DetectRequest& request);
+
+  /// \brief Executes everything pending as coalesced per-shard device
+  /// batches and makes every submitted request's results available to
+  /// `Take`. No-op when nothing is pending.
+  void Flush();
+
+  /// \brief True when `ticket` has been flushed and its results are waiting.
+  bool Ready(Ticket ticket) const;
+
+  /// \brief Returns (and releases) the detections of a flushed request;
+  /// result `i` corresponds to `frames[i]` of the submitted batch. Fatal if
+  /// the ticket was never submitted or not yet flushed.
+  std::vector<detect::Detections> Take(Ticket ticket);
+
+  /// \brief Frames currently queued and not yet flushed.
+  size_t PendingFrames() const { return pending_frames_; }
+
+  size_t NumShards() const { return queues_.size(); }
+  const DetectorServiceOptions& options() const { return options_; }
+  const DetectorServiceStats& stats() const { return stats_; }
+
+  /// \brief Mean fill of the device batches paid for so far:
+  /// frames / (device_batches * device_batch). 0 before the first flush.
+  double FillRate() const;
+
+ private:
+  struct PendingRequest {
+    Ticket ticket = 0;
+    DetectRequest request;
+    std::vector<detect::Detections> results;  // Slot per frame, filled at flush.
+  };
+  /// One queued frame: where it came from (request r, batch position i).
+  struct QueueEntry {
+    size_t request_index = 0;
+    size_t frame_index = 0;
+  };
+
+  /// Runs one shard's queue as sliced device batches. Safe to call for
+  /// different shards from different threads: writes go to per-request
+  /// result slots and disjoint per-shard slice records.
+  void RunShardQueue(uint32_t shard);
+
+  DetectorServiceOptions options_;
+  std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
+  common::ThreadPool* default_pool_ = nullptr;
+
+  std::vector<PendingRequest> pending_;                // Ticket order.
+  std::vector<std::vector<QueueEntry>> queues_;        // Per shard.
+  std::vector<std::vector<size_t>> slice_sessions_;    // Scratch per shard:
+                                                       // distinct sessions per
+                                                       // executed slice, for
+                                                       // stats (see Flush).
+  size_t pending_frames_ = 0;
+  Ticket next_ticket_ = 1;
+  std::unordered_map<Ticket, std::vector<detect::Detections>> ready_;
+  DetectorServiceStats stats_;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_DETECTOR_SERVICE_H_

@@ -147,7 +147,8 @@ bool QueryExecution::StopConditionHit() const {
          current_.true_distinct >= options_.true_distinct_target;
 }
 
-bool QueryExecution::Step() {
+bool QueryExecution::BeginStep() {
+  common::Check(!pending_detect_, "BeginStep while a step is already pending");
   if (finished_) return false;
   if (StopConditionHit()) {
     finished_ = true;
@@ -159,8 +160,8 @@ bool QueryExecution::Step() {
   const uint64_t samples_left = options_.max_samples - current_.samples;
   const size_t want = static_cast<size_t>(
       std::min<uint64_t>(std::max<size_t>(1, options_.batch_size), samples_left));
-  const std::vector<video::FrameId> frames = strategy_->NextBatch(want);
-  if (frames.empty()) {
+  pending_frames_ = strategy_->NextBatch(want);
+  if (pending_frames_.empty()) {
     finished_ = true;
     return false;
   }
@@ -171,7 +172,7 @@ bool QueryExecution::Step() {
   // detect dispatch, and per-frame accounting below all reuse it.
   if (dispatcher != nullptr) {
     frame_shards_.clear();
-    for (const video::FrameId frame : frames) {
+    for (const video::FrameId frame : pending_frames_) {
       frame_shards_.push_back(dispatcher->ShardOfFrame(frame));
     }
   }
@@ -191,15 +192,17 @@ bool QueryExecution::Step() {
   // stores plan on the owning shard (each shard keeps its own position
   // state), otherwise the query-global store is used and the cost is still
   // attributed to the owning shard's partial trace. The decode *work* runs
-  // asynchronously while the detect stage below consumes the batch.
+  // asynchronously while the detect stage consumes the batch — which, under
+  // a shared service, happens only at flush time, so the decode-ahead window
+  // spans the whole coalesce window instead of one session's detect windows.
   if (prefetcher_ != nullptr) {
     const bool sharded_stores = dispatcher != nullptr && dispatcher->HasStores();
     const std::vector<double>& charges = prefetcher_->SubmitBatch(
-        frames, sharded_stores
-                    ? common::Span<const uint32_t>(frame_shards_.data(),
-                                                   frame_shards_.size())
-                    : common::Span<const uint32_t>());
-    for (size_t i = 0; i < frames.size(); ++i) {
+        pending_frames_, sharded_stores
+                             ? common::Span<const uint32_t>(frame_shards_.data(),
+                                                            frame_shards_.size())
+                             : common::Span<const uint32_t>());
+    for (size_t i = 0; i < pending_frames_.size(); ++i) {
       current_.seconds += charges[i];
       if (dispatcher != nullptr) {
         RecordEvent(1 + frame_shards_[i], charges[i], 0, 0, 0, false);
@@ -207,26 +210,61 @@ bool QueryExecution::Step() {
     }
   }
 
+  // Stage the detect work. With a shared service the batch is *submitted* —
+  // merged with other sessions' pending frames into full device batches at
+  // the next flush; without one it is held for FinishStep's local detect
+  // stage. Either way `pending_frames_` stays stable until the step finishes
+  // (the service and the prefetcher hold spans into it).
+  if (options_.detector_service != nullptr) {
+    DetectorService::DetectRequest request;
+    request.session_id = options_.service_session_id;
+    request.frames = common::Span<const video::FrameId>(pending_frames_.data(),
+                                                        pending_frames_.size());
+    if (dispatcher != nullptr) {
+      request.shards =
+          common::Span<const uint32_t>(frame_shards_.data(), frame_shards_.size());
+      request.dispatcher = dispatcher;
+    } else {
+      request.detector = detector_;
+    }
+    request.prefetcher = prefetcher_.get();
+    request.session_stats = options_.session_stats;
+    pending_ticket_ = options_.detector_service->Submit(request);
+  }
+  pending_detect_ = true;
+  return true;
+}
+
+void QueryExecution::FinishStep() {
+  common::Check(pending_detect_, "FinishStep without a pending BeginStep");
+  pending_detect_ = false;
+  ShardDispatcher* dispatcher = options_.shard_dispatcher;
+
   // Detect stage: per-frame-independent, fans out across the pool — or, when
-  // the repository is sharded, across the owning shards' detector contexts.
-  // With a decode-ahead window the batch is consumed in windows, each
-  // detected while later frames still decode. Result i belongs to frames[i]
-  // whatever the execution order.
-  const std::vector<detect::Detections> detections = DetectStage(frames);
+  // the repository is sharded, across the owning shards' detector contexts;
+  // under a shared service the work already ran in coalesced device batches
+  // and is collected here. Result i belongs to frames[i] whatever the
+  // execution order.
+  const std::vector<detect::Detections> detections =
+      options_.detector_service != nullptr
+          ? options_.detector_service->Take(pending_ticket_)
+          : DetectStage(pending_frames_);
 
   // Discriminate stage: strictly sequential in batch order — matching is
   // stateful, and reproducibility requires a fixed observation order. This is
   // the merge point of a sharded execution: whatever shard detected a frame,
   // its detections are observed here, in the coordinator's batch order.
   feedback_.clear();
-  for (size_t i = 0; i < frames.size(); ++i) {
+  for (size_t i = 0; i < pending_frames_.size(); ++i) {
     const uint32_t shard = dispatcher != nullptr ? frame_shards_[i] : 0;
     const double detect_seconds = dispatcher != nullptr
                                       ? dispatcher->SecondsPerFrame(shard)
                                       : detector_->SecondsPerFrame();
     current_.seconds += detect_seconds;
-    const track::MatchResult result = discriminator_->Observe(frames[i], detections[i]);
-    feedback_.push_back(FrameFeedback{frames[i], result.d0.size(), result.d1.size()});
+    const track::MatchResult result =
+        discriminator_->Observe(pending_frames_[i], detections[i]);
+    feedback_.push_back(
+        FrameFeedback{pending_frames_[i], result.d0.size(), result.d1.size()});
     ++current_.samples;
     current_.reported_results += result.d0.size();
     const uint64_t distinct_before = current_.true_distinct;
@@ -249,6 +287,15 @@ bool QueryExecution::Step() {
 
   // Keep `final` current so a live session's trace reads correctly mid-run.
   trace_.final = current_;
+}
+
+bool QueryExecution::Step() {
+  if (!BeginStep()) return false;
+  // Standalone stepping under a shared service: flush inline (coalesce width
+  // 1 for this session's frames; anything other sessions left pending rides
+  // along, which coalescing guarantees is trace-neutral).
+  if (options_.detector_service != nullptr) options_.detector_service->Flush();
+  FinishStep();
   return true;
 }
 

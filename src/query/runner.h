@@ -9,7 +9,9 @@
 
 #include "common/thread_pool.h"
 #include "detect/detector.h"
+#include "query/detector_service.h"
 #include "query/prefetch.h"
+#include "query/scheduler.h"
 #include "query/shard_dispatch.h"
 #include "query/shard_trace.h"
 #include "query/strategy.h"
@@ -80,6 +82,25 @@ struct RunnerOptions {
   /// Pool the prefetcher's decode work runs on. Null shares `thread_pool`.
   /// Sharded executions prefer each shard's `ShardContext::io_pool`.
   common::ThreadPool* decode_pool = nullptr;
+  /// When non-null, the detect stage is *submitted* to this shared service
+  /// instead of being executed by this session: `BeginStep` enqueues the
+  /// picked batch (non-blocking) and `FinishStep` collects the detections
+  /// after a `Flush` has coalesced every pending session's frames into full
+  /// device batches. Like batch size and thread count, coalescing never
+  /// changes a trace — detection stays per-frame deterministic per session
+  /// and every order-sensitive stage stays on the coordinator in batch order
+  /// (the `sched` suite enforces bit-identity against solo runs). `Step()`
+  /// still works standalone: it submits, flushes, and finishes inline
+  /// (coalesce width 1 — note the flush also executes whatever *other*
+  /// sessions have pending, which is harmless for exactly this reason).
+  DetectorService* detector_service = nullptr;
+  /// Stable identity of this execution's session for the service's
+  /// stats attribution (which device batches were shared across sessions).
+  uint64_t service_session_id = 0;
+  /// Optional scheduler/coalescing tallies for this session, filled in by
+  /// the service at flush time (`frames_submitted`, `frames_coalesced`,
+  /// `batches_shared`); the driver counts `steps_granted`.
+  SessionSchedulerStats* session_stats = nullptr;
 };
 
 /// \brief Incremental execution state of one distinct-object query.
@@ -107,7 +128,30 @@ class QueryExecution {
 
   /// \brief Processes one batch. Returns false — without consuming anything —
   /// when the query is finished (stop condition hit or strategy exhausted).
+  /// Equivalent to `BeginStep()` + (service flush) + `FinishStep()`.
   bool Step();
+
+  /// \brief First half of a step: picks the next batch, charges strategy
+  /// overhead and decode (planned in batch order), and stages the detect
+  /// work — submitted to `options.detector_service` when one is set, held
+  /// locally otherwise. Returns false — without consuming anything — when
+  /// the query is finished. After a true return the execution is *pending*
+  /// (`DetectPending()`): the caller must complete the step with
+  /// `FinishStep` (after flushing the service) before beginning another.
+  ///
+  /// This is the yield point cross-session coalescing needs: a scheduler
+  /// begins several sessions' steps, the shared service flushes them as full
+  /// device batches, and each session then finishes its step.
+  bool BeginStep();
+
+  /// \brief Second half of a step: collects the batch's detections (from the
+  /// service, which must have been flushed, or by running the local detect
+  /// stage), discriminates in batch order, and feeds the strategy back.
+  /// Fatal unless a `BeginStep` is pending.
+  void FinishStep();
+
+  /// \brief True between a successful `BeginStep` and its `FinishStep`.
+  bool DetectPending() const { return pending_detect_; }
 
   /// \brief True once no further `Step` will make progress.
   bool Done() const { return finished_; }
@@ -152,6 +196,12 @@ class QueryExecution {
   std::vector<FrameFeedback> feedback_;  // Reused per batch.
   std::vector<uint32_t> frame_shards_;   // Owner per batch frame; sharded only.
   std::vector<ShardTracePart> parts_;    // Sharded runs only.
+  // The in-flight batch between BeginStep and FinishStep. `pending_frames_`
+  // must stay stable while pending: the service (and the prefetcher) hold
+  // spans into it.
+  std::vector<video::FrameId> pending_frames_;
+  DetectorService::Ticket pending_ticket_ = 0;
+  bool pending_detect_ = false;
   uint64_t next_seq_ = 0;
   double charged_overhead_ = 0.0;
   bool finished_ = false;

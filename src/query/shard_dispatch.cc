@@ -81,6 +81,15 @@ std::vector<detect::Detections> ShardDispatcher::DetectBatch(
   return out;
 }
 
+void ShardDispatcher::RecordServiceDetect(uint32_t shard, size_t frames) {
+  common::Check(shard < contexts_.size() && contexts_[shard].detector != nullptr,
+                "no detector context for shard");
+  stats_[shard].frames_detected += frames;
+  stats_[shard].batches += 1;
+  stats_[shard].detect_seconds +=
+      static_cast<double>(frames) * contexts_[shard].detector->SecondsPerFrame();
+}
+
 double ShardDispatcher::SecondsPerFrame(uint32_t shard) const {
   common::Check(shard < contexts_.size() && contexts_[shard].detector != nullptr,
                 "no detector context for shard");

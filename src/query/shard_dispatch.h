@@ -91,6 +91,13 @@ class ShardDispatcher {
   /// \brief Simulated per-frame detector cost of one shard.
   double SecondsPerFrame(uint32_t shard) const;
 
+  /// \brief Books `frames` of this session detected on `shard` by the shared
+  /// `DetectorService` (which routes frames through the contexts directly,
+  /// bypassing `DetectBatch`) into `Stats()`, counted as one batch — exactly
+  /// what a `DetectBatch` call over the same sub-batch would have recorded,
+  /// so per-shard observability reads the same with and without coalescing.
+  void RecordServiceDetect(uint32_t shard, size_t frames);
+
   /// \brief True when every non-empty shard has a decode store (decode is
   /// then routed per shard instead of through the query-global store).
   bool HasStores() const { return has_stores_; }

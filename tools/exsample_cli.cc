@@ -20,6 +20,21 @@
 //                      --decode; default: 0 = share the detect pool)
 //   --csv=PATH         write the discovery trace as CSV
 //   --oracle           use the oracle discriminator (default: IoU tracker)
+//
+// Concurrent workloads (SearchEngine::RunConcurrent):
+//   --concurrent=N     run N sessions at once, cycling over the dataset's
+//                      query classes (or all N on --class when given), each
+//                      with its own seed; prints a per-session summary
+//   --scheduler=KIND   fair | priority | deadline       (default: fair)
+//   --deadline=S       per-session budget in simulated seconds the deadline
+//                      scheduler prioritizes against (sessions that have
+//                      spent the most of their budget step first); without
+//                      it the deadline scheduler degenerates to fair order
+//   --coalesce[=B]     share one detector service across the sessions,
+//                      merging their picked frames into device batches of up
+//                      to B frames (default B: 32); prints the batch fill
+//                      rate. Traces are identical with or without it.
+//   --batch=B          frames per session step          (default: 8)
 
 #include <algorithm>
 #include <cstdio>
@@ -49,6 +64,12 @@ struct CliArgs {
   bool decode = false;
   size_t prefetch = 0;
   size_t io_threads = 0;
+  size_t concurrent = 0;
+  size_t batch = 8;
+  bool coalesce = false;
+  size_t device_batch = 32;
+  double deadline = 0.0;
+  std::string scheduler = "fair";
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -95,6 +116,19 @@ CliArgs ParseArgs(int argc, char** argv) {
     } else if (ParseArg(arg, "--io-threads", &value)) {
       args.io_threads = std::strtoull(value.c_str(), nullptr, 10);
       args.decode = true;  // Decode workers are meaningless without decode.
+    } else if (ParseArg(arg, "--concurrent", &value)) {
+      args.concurrent = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--scheduler", &value)) {
+      args.scheduler = value;
+    } else if (std::strcmp(arg, "--coalesce") == 0) {
+      args.coalesce = true;
+    } else if (ParseArg(arg, "--coalesce", &value)) {
+      args.coalesce = true;
+      args.device_batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--batch", &value)) {
+      args.batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--deadline", &value)) {
+      args.deadline = std::strtod(value.c_str(), nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -152,7 +186,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   const datasets::QuerySpec* query = spec->FindQuery(args.class_name);
-  if (query == nullptr) {
+  if (query == nullptr && (args.concurrent == 0 || !args.class_name.empty())) {
+    // --concurrent without --class cycles over every query class instead.
     std::fprintf(stderr, "dataset '%s' has no class '%s'; --list shows options\n",
                  spec->name.c_str(), args.class_name.c_str());
     return 1;
@@ -160,6 +195,12 @@ int main(int argc, char** argv) {
   const auto method = ParseMethod(args.method);
   if (!method.has_value()) {
     std::fprintf(stderr, "unknown method '%s'\n", args.method.c_str());
+    return 1;
+  }
+  const auto scheduler_kind = query::ParseSchedulerKind(args.scheduler);
+  if (!scheduler_kind.has_value()) {
+    std::fprintf(stderr, "unknown scheduler '%s' (fair|priority|deadline)\n",
+                 args.scheduler.c_str());
     return 1;
   }
 
@@ -192,6 +233,12 @@ int main(int argc, char** argv) {
     config.prefetch_depth = args.prefetch;
     config.io_threads = args.io_threads;
   }
+  config.scheduler = *scheduler_kind;
+  config.scheduler_seed = args.seed;
+  if (args.coalesce) {
+    config.coalesce_detect = true;
+    config.device_batch = std::max<size_t>(1, args.device_batch);
+  }
   // --shards=1 (the default) keeps the zero-overhead single-repository path;
   // traces are identical either way.
   std::optional<engine::SearchEngine> engine_storage;
@@ -204,6 +251,78 @@ int main(int argc, char** argv) {
   engine::QueryOptions options;
   options.method = *method;
   options.exsample.seed = args.seed;
+
+  if (args.concurrent > 0) {
+    // Multi-session workload: N sessions cycle over the dataset's query
+    // classes (all on --class when one was named), each with its own seed,
+    // executed by RunConcurrent under the configured scheduler — and, with
+    // --coalesce, one shared detector service filling device batches across
+    // the sessions.
+    if (args.recall.has_value()) {
+      std::fprintf(stderr,
+                   "warning: --recall is ignored with --concurrent (sessions "
+                   "run to --limit)\n");
+    }
+    if (!args.csv_path.empty()) {
+      std::fprintf(stderr,
+                   "warning: --csv is ignored with --concurrent (one trace "
+                   "per session; use a solo run to export a trace)\n");
+    }
+    if (*scheduler_kind == query::SchedulerKind::kDeadline && args.deadline <= 0.0) {
+      std::fprintf(stderr,
+                   "warning: --scheduler=deadline without --deadline=S gives "
+                   "every session infinite slack (fair order)\n");
+    }
+    std::vector<engine::QuerySpec> specs;
+    for (size_t i = 0; i < args.concurrent; ++i) {
+      engine::QuerySpec qspec;
+      const datasets::QuerySpec& q =
+          query != nullptr ? *query : spec->queries[i % spec->queries.size()];
+      qspec.class_id = q.class_id;
+      qspec.limit = args.limit;
+      qspec.options = options;
+      qspec.options.exsample.seed = args.seed + i;
+      qspec.options.batch_size = std::max<size_t>(1, args.batch);
+      // One shared budget: slack = deadline - spent diverges as sessions
+      // spend, so the deadline scheduler steps whoever is closest to blowing
+      // it first.
+      qspec.deadline_seconds = args.deadline;
+      specs.push_back(qspec);
+    }
+    std::printf("running %zu sessions (%s scheduler%s)...\n", specs.size(),
+                query::SchedulerKindName(*scheduler_kind),
+                args.coalesce ? ", coalesced detect" : "");
+    auto traces = search.RunConcurrent(specs);
+    if (!traces.ok()) {
+      std::fprintf(stderr, "workload failed: %s\n",
+                   traces.status().ToString().c_str());
+      return 1;
+    }
+    common::TextTable table;
+    table.SetHeader({"session", "class", "method", "frames", "results",
+                     "model time"});
+    for (size_t i = 0; i < traces.value().size(); ++i) {
+      const query::QueryTrace& t = traces.value()[i];
+      const datasets::QuerySpec& q =
+          query != nullptr ? *query : spec->queries[i % spec->queries.size()];
+      table.AddRow({std::to_string(i), q.class_name, t.strategy_name,
+                    common::FormatCount(t.final.samples),
+                    std::to_string(t.final.reported_results),
+                    common::FormatDuration(t.final.seconds)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    if (const query::DetectorService* service = search.detector_service()) {
+      const query::DetectorServiceStats& stats = service->stats();
+      std::printf(
+          "detector service: %llu frames in %llu device batches "
+          "(%.0f%% fill of %zu, %llu shared across sessions)\n",
+          static_cast<unsigned long long>(stats.frames),
+          static_cast<unsigned long long>(stats.device_batches),
+          100.0 * service->FillRate(), service->options().device_batch,
+          static_cast<unsigned long long>(stats.shared_batches));
+    }
+    return 0;
+  }
 
   common::Result<query::QueryTrace> trace =
       args.recall.has_value()
