@@ -1,0 +1,393 @@
+// Distributed shard transport: what the wire costs, what the flush policy
+// buys, and what a shard failure costs to survive.
+//
+// Three questions:
+//
+//   1. Wire overhead + bit-identity: running the shared detect stage over
+//      the loopback transport (every device batch serialized onto per-shard
+//      runner threads and back) must produce traces bit-identical to the
+//      in-process path — the contract that makes distribution an engineering
+//      decision instead of a semantics change. Enforced fatally (exit 3).
+//
+//   2. Flush policy: with barrier-only flushing, a submitted ticket waits
+//      for the whole scheduling round before its batch ships — at 1-2
+//      sessions that is almost pure queueing delay on an idle detector. The
+//      latency-aware policy (ship on wire-batch fill or deadline) must cut
+//      p95 ticket latency by >= 1.2x at 1 and 2 sessions (exit 1 below),
+//      and the bench reports the fill-rate price paid for it.
+//
+//   3. Failure recovery: kill one shard runner of four mid-workload and
+//      measure the wall-clock overhead of retry + requeue onto survivors —
+//      with the traces again bit-identical to the no-failure run (exit 3).
+//
+// --quick (the default scale; CI passes it explicitly) finishes in seconds;
+// --full scales the workload up. --json=PATH writes the measurements
+// (CI uploads BENCH_dist_transport.json per PR).
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+engine::EngineConfig BaseConfig() {
+  engine::EngineConfig config;
+  config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
+  config.detector = detect::DetectorOptions::Perfect(0);
+  config.coalesce_detect = true;
+  config.device_batch = 32;
+  return config;
+}
+
+std::vector<engine::QuerySpec> MakeSpecs(size_t sessions, uint64_t limit,
+                                         uint64_t seed) {
+  std::vector<engine::QuerySpec> specs;
+  for (size_t i = 0; i < sessions; ++i) {
+    engine::QuerySpec spec;
+    spec.class_id = 0;
+    spec.limit = limit;
+    spec.options.batch_size = 4;
+    spec.options.max_samples = 3000;
+    spec.options.exsample.seed = seed + i;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+bool SameTraces(const std::vector<query::QueryTrace>& a,
+                const std::vector<query::QueryTrace>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!query::TracesBitIdentical(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
+  return values[std::min(index, values.size() - 1)];
+}
+
+// --- Part 1: loopback vs local — overhead and bit-identity ------------------
+
+struct WirePart {
+  bool identical = false;
+  double local_wall = 0.0;
+  double loopback_wall = 0.0;
+  uint64_t wire_batches = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+WirePart RunWireOverhead(Workload& workload, size_t sessions, uint64_t limit,
+                         uint64_t seed) {
+  const std::vector<engine::QuerySpec> specs = MakeSpecs(sessions, limit, seed);
+  WirePart part;
+
+  engine::SearchEngine local(&workload.repo, &workload.chunking, &workload.truth,
+                             BaseConfig());
+  double start = WallSeconds();
+  auto local_traces = local.RunConcurrent(specs);
+  part.local_wall = WallSeconds() - start;
+  common::CheckOk(local_traces.status(), "local workload failed");
+
+  engine::EngineConfig loopback_config = BaseConfig();
+  loopback_config.transport = engine::TransportKind::kLoopback;
+  engine::SearchEngine loopback(&workload.repo, &workload.chunking,
+                                &workload.truth, loopback_config);
+  start = WallSeconds();
+  auto loopback_traces = loopback.RunConcurrent(specs);
+  part.loopback_wall = WallSeconds() - start;
+  common::CheckOk(loopback_traces.status(), "loopback workload failed");
+
+  part.identical = SameTraces(local_traces.value(), loopback_traces.value());
+  const query::TransportStats& wire = loopback.shard_transport()->stats();
+  part.wire_batches = wire.requests;
+  part.bytes_sent = wire.bytes_sent;
+  part.bytes_received = wire.bytes_received;
+  return part;
+}
+
+// --- Part 2: flush-policy ticket latency ------------------------------------
+
+struct PolicyRun {
+  double p95_latency = 0.0;
+  double mean_latency = 0.0;
+  double fill_rate = 0.0;
+  std::vector<query::QueryTrace> traces;
+};
+
+/// Drives `sessions` sessions round by round through the engine's shared
+/// service, simulating per-session coordinator work (scheduling, decode
+/// planning of *other* tenants) between submissions: after each session's
+/// BeginStep the driver "thinks" for `think_seconds`, polling the service as
+/// a live coordinator would. Under barrier-only flushing every ticket waits
+/// out the full round of think time; the latency-aware policy ships it as
+/// soon as the deadline elapses.
+PolicyRun DrivePolicy(Workload& workload, size_t sessions, double flush_deadline,
+                      double think_seconds, uint64_t seed) {
+  engine::EngineConfig config = BaseConfig();
+  config.device_batch = 64;  // Never fills at batch 4: the deadline is the lever.
+  config.flush_deadline_seconds = flush_deadline;
+  config.transport = engine::TransportKind::kLoopback;
+  config.loopback.latency_seconds = 0.0001;
+  engine::SearchEngine engine(&workload.repo, &workload.chunking, &workload.truth,
+                              config);
+
+  const std::vector<engine::QuerySpec> specs = MakeSpecs(sessions, /*limit=*/8, seed);
+  std::vector<std::unique_ptr<engine::QuerySession>> live;
+  for (const engine::QuerySpec& spec : specs) {
+    auto session = engine.CreateSession(spec.class_id, spec.limit, spec.options);
+    common::CheckOk(session.status(), "session creation failed");
+    live.push_back(std::move(session).value());
+  }
+  query::DetectorService* service = engine.detector_service();
+
+  const int kMaxRounds = 24;
+  const auto think = [&] {
+    const double until = WallSeconds() + think_seconds;
+    while (WallSeconds() < until) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      service->Poll();
+    }
+  };
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::vector<engine::QuerySession*> stepped;
+    for (auto& session : live) {
+      if (session->Done()) continue;
+      if (session->BeginStep()) stepped.push_back(session.get());
+      think();
+    }
+    if (stepped.empty()) break;
+    service->Flush();
+    common::CheckOk(service->transport_status(), "transport failed");
+    for (engine::QuerySession* session : stepped) session->FinishStep();
+  }
+
+  PolicyRun run;
+  double sum = 0.0;
+  for (const double latency : service->TicketLatencies()) sum += latency;
+  run.p95_latency = Percentile(service->TicketLatencies(), 0.95);
+  run.mean_latency = service->TicketLatencies().empty()
+                         ? 0.0
+                         : sum / static_cast<double>(service->TicketLatencies().size());
+  run.fill_rate = service->FillRate();
+  for (auto& session : live) run.traces.push_back(session->Finish());
+  return run;
+}
+
+// --- Part 3: failure-recovery overhead --------------------------------------
+
+struct FailurePart {
+  bool identical = false;
+  double healthy_wall = 0.0;
+  double failure_wall = 0.0;
+  uint64_t retries = 0;
+  uint64_t requeues = 0;
+};
+
+FailurePart RunFailureRecovery(Workload& workload, size_t num_shards,
+                               size_t sessions, uint64_t limit, uint64_t seed) {
+  const std::vector<engine::QuerySpec> specs = MakeSpecs(sessions, limit, seed);
+  FailurePart part;
+
+  // The shared workload is single-clip; sharding is clip-aligned, so give
+  // this part a multi-clip view of the same frame space (the ground truth
+  // addresses global frames and carries over unchanged).
+  const video::VideoRepository multi_clip = video::VideoRepository::UniformClips(
+      2 * num_shards, workload.repo.TotalFrames() / (2 * num_shards));
+
+  engine::EngineConfig healthy_config = BaseConfig();
+  healthy_config.num_shards = num_shards;
+  healthy_config.transport = engine::TransportKind::kLoopback;
+  healthy_config.loopback.latency_seconds = 0.0001;
+  engine::SearchEngine healthy(&multi_clip, &workload.chunking, &workload.truth,
+                               healthy_config);
+  double start = WallSeconds();
+  auto healthy_traces = healthy.RunConcurrent(specs);
+  part.healthy_wall = WallSeconds() - start;
+  common::CheckOk(healthy_traces.status(), "healthy workload failed");
+
+  engine::EngineConfig failing_config = healthy_config;
+  failing_config.transport_max_retries = 1;
+  failing_config.loopback.fail_shard = 1;
+  failing_config.loopback.fail_after_requests = 3;
+  engine::SearchEngine failing(&multi_clip, &workload.chunking, &workload.truth,
+                               failing_config);
+  start = WallSeconds();
+  auto failing_traces = failing.RunConcurrent(specs);
+  part.failure_wall = WallSeconds() - start;
+  common::CheckOk(failing_traces.status(), "failure workload did not recover");
+
+  part.identical = SameTraces(healthy_traces.value(), failing_traces.value());
+  part.retries = failing.detector_service()->stats().wire_retries;
+  part.requeues = failing.detector_service()->stats().wire_requeues;
+  return part;
+}
+
+int Run(const BenchConfig& config, const std::string& json_path) {
+  const uint64_t kFrames = config.full ? 120000 : 50000;
+  auto workload = Workload::Simulated(kFrames, /*chunks=*/16, /*instances=*/80,
+                                      /*duration=*/150.0, /*skew_fraction=*/0.4,
+                                      config.seed);
+
+  std::printf("=== Distributed shard transport: wire, flush policy, failure ===\n\n");
+
+  // --- Part 1 ---------------------------------------------------------------
+  const WirePart wire =
+      RunWireOverhead(*workload, /*sessions=*/4, /*limit=*/10, config.seed);
+  {
+    common::TextTable table;
+    table.SetHeader({"path", "wall", "wire batches", "bytes sent", "bytes recv"});
+    char local_wall[32], loopback_wall[32];
+    std::snprintf(local_wall, sizeof(local_wall), "%.0f ms", 1e3 * wire.local_wall);
+    std::snprintf(loopback_wall, sizeof(loopback_wall), "%.0f ms",
+                  1e3 * wire.loopback_wall);
+    table.AddRow({"local (in-process)", local_wall, "-", "-", "-"});
+    table.AddRow({"loopback (serialized)", loopback_wall,
+                  std::to_string(wire.wire_batches), std::to_string(wire.bytes_sent),
+                  std::to_string(wire.bytes_received)});
+    std::printf("--- wire overhead: 4 sessions, limit 10 ---\n%s", table.ToString().c_str());
+    std::printf("loopback traces bit-identical to local: %s\n\n",
+                wire.identical ? "yes" : "NO — BUG");
+  }
+
+  // --- Part 2 ---------------------------------------------------------------
+  const double kThink = 0.003;     // Coordinator work per session per round.
+  const double kDeadline = 0.0004; // Latency-aware flush deadline.
+  const size_t kSessionCounts[] = {1, 2};
+  bool policy_traces_identical = true;
+  bool p95_improves = true;
+  double speedups[2] = {0.0, 0.0};
+  struct PolicyRow {
+    size_t sessions;
+    PolicyRun barrier, deadline;
+  };
+  std::vector<PolicyRow> policy_rows;
+  {
+    common::TextTable table;
+    table.SetHeader({"sessions", "p95 (barrier)", "p95 (deadline)", "speedup",
+                     "fill (barrier)", "fill (deadline)"});
+    for (size_t i = 0; i < 2; ++i) {
+      const size_t n = kSessionCounts[i];
+      PolicyRow row;
+      row.sessions = n;
+      row.barrier = DrivePolicy(*workload, n, /*flush_deadline=*/0.0, kThink,
+                                config.seed);
+      row.deadline = DrivePolicy(*workload, n, kDeadline, kThink, config.seed);
+      if (!SameTraces(row.barrier.traces, row.deadline.traces)) {
+        policy_traces_identical = false;
+      }
+      speedups[i] = row.deadline.p95_latency > 0.0
+                        ? row.barrier.p95_latency / row.deadline.p95_latency
+                        : 0.0;
+      if (speedups[i] < 1.2) p95_improves = false;
+      char b95[32], d95[32], sp[32], bf[32], df[32];
+      std::snprintf(b95, sizeof(b95), "%.2f ms", 1e3 * row.barrier.p95_latency);
+      std::snprintf(d95, sizeof(d95), "%.2f ms", 1e3 * row.deadline.p95_latency);
+      std::snprintf(sp, sizeof(sp), "%.2fx", speedups[i]);
+      std::snprintf(bf, sizeof(bf), "%.0f%%", 100.0 * row.barrier.fill_rate);
+      std::snprintf(df, sizeof(df), "%.0f%%", 100.0 * row.deadline.fill_rate);
+      table.AddRow({std::to_string(n), b95, d95, sp, bf, df});
+      policy_rows.push_back(std::move(row));
+    }
+    std::printf(
+        "--- flush policy: ticket latency from submit to completed flush\n"
+        "    (%.1f ms coordinator think time per session per round;\n"
+        "    deadline flush at %.1f ms; device batch 64 never fills) ---\n%s",
+        1e3 * kThink, 1e3 * kDeadline, table.ToString().c_str());
+    std::printf("deadline flush >= 1.20x better p95 at 1-2 sessions: %s\n",
+                p95_improves ? "PASS" : "FAIL");
+    std::printf("flush policy left every trace bit-identical: %s\n\n",
+                policy_traces_identical ? "yes" : "NO — BUG");
+  }
+
+  // --- Part 3 ---------------------------------------------------------------
+  const FailurePart failure = RunFailureRecovery(
+      *workload, /*num_shards=*/4, /*sessions=*/4, /*limit=*/16, config.seed);
+  {
+    const double overhead =
+        failure.healthy_wall > 0.0
+            ? (failure.failure_wall - failure.healthy_wall) / failure.healthy_wall
+            : 0.0;
+    std::printf("--- failure recovery: 4 shards, runner 1 dies mid-workload ---\n");
+    std::printf("healthy %.0f ms, with failure %.0f ms (%.0f%% overhead); "
+                "%llu retries, %llu requeues\n",
+                1e3 * failure.healthy_wall, 1e3 * failure.failure_wall,
+                100.0 * overhead, static_cast<unsigned long long>(failure.retries),
+                static_cast<unsigned long long>(failure.requeues));
+    std::printf("failure-run traces bit-identical to healthy run: %s\n\n",
+                failure.identical ? "yes" : "NO — BUG");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    json << "{\n  \"bench\": \"dist_transport\",\n";
+    json << "  \"full\": " << (config.full ? "true" : "false") << ",\n";
+    json << "  \"loopback_bit_identical\": " << (wire.identical ? "true" : "false")
+         << ",\n";
+    json << "  \"wire\": {\"local_wall_s\": " << wire.local_wall
+         << ", \"loopback_wall_s\": " << wire.loopback_wall
+         << ", \"batches\": " << wire.wire_batches
+         << ", \"bytes_sent\": " << wire.bytes_sent
+         << ", \"bytes_received\": " << wire.bytes_received << "},\n";
+    json << "  \"flush_policy\": {\"traces_bit_identical\": "
+         << (policy_traces_identical ? "true" : "false") << ", \"runs\": [\n";
+    for (size_t i = 0; i < policy_rows.size(); ++i) {
+      const PolicyRow& row = policy_rows[i];
+      json << "    {\"sessions\": " << row.sessions
+           << ", \"barrier_p95_s\": " << row.barrier.p95_latency
+           << ", \"deadline_p95_s\": " << row.deadline.p95_latency
+           << ", \"speedup\": " << speedups[i]
+           << ", \"barrier_fill\": " << row.barrier.fill_rate
+           << ", \"deadline_fill\": " << row.deadline.fill_rate << "}"
+           << (i + 1 < policy_rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]},\n";
+    json << "  \"failure\": {\"traces_bit_identical\": "
+         << (failure.identical ? "true" : "false")
+         << ", \"healthy_wall_s\": " << failure.healthy_wall
+         << ", \"failure_wall_s\": " << failure.failure_wall
+         << ", \"retries\": " << failure.retries
+         << ", \"requeues\": " << failure.requeues << "}\n}\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  // Exit enforcement: bit-identity is a correctness bug, not a perf miss.
+  if (!wire.identical || !policy_traces_identical || !failure.identical) return 3;
+  return p95_improves ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    // --quick is the default scale; accepted explicitly for CI clarity.
+  }
+  return Run(config, json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

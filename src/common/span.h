@@ -2,6 +2,7 @@
 #define EXSAMPLE_COMMON_SPAN_H_
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 namespace exsample {
@@ -19,7 +20,11 @@ class Span {
  public:
   constexpr Span() = default;
   constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
-  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT(runtime/explicit)
+  // Views a vector of the (non-const) element type, so `Span<const uint8_t>`
+  // accepts a `std::vector<uint8_t>` — `std::vector<const T>` itself is not
+  // a valid type and must never be named, even during overload resolution.
+  Span(const std::vector<std::remove_const_t<T>>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
 
   constexpr const T* data() const { return data_; }
   constexpr size_t size() const { return size_; }

@@ -58,6 +58,13 @@ class QuerySession {
   void FinishStep() { execution_->FinishStep(); }
   bool DetectPending() const { return execution_->DetectPending(); }
 
+  /// \brief Abandons a begun step whose detections will never arrive (the
+  /// engine's detect transport failed permanently and cancelled its pending
+  /// tickets). The session is finished afterwards; its trace ends at the
+  /// last completed step. `RunConcurrent` calls this before surfacing the
+  /// transport error.
+  void AbortStep() { execution_->AbortPendingStep(); }
+
   /// \brief True when no further `Step` will make progress.
   bool Done() const { return execution_->Done(); }
 

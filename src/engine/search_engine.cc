@@ -26,6 +26,22 @@ const char* MethodName(Method method) {
   return "unknown";
 }
 
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kLocal:
+      return "local";
+    case TransportKind::kLoopback:
+      return "loopback";
+  }
+  return "unknown";
+}
+
+std::optional<TransportKind> ParseTransportKind(const std::string& name) {
+  if (name == "local") return TransportKind::kLocal;
+  if (name == "loopback") return TransportKind::kLoopback;
+  return std::nullopt;
+}
+
 SearchEngine::SearchEngine(const video::VideoRepository* repo,
                            const video::Chunking* chunking,
                            const scene::GroundTruth* truth, EngineConfig config)
@@ -132,11 +148,30 @@ query::DetectorService* SearchEngine::detector_service() {
     // Mirror the dispatcher's parallelism rule: shards flush concurrently
     // only when each owns a private pool (ParallelFor is single-driver).
     options.parallel_shards = sharded_ != nullptr && config_.threads_per_shard > 0;
+    options.max_retries = config_.transport_max_retries;
+    if (config_.flush_deadline_seconds > 0.0) {
+      options.flush_policy = query::FlushPolicy::kLatencyAware;
+      options.flush_deadline_seconds = config_.flush_deadline_seconds;
+    }
     const size_t num_shards = sharded_ != nullptr ? sharded_->NumShards() : 1;
     std::vector<common::ThreadPool*> pools;
     if (sharded_ != nullptr && config_.threads_per_shard > 0) {
       pools.reserve(num_shards);
       for (uint32_t s = 0; s < num_shards; ++s) pools.push_back(shard_pool(s));
+    }
+    if (config_.transport == TransportKind::kLoopback) {
+      // The RPC stand-in: per-shard runner threads fed wire bytes. Each
+      // runner drives its shard's private pool (or detects inline); requests
+      // are stamped with the repository fingerprint so a mis-deployed runner
+      // rejects them.
+      options.repo_fingerprint = repo_->Fingerprint();
+      query::LoopbackTransportOptions loopback = config_.loopback;
+      if (loopback.expected_fingerprint == 0) {
+        loopback.expected_fingerprint = options.repo_fingerprint;
+      }
+      transport_ = std::make_unique<query::LoopbackTransport>(num_shards, pools,
+                                                              loopback);
+      options.transport = transport_.get();
     }
     detector_service_ = std::make_unique<query::DetectorService>(
         options, num_shards, std::move(pools), thread_pool());
@@ -313,17 +348,30 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
   std::vector<query::SessionSchedulerInfo> infos(sessions.size());
   std::vector<size_t> order;
   std::vector<size_t> wave;
-  const auto flush_wave = [&] {
-    if (wave.empty()) return;
+  // Sticky transport failure: a shard fleet that died past retries+requeue
+  // cancelled every pending ticket, so the wave's sessions can never finish
+  // their steps. The workload must *surface* that as a non-OK status — the
+  // no-progress replan loop below would otherwise spin or silently return
+  // truncated traces as if the queries had completed.
+  common::Status transport_error;
+  const auto check_service = [&]() -> bool {
+    if (service == nullptr || service->transport_status().ok()) return true;
+    transport_error = service->transport_status();
+    return false;
+  };
+  const auto flush_wave = [&]() -> bool {
+    if (wave.empty()) return true;
     if (service != nullptr) service->Flush();
+    if (!check_service()) return false;
     for (const size_t idx : wave) {
       sessions[idx]->FinishStep();
       if (observer) observer(idx, *sessions[idx]);
     }
     wave.clear();
+    return true;
   };
 
-  while (true) {
+  while (transport_error.ok()) {
     size_t live = 0;
     for (size_t i = 0; i < sessions.size(); ++i) {
       const query::DiscoveryPoint& final = sessions[i]->Trace().final;
@@ -347,14 +395,30 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
       common::Check(idx < sessions.size(), "scheduler planned an unknown session");
       common::Check(!infos[idx].done, "scheduler planned a finished session");
       if (sessions[idx]->Done()) continue;  // Finished earlier this round.
-      if (sessions[idx]->DetectPending()) flush_wave();
+      if (sessions[idx]->DetectPending() && !flush_wave()) break;
       if (sessions[idx]->BeginStep()) wave.push_back(idx);
+      // Latency-aware flushing (and its failure handling) between grants: a
+      // submit may have filled a wire batch, and queued tickets may have
+      // aged past the deadline while other sessions were stepping.
+      if (service != nullptr) service->Poll();
+      if (!check_service()) break;
     }
-    flush_wave();
+    if (!transport_error.ok() || !flush_wave()) break;
     // A round with no progress still terminates the loop eventually: its
     // first grant to a then-live session either progressed or marked that
     // session done, so no-progress rounds strictly shrink the live set and
     // the next round replans against refreshed tallies.
+  }
+
+  if (!transport_error.ok()) {
+    // Release every half-begun step (decode tasks hold spans into the
+    // abandoned batches) and whatever the service still queues, then hand
+    // the failure to the caller instead of partial traces.
+    for (auto& session : sessions) {
+      if (session->DetectPending()) session->AbortStep();
+    }
+    service->CancelPending();
+    return transport_error;
   }
 
   std::vector<query::QueryTrace> traces;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,25 @@ enum class Method {
 
 /// \brief Returns the lowercase name of a method.
 const char* MethodName(Method method);
+
+/// \brief Which transport executes the shared detect service's coalesced
+/// device batches (`EngineConfig::coalesce_detect`).
+enum class TransportKind {
+  /// In-process execution — the zero-copy path, and the default.
+  kLocal,
+  /// Wire-serialized execution on per-shard runner threads
+  /// (`query::LoopbackTransport`): every device batch crosses the versioned
+  /// wire format, completions arrive in any order, and the fault-injection
+  /// knobs (`EngineConfig::loopback`) exercise the retry/requeue story.
+  /// Traces are bit-identical to `kLocal` — the `dist` suite enforces it.
+  kLoopback,
+};
+
+/// \brief Lowercase name of a transport kind ("local", "loopback").
+const char* TransportKindName(TransportKind kind);
+
+/// \brief Parses a transport name as `TransportKindName` prints it.
+std::optional<TransportKind> ParseTransportKind(const std::string& name);
 
 /// \brief Per-engine configuration: how frames are detected and how distinct
 /// identity is decided. One config serves many queries.
@@ -106,6 +126,25 @@ struct EngineConfig {
   /// Target frames per coalesced device batch ("one GPU inference call's
   /// worth"); the service's fill-rate statistic is measured against it.
   size_t device_batch = 32;
+  /// Which transport executes the service's device batches: in process
+  /// (`kLocal`, the default) or wire-serialized onto per-shard runner
+  /// threads (`kLoopback`, the RPC stand-in). Only read with
+  /// `coalesce_detect`; traces are identical either way.
+  TransportKind transport = TransportKind::kLocal;
+  /// When > 0 (seconds, wall clock), the service flushes latency-aware
+  /// (`query::FlushPolicy::kLatencyAware`): a shard's queue ships the moment
+  /// a full wire batch accumulates or its oldest ticket has waited this
+  /// long, instead of only at round barriers. Bounds ticket latency at the
+  /// cost of device-batch fill; never changes a trace. 0 (the default)
+  /// keeps barrier-only flushing.
+  double flush_deadline_seconds = 0.0;
+  /// Transient-failure retry budget per wire batch before the runner is
+  /// marked down and the batch requeues onto a surviving shard.
+  size_t transport_max_retries = 2;
+  /// Fault/latency injection of the loopback transport (benchmarks and the
+  /// `dist` suite; harmless defaults inject nothing). The engine fills in
+  /// `expected_fingerprint` from its repository when left 0.
+  query::LoopbackTransportOptions loopback;
 
   /// Which `query::SessionScheduler` orders (and weights) the sessions'
   /// `Step` calls in `RunConcurrent`: fair round-robin (the default,
@@ -258,6 +297,11 @@ class SearchEngine {
   /// shared batches) for observability.
   query::DetectorService* detector_service();
 
+  /// \brief The transport the detect service executes over, or null for the
+  /// in-process path (`config.transport == kLocal`, or no service). Exposes
+  /// wire stats (batches, bytes, injected failures) for observability.
+  const query::ShardTransport* shard_transport() const { return transport_.get(); }
+
  private:
   /// The pool a shard's detect stage fans out over: the shard's private pool
   /// when `config.threads_per_shard > 0` (created lazily, shared by all
@@ -290,6 +334,11 @@ class SearchEngine {
   std::unique_ptr<common::ThreadPool> pool_;
   // Engine-wide I/O pool shared by all sessions' decode prefetchers.
   std::unique_ptr<common::ThreadPool> io_pool_;
+  // Wire transport behind the detect service (config.transport == kLoopback),
+  // created with the service. Declared before the service so the service —
+  // whose flush loop leaves the transport empty — is destroyed first, and
+  // the runner threads are joined after no coordinator can reach them.
+  std::unique_ptr<query::ShardTransport> transport_;
   // Shared cross-session detect service (config.coalesce_detect), lazy.
   std::unique_ptr<query::DetectorService> detector_service_;
   // Session identities for the service's shared-batch attribution.

@@ -43,6 +43,8 @@
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "query/trace_io.h"
+#include "query/transport.h"
+#include "query/wire.h"
 #include "samplers/hybrid_strategy.h"
 #include "samplers/proxy_strategy.h"
 #include "samplers/random_strategy.h"

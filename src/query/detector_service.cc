@@ -1,10 +1,25 @@
 #include "query/detector_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
+#include <utility>
 
 namespace exsample {
 namespace query {
+
+namespace {
+
+/// Monotonic wall clock in seconds (ticket latency, flush deadlines). Wall
+/// clock never feeds the trace — simulated seconds do — so reading it here
+/// cannot perturb determinism.
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 DetectorService::DetectorService(DetectorServiceOptions options, size_t num_shards,
                                  std::vector<common::ThreadPool*> pools,
@@ -15,7 +30,10 @@ DetectorService::DetectorService(DetectorServiceOptions options, size_t num_shar
   common::Check(pools_.empty() || pools_.size() == num_shards,
                 "per-shard pools must cover every shard");
   queues_.resize(num_shards);
-  slice_sessions_.resize(num_shards);
+  shard_down_.assign(num_shards, false);
+  if (options_.transport != nullptr) {
+    options_.transport->BindDirectory(&directory_);
+  }
 }
 
 DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
@@ -25,38 +43,218 @@ DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
   common::Check(request.dispatcher != nullptr || request.detector != nullptr,
                 "detect request needs a detector or a dispatcher");
 
-  const size_t request_index = pending_.size();
-  pending_.emplace_back();
-  PendingRequest& pr = pending_.back();
-  pr.ticket = next_ticket_++;
+  // First submit of a session over a transport: publish its detector
+  // contexts in the runner directory under the ids the wire carries — the
+  // in-process stand-in for "the shard machines loaded this session's model"
+  // — before any wire batch can reference them.
+  if (options_.transport != nullptr &&
+      registered_sessions_.insert(request.session_id).second) {
+    if (request.dispatcher != nullptr) {
+      for (uint32_t s = 0; s < request.dispatcher->NumShards(); ++s) {
+        detect::ObjectDetector* detector = request.dispatcher->Context(s).detector;
+        if (detector != nullptr) directory_.Register(request.session_id, s, detector);
+      }
+    } else {
+      // A dispatcher-less session serves every one of its frames with the
+      // one detector, whatever shard owns them (the in-process path does
+      // exactly that) — register it under every shard id a wire slot could
+      // name.
+      for (uint32_t s = 0; s < queues_.size(); ++s) {
+        directory_.Register(request.session_id, s, request.detector);
+      }
+    }
+  }
+
+  const Ticket ticket = next_ticket_++;
+  PendingRequest& pr = pending_[ticket];
+  pr.ticket = ticket;
   pr.request = request;
   pr.results.resize(request.frames.size());
+  pr.remaining = request.frames.size();
+  pr.submit_seconds = NowSeconds();
 
+  std::vector<uint32_t> touched;  // Distinct shards this request routed to.
   for (size_t i = 0; i < request.frames.size(); ++i) {
     const uint32_t shard = request.shards.empty() ? 0 : request.shards[i];
     common::Check(shard < queues_.size(), "frame routed past the shard queues");
-    queues_[shard].push_back(QueueEntry{request_index, i});
+    queues_[shard].push_back(QueueEntry{ticket, i});
+    if (std::find(touched.begin(), touched.end(), shard) == touched.end()) {
+      touched.push_back(shard);
+    }
   }
   pending_frames_ += request.frames.size();
   stats_.requests += 1;
   if (request.session_stats != nullptr) {
     request.session_stats->frames_submitted += request.frames.size();
   }
-  return pr.ticket;
+
+  // Latency-aware fill trigger: a shard whose queue now holds a full wire
+  // batch ships it immediately — the batch cannot get any fuller, so
+  // waiting for the round barrier would only add latency. Partial tails
+  // keep waiting (for the deadline or the barrier). Only shards this
+  // request routed frames to can have newly filled.
+  if (options_.flush_policy == FlushPolicy::kLatencyAware) {
+    std::vector<uint32_t> full;
+    for (const uint32_t s : touched) {
+      if (queues_[s].size() >= options_.device_batch) full.push_back(s);
+    }
+    if (!full.empty()) {
+      std::sort(full.begin(), full.end());  // Deterministic flush order.
+      FlushShards(full, /*only_full_slices=*/true, FlushReason::kFill);
+    }
+  }
+  return ticket;
 }
 
-void DetectorService::RunShardQueue(uint32_t shard) {
-  const std::vector<QueueEntry>& queue = queues_[shard];
+void DetectorService::Poll() {
+  if (options_.flush_policy != FlushPolicy::kLatencyAware) return;
+  if (options_.flush_deadline_seconds <= 0.0) return;
+  if (!transport_status_.ok()) return;
+  const double now = NowSeconds();
+  std::vector<uint32_t> due;
+  for (uint32_t s = 0; s < queues_.size(); ++s) {
+    if (queues_[s].empty()) continue;
+    const PendingRequest& oldest = pending_.at(queues_[s].front().ticket);
+    if (now - oldest.submit_seconds >= options_.flush_deadline_seconds) {
+      due.push_back(s);
+    }
+  }
+  if (!due.empty()) {
+    FlushShards(due, /*only_full_slices=*/false, FlushReason::kDeadline);
+  }
+}
+
+void DetectorService::Flush() {
+  std::vector<uint32_t> active;
+  for (uint32_t s = 0; s < queues_.size(); ++s) {
+    if (!queues_[s].empty()) active.push_back(s);
+  }
+  if (active.empty()) return;
+  stats_.flushes += 1;
+  FlushShards(active, /*only_full_slices=*/false, FlushReason::kBarrier);
+}
+
+void DetectorService::FlushShards(const std::vector<uint32_t>& shards,
+                                  bool only_full_slices, FlushReason reason) {
+  if (!transport_status_.ok()) return;  // Sticky-failed: nothing can execute.
+
+  // Extract the work: the whole queue per shard, or only whole device-batch
+  // slices for the fill trigger. Each frame's pending request is resolved
+  // here, once, on the coordinator.
+  std::vector<ShardWork> work;
+  for (const uint32_t s : shards) {
+    std::vector<QueueEntry>& queue = queues_[s];
+    size_t count = queue.size();
+    if (only_full_slices) {
+      count = (count / options_.device_batch) * options_.device_batch;
+    }
+    if (count == 0) continue;
+    std::vector<WorkItem> entries;
+    entries.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(
+          WorkItem{queue[i].ticket, queue[i].frame_index, &pending_.at(queue[i].ticket)});
+    }
+    queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(count));
+    pending_frames_ -= count;
+    work.emplace_back(s, std::move(entries));
+  }
+  if (work.empty()) return;
+  if (reason == FlushReason::kFill) stats_.fill_flushes += 1;
+  if (reason == FlushReason::kDeadline) stats_.deadline_flushes += 1;
+
+  // Decode barrier: drain the prefetcher of every request about to be
+  // detected, in ticket order, before any detection runs (the charges were
+  // already planned, in batch order, at submit time — the drain only waits
+  // for the decode *work*).
+  std::vector<Ticket> involved;
+  for (const ShardWork& shard_work : work) {
+    for (const WorkItem& entry : shard_work.second) {
+      involved.push_back(entry.ticket);
+    }
+  }
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()), involved.end());
+  for (const Ticket ticket : involved) {
+    const PendingRequest& pr = pending_.at(ticket);
+    if (pr.request.prefetcher != nullptr) pr.request.prefetcher->Drain();
+  }
+
+  // Execution.
+  if (options_.transport != nullptr) {
+    SendAndCollect(work);
+    if (!transport_status_.ok()) return;  // Everything pending was cancelled.
+  } else if (options_.parallel_shards && work.size() > 1) {
+    // One dispatch thread per owning shard, each driving that shard's own
+    // pool. A shard thread never touches the shared default pool: ParallelFor
+    // is single-driver, so shards without a private pool run their slices
+    // inline on their dispatch thread.
+    common::ThreadPool* default_pool = default_pool_;
+    default_pool_ = nullptr;
+    std::vector<std::thread> threads;
+    threads.reserve(work.size());
+    for (const ShardWork& shard_work : work) {
+      const uint32_t shard = shard_work.first;
+      const std::vector<WorkItem>* entries = &shard_work.second;
+      threads.emplace_back([this, shard, entries] { RunShardEntries(shard, *entries); });
+    }
+    for (std::thread& t : threads) t.join();
+    default_pool_ = default_pool;
+  } else {
+    for (const ShardWork& shard_work : work) {
+      RunShardEntries(shard_work.first, shard_work.second);
+    }
+  }
+
+  // Bookkeeping, on the coordinator after every slice completed. Slice
+  // boundaries are a pure function of the extracted queues, so the tallies
+  // are deterministic whatever the execution order was.
+  for (const ShardWork& shard_work : work) {
+    BookSlices(shard_work.first, shard_work.second);
+  }
+
+  // Completion: a request is done when its last frame — on any shard — has
+  // been detected; partial flushes leave it pending until then.
+  for (const ShardWork& shard_work : work) {
+    for (const WorkItem& entry : shard_work.second) {
+      common::Check(entry.request->remaining > 0, "detect slot completed twice");
+      entry.request->remaining -= 1;
+    }
+  }
+  const double now = NowSeconds();
+  for (const Ticket ticket : involved) {
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end() || it->second.remaining > 0) continue;
+    if (ticket_latencies_.size() >= kTicketLatencyCap) {
+      // Keep the most recent window (halving amortizes the shift to O(1)).
+      ticket_latencies_.erase(
+          ticket_latencies_.begin(),
+          ticket_latencies_.begin() + static_cast<ptrdiff_t>(kTicketLatencyCap / 2));
+    }
+    ticket_latencies_.push_back(now - it->second.submit_seconds);
+    ready_.emplace(ticket, std::move(it->second.results));
+    pending_.erase(it);
+  }
+}
+
+void DetectorService::UnregisterSession(uint64_t session_id) {
+  if (registered_sessions_.erase(session_id) > 0) {
+    directory_.Unregister(session_id);
+  }
+}
+
+void DetectorService::RunShardEntries(uint32_t shard,
+                                      const std::vector<WorkItem>& entries) {
   common::ThreadPool* pool =
       shard < pools_.size() && pools_[shard] != nullptr ? pools_[shard] : default_pool_;
-  // Slice the merged queue into device batches and fan each across the
+  // Slice the extracted queue into device batches and fan each across the
   // shard's pool. Results land in fixed per-request slots, so neither the
   // slicing nor the pool size can reorder what any session observes.
-  for (size_t begin = 0; begin < queue.size(); begin += options_.device_batch) {
-    const size_t count = std::min(options_.device_batch, queue.size() - begin);
+  for (size_t begin = 0; begin < entries.size(); begin += options_.device_batch) {
+    const size_t count = std::min(options_.device_batch, entries.size() - begin);
     const auto detect_one = [&](size_t j) {
-      const QueueEntry& entry = queue[begin + j];
-      PendingRequest& pr = pending_[entry.request_index];
+      const WorkItem& entry = entries[begin + j];
+      PendingRequest& pr = *entry.request;
       detect::ObjectDetector* detector =
           pr.request.dispatcher != nullptr
               ? pr.request.dispatcher->Context(shard).detector
@@ -72,101 +270,221 @@ void DetectorService::RunShardQueue(uint32_t shard) {
   }
 }
 
-void DetectorService::Flush() {
-  if (pending_.empty()) return;
-  stats_.flushes += 1;
-
-  // Decode barrier: every request's prefetcher has been decoding on the I/O
-  // pools since its session submitted — the decode-ahead window spans the
-  // whole coalesce window. Drain in ticket order before any detection runs
-  // (plans were already charged, in batch order, at submit time).
-  for (PendingRequest& pr : pending_) {
-    if (pr.request.prefetcher != nullptr) pr.request.prefetcher->Drain();
-  }
-
-  std::vector<uint32_t> active;
-  for (uint32_t s = 0; s < queues_.size(); ++s) {
-    if (!queues_[s].empty()) active.push_back(s);
-  }
-
-  if (options_.parallel_shards && active.size() > 1) {
-    // One dispatch thread per owning shard, each driving that shard's own
-    // pool. A shard thread never touches the shared default pool: ParallelFor
-    // is single-driver, so shards without a private pool run their slices
-    // inline on their dispatch thread.
-    common::ThreadPool* default_pool = default_pool_;
-    default_pool_ = nullptr;
-    std::vector<std::thread> threads;
-    threads.reserve(active.size());
-    for (const uint32_t s : active) {
-      threads.emplace_back([this, s] { RunShardQueue(s); });
+void DetectorService::BookSlices(uint32_t shard,
+                                 const std::vector<WorkItem>& entries) {
+  std::vector<const PendingRequest*> in_slice;
+  for (size_t begin = 0; begin < entries.size(); begin += options_.device_batch) {
+    const size_t count = std::min(options_.device_batch, entries.size() - begin);
+    in_slice.clear();
+    for (size_t j = 0; j < count; ++j) {
+      const PendingRequest* pr = entries[begin + j].request;
+      if (std::find(in_slice.begin(), in_slice.end(), pr) == in_slice.end()) {
+        in_slice.push_back(pr);
+      }
     }
-    for (std::thread& t : threads) t.join();
-    default_pool_ = default_pool;
-  } else {
-    for (const uint32_t s : active) RunShardQueue(s);
-  }
-
-  // Bookkeeping, on the coordinator after every slice completed. Slice
-  // boundaries are a pure function of the queues, so the tallies are
-  // deterministic whatever the shards' execution order was.
-  for (const uint32_t s : active) {
-    const std::vector<QueueEntry>& queue = queues_[s];
-    for (size_t begin = 0; begin < queue.size(); begin += options_.device_batch) {
-      const size_t count = std::min(options_.device_batch, queue.size() - begin);
-      std::vector<size_t>& requests_in_slice = slice_sessions_[s];
-      requests_in_slice.clear();
-      for (size_t j = 0; j < count; ++j) {
-        const size_t r = queue[begin + j].request_index;
-        if (std::find(requests_in_slice.begin(), requests_in_slice.end(), r) ==
-            requests_in_slice.end()) {
-          requests_in_slice.push_back(r);
-        }
+    bool shared = false;
+    for (const PendingRequest* pr : in_slice) {
+      if (pr->request.session_id != in_slice.front()->request.session_id) {
+        shared = true;
+        break;
       }
-      bool shared = false;
-      for (const size_t r : requests_in_slice) {
-        if (pending_[r].request.session_id !=
-            pending_[requests_in_slice.front()].request.session_id) {
-          shared = true;
-          break;
-        }
-      }
-      stats_.device_batches += 1;
-      stats_.frames += count;
-      if (shared) stats_.shared_batches += 1;
-      for (const size_t r : requests_in_slice) {
-        SessionSchedulerStats* session = pending_[r].request.session_stats;
-        if (session == nullptr) continue;
-        session->device_batches += 1;
-        if (shared) {
-          session->batches_shared += 1;
-          for (size_t j = 0; j < count; ++j) {
-            if (queue[begin + j].request_index == r) session->frames_coalesced += 1;
-          }
+    }
+    stats_.device_batches += 1;
+    stats_.frames += count;
+    if (shared) stats_.shared_batches += 1;
+    for (const PendingRequest* pr : in_slice) {
+      SessionSchedulerStats* session = pr->request.session_stats;
+      if (session == nullptr) continue;
+      session->device_batches += 1;
+      if (shared) {
+        session->batches_shared += 1;
+        for (size_t j = 0; j < count; ++j) {
+          if (entries[begin + j].request == pr) session->frames_coalesced += 1;
         }
       }
     }
-    // Per-session dispatcher stats: book each request's frames on this shard
-    // as one service-detected batch, mirroring what the session's own
-    // `ShardDispatcher::DetectBatch` call would have recorded.
-    for (size_t r = 0; r < pending_.size(); ++r) {
-      if (pending_[r].request.dispatcher == nullptr) continue;
-      size_t frames_on_shard = 0;
-      for (const QueueEntry& entry : queue) {
-        if (entry.request_index == r) ++frames_on_shard;
-      }
-      if (frames_on_shard > 0) {
-        pending_[r].request.dispatcher->RecordServiceDetect(s, frames_on_shard);
-      }
+  }
+  // Per-session dispatcher stats: book each request's frames on this shard
+  // as one service-detected batch, mirroring what the session's own
+  // `ShardDispatcher::DetectBatch` call would have recorded. A request's
+  // entries are contiguous and ticket-ascending (queues append per submit).
+  size_t i = 0;
+  while (i < entries.size()) {
+    const Ticket ticket = entries[i].ticket;
+    PendingRequest& pr = *entries[i].request;
+    size_t frames_on_shard = 0;
+    while (i < entries.size() && entries[i].ticket == ticket) {
+      ++frames_on_shard;
+      ++i;
+    }
+    if (pr.request.dispatcher != nullptr) {
+      pr.request.dispatcher->RecordServiceDetect(shard, frames_on_shard);
     }
   }
+}
 
-  for (PendingRequest& pr : pending_) {
-    ready_.emplace(pr.ticket, std::move(pr.results));
+bool DetectorService::RouteShard(uint32_t origin, uint32_t* runner) const {
+  if (!shard_down_[origin]) {
+    *runner = origin;
+    return true;
   }
+  for (uint32_t d = 1; d < queues_.size(); ++d) {
+    const uint32_t s = (origin + d) % static_cast<uint32_t>(queues_.size());
+    if (!shard_down_[s]) {
+      *runner = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
+  ShardTransport* transport = options_.transport;
+  struct InFlightSlice {
+    uint32_t origin_shard = 0;
+    uint32_t runner = 0;
+    uint32_t attempt = 0;          // Cumulative across runners (wire field).
+    uint32_t runner_attempts = 0;  // Failures on the *current* runner only:
+                                   // the retry budget is per runner, so a
+                                   // requeued batch gets a fresh budget on
+                                   // its survivor — one transient blip there
+                                   // must not cascade to marking it down.
+    std::vector<WorkItem> entries;
+  };
+  std::unordered_map<uint64_t, InFlightSlice> inflight;
+
+  const auto build_msg = [&](const InFlightSlice& slice, uint64_t seq) {
+    DetectRequestMsg msg;
+    msg.wire_seq = seq;
+    msg.origin_shard = slice.origin_shard;
+    msg.attempt = slice.attempt;
+    msg.repo_fingerprint = options_.repo_fingerprint;
+    msg.slots.reserve(slice.entries.size());
+    for (const WorkItem& entry : slice.entries) {
+      const PendingRequest& pr = *entry.request;
+      msg.slots.push_back(
+          WireSlot{pr.request.session_id, pr.request.frames[entry.frame_index]});
+    }
+    return msg;
+  };
+
+  // Ship every slice first — the runners work concurrently — then collect
+  // completions in whatever order they arrive; the wire sequence number
+  // matches each response back to its slice, and results land in fixed
+  // ticket slots, so arrival order is irrelevant to the trace.
+  bool all_down = false;
+  for (const ShardWork& shard_work : work) {
+    const uint32_t shard = shard_work.first;
+    const std::vector<WorkItem>& entries = shard_work.second;
+    for (size_t begin = 0; begin < entries.size() && !all_down;
+         begin += options_.device_batch) {
+      const size_t count = std::min(options_.device_batch, entries.size() - begin);
+      InFlightSlice slice;
+      slice.origin_shard = shard;
+      slice.entries.assign(entries.begin() + static_cast<ptrdiff_t>(begin),
+                           entries.begin() + static_cast<ptrdiff_t>(begin + count));
+      if (!RouteShard(shard, &slice.runner)) {
+        all_down = true;
+        break;
+      }
+      const uint64_t seq = next_wire_seq_++;
+      common::CheckOk(transport->Send(slice.runner, build_msg(slice, seq)),
+                      "wire send failed");
+      stats_.wire_batches += 1;
+      // Proactive reroute off a runner already known to be down: still a
+      // first send, counted apart from failure-driven requeue resends.
+      if (slice.runner != slice.origin_shard) stats_.wire_reroutes += 1;
+      inflight.emplace(seq, std::move(slice));
+    }
+    if (all_down) break;
+  }
+
+  common::Status fatal;  // Non-availability failure: fail fast, by name.
+  while (!inflight.empty()) {
+    auto received = transport->Receive();
+    common::CheckOk(received.status(), "wire receive failed");
+    DetectResponseMsg response = std::move(received).value();
+    const auto it = inflight.find(response.wire_seq);
+    common::Check(it != inflight.end(), "wire response for an unknown batch");
+    InFlightSlice& slice = it->second;
+
+    if (response.status == WireStatus::kOk) {
+      common::Check(response.detections.size() == slice.entries.size(),
+                    "wire response slot count mismatch");
+      for (size_t i = 0; i < slice.entries.size(); ++i) {
+        slice.entries[i].request->results[slice.entries[i].frame_index] =
+            std::move(response.detections[i]);
+      }
+      stats_.wire_charged_seconds += response.charged_seconds;
+      inflight.erase(it);
+      continue;
+    }
+
+    // A repository mismatch is a deployment error, not an availability one:
+    // every runner of the mis-deployed fleet would reject the same batch, so
+    // requeuing it around — marking healthy runners down on the way — would
+    // only bury the real diagnosis under "every runner failed". Fail fast,
+    // by name.
+    if (response.status == WireStatus::kRepoMismatch && fatal.ok()) {
+      fatal = common::Status::FailedPrecondition(
+          "shard runner rejected the batch: repository fingerprint mismatch "
+          "(coordinator and runners serve different repositories)");
+    }
+
+    if (all_down || !fatal.ok()) {
+      // Draining mode: the flush already failed; just consume what is still
+      // in flight so the transport ends empty.
+      inflight.erase(it);
+      continue;
+    }
+
+    // Unavailability (the only failure reaching here): retried in place;
+    // exhausted retries mark the runner down and requeue the batch onto a
+    // surviving shard's runner. `origin_shard` never changes, so the
+    // surviving runner resolves the *same* session/shard detector contexts
+    // — detections, and the session's per-shard charged seconds, are
+    // identical to the no-failure run.
+    if (slice.runner_attempts < options_.max_retries) {
+      slice.attempt += 1;
+      slice.runner_attempts += 1;
+      stats_.wire_retries += 1;
+      common::CheckOk(transport->Send(slice.runner, build_msg(slice, response.wire_seq)),
+                      "wire send failed");
+      continue;
+    }
+    if (!shard_down_[slice.runner]) {
+      shard_down_[slice.runner] = true;
+      stats_.shards_down += 1;
+    }
+    uint32_t survivor = 0;
+    if (!RouteShard(slice.origin_shard, &survivor)) {
+      all_down = true;
+      inflight.erase(it);
+      continue;
+    }
+    slice.runner = survivor;
+    slice.attempt += 1;
+    slice.runner_attempts = 0;  // Fresh retry budget on the new runner.
+    stats_.wire_requeues += 1;
+    common::CheckOk(transport->Send(slice.runner, build_msg(slice, response.wire_seq)),
+                    "wire send failed");
+  }
+
+  if (!fatal.ok()) {
+    transport_status_ = fatal;
+    CancelPending();
+  } else if (all_down) {
+    transport_status_ = common::Status::Internal(
+        "detect transport failed permanently: every shard runner is down");
+    CancelPending();
+  }
+}
+
+void DetectorService::CancelPending() {
   pending_.clear();
   for (auto& queue : queues_) queue.clear();
   pending_frames_ = 0;
+  ready_.clear();
 }
 
 bool DetectorService::Ready(Ticket ticket) const {

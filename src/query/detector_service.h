@@ -2,19 +2,43 @@
 #define EXSAMPLE_QUERY_DETECTOR_SERVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/span.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "detect/detector.h"
 #include "query/prefetch.h"
 #include "query/scheduler.h"
 #include "query/shard_dispatch.h"
+#include "query/transport.h"
+#include "query/wire.h"
 #include "video/repository.h"
 
 namespace exsample {
 namespace query {
+
+/// \brief When a shard's submission queue is executed.
+enum class FlushPolicy {
+  /// Only at the driver's round barrier (`Flush`) — every session of the
+  /// round submits before anything runs. Maximizes device-batch fill; a
+  /// ticket's latency is bounded by the whole round. The default, and
+  /// bit-compatible with the pre-policy service.
+  kRoundBarrier,
+  /// Latency-aware: additionally flush a shard's queue the moment a full
+  /// wire batch accumulates (`Submit`), and flush whatever a shard has
+  /// queued once its oldest ticket has waited `flush_deadline_seconds`
+  /// (checked by `Poll`). Trades fill for bounded ticket latency — the
+  /// policy a distributed deployment wants, since a remote shard's device
+  /// batch should leave as soon as it is full or stale, not when the
+  /// coordinator's round happens to end. Never changes a trace: flush
+  /// timing re-packs device batches but detection stays per-frame
+  /// deterministic in fixed ticket slots.
+  kLatencyAware,
+};
 
 /// \brief Coalescing configuration of a `DetectorService`.
 struct DetectorServiceOptions {
@@ -26,7 +50,29 @@ struct DetectorServiceOptions {
   /// Flush the shards' sliced device batches concurrently, one dispatch
   /// thread per owning shard (each driving its own shard's pool) — the same
   /// stand-in for per-machine shard detectors `ShardDispatcher` uses.
+  /// In-process execution only; a transport's runners are already
+  /// per-shard-parallel.
   bool parallel_shards = false;
+  /// When a shard's queue is executed (see `FlushPolicy`).
+  FlushPolicy flush_policy = FlushPolicy::kRoundBarrier;
+  /// Age bound of `FlushPolicy::kLatencyAware`'s deadline trigger, in
+  /// wall-clock seconds; 0 leaves only the batch-fill trigger.
+  double flush_deadline_seconds = 0.0;
+  /// Executes the sliced device batches when set: every slice crosses this
+  /// transport as a wire batch and its response is scattered back by ticket.
+  /// Null executes in process (today's path). The transport must outlive the
+  /// service; the service binds its session directory to it on construction.
+  ShardTransport* transport = nullptr;
+  /// Transient-failure budget per wire batch: a failed batch is retried this
+  /// many times on its runner, then the runner is marked down and the batch
+  /// is requeued onto a surviving shard's runner (`origin_shard` unchanged,
+  /// so detections and per-shard accounting are identical). When every
+  /// runner is down the service fails sticky — `transport_status()`.
+  size_t max_retries = 2;
+  /// Fingerprint stamped into every wire request
+  /// (`video::VideoRepository::Fingerprint`); 0 disables the runner-side
+  /// repository check.
+  uint64_t repo_fingerprint = 0;
 };
 
 /// \brief Aggregate tallies of a service's coalescing work.
@@ -41,6 +87,30 @@ struct DetectorServiceStats {
   uint64_t shared_batches = 0;
   /// `Flush` calls that found work.
   uint64_t flushes = 0;
+  /// Latency-aware partial flushes: triggered by a full wire batch at
+  /// `Submit`, and by the deadline check in `Poll`.
+  uint64_t fill_flushes = 0;
+  uint64_t deadline_flushes = 0;
+  /// Wire batches sent through the transport (first sends; retries and
+  /// requeues are counted separately).
+  uint64_t wire_batches = 0;
+  /// Failed wire batches re-sent to the same runner.
+  uint64_t wire_retries = 0;
+  /// Failure-driven requeues: batches re-sent to a surviving shard after
+  /// their runner exhausted its retries. Extra sends on top of
+  /// `wire_batches` (`requests = wire_batches + wire_retries +
+  /// wire_requeues` on the transport).
+  uint64_t wire_requeues = 0;
+  /// Proactive reroutes: *first* sends addressed straight to a survivor
+  /// because the origin's runner was already marked down. Counted inside
+  /// `wire_batches`, not extra traffic.
+  uint64_t wire_reroutes = 0;
+  /// Shard runners marked permanently down.
+  uint64_t shards_down = 0;
+  /// Detector seconds the shard runners reported charging (transport only;
+  /// the sessions' own accounting is authoritative — this is the remote
+  /// half, for observability).
+  double wire_charged_seconds = 0.0;
 };
 
 /// \brief Shared detect stage: coalesces pending frames from many query
@@ -59,26 +129,36 @@ struct DetectorServiceStats {
 /// (`Take`), which discriminates and feeds back exactly as before.
 ///
 /// Determinism contract: coalescing never changes a trace. Requests carry
-/// monotonically increasing sequence numbers (tickets); within a flush, a
-/// shard queue holds frames in (ticket, batch-position) order, results land
-/// in fixed per-request slots, detection is per-frame deterministic per
-/// session, and every order-sensitive stage (decode planning, discrimination,
-/// belief updates) already ran or runs on the coordinator in session batch
-/// order — so the service at any coalesce width is bit-identical to today's
-/// per-session batching (width 1), which the `sched` suite enforces fatally.
+/// monotonically increasing sequence numbers (tickets); a shard queue holds
+/// frames in (ticket, batch-position) order, results land in fixed
+/// per-request slots, detection is per-frame deterministic per session, and
+/// every order-sensitive stage (decode planning, discrimination, belief
+/// updates) already ran or runs on the coordinator in session batch order —
+/// so the service at any coalesce width, under any flush policy, and over
+/// any transport is bit-identical to per-session batching (width 1), which
+/// the `sched` and `dist` suites enforce fatally.
 ///
 /// The decode-ahead seam moves with the detect stage: a request's prefetcher
 /// keeps decoding on the I/O pools from submit time until the flush that
-/// consumes the request — the decode window now spans the service's coalesce
-/// window (everything queued between two flushes), not one session's detect
-/// windows. `Flush` drains each request's prefetcher, in ticket order, before
-/// any detection runs.
+/// consumes the request — the decode window spans the coalesce window.
+/// Every flush drains the prefetchers of the requests it executes, in ticket
+/// order, before any detection runs.
 ///
-/// One coordinator thread drives the service (Submit/Flush/Take); only the
-/// per-frame detect fan-out (and, with `parallel_shards`, the per-shard
-/// dispatch) runs on workers. This queue is the seam the ROADMAP names for
-/// cross-machine dispatch: a remote shard's runner would drain its
-/// sub-queue over RPC instead of a local pool.
+/// **Transport boundary.** The per-shard queues are the distribution seam:
+/// with `options.transport` set, every sliced device batch crosses a
+/// `ShardTransport` as a serialized wire request and its response is
+/// scattered back by wire sequence number — completions may arrive in any
+/// order, because results land in fixed ticket slots either way. Failed
+/// batches are retried `max_retries` times, then requeued onto a surviving
+/// shard's runner with `origin_shard` (and therefore the serving detector
+/// contexts and the charged seconds) unchanged; when every runner is down
+/// the service goes sticky-failed (`transport_status()`) and `CancelPending`
+/// releases whatever could not complete, so the driver can surface the error
+/// instead of hanging.
+///
+/// One coordinator thread drives the service (Submit/Poll/Flush/Take); only
+/// the per-frame detect fan-out — and, over a transport, the shard runners —
+/// runs elsewhere.
 class DetectorService {
  public:
   using Ticket = uint64_t;
@@ -86,7 +166,10 @@ class DetectorService {
   /// One session's pending detect work. Spans must stay valid until the
   /// request's results are taken; the pointees must outlive the flush.
   struct DetectRequest {
-    /// Stable identity of the submitting session (stats attribution only).
+    /// Stable identity of the submitting session. Used for shared-batch
+    /// stats attribution and, over a transport, as the wire id the shard
+    /// runners resolve the session's detectors by — it must then be unique
+    /// per live session (`SearchEngine` hands every session a fresh one).
     uint64_t session_id = 0;
     /// Frames to detect, in the session's batch order.
     common::Span<const video::FrameId> frames;
@@ -101,8 +184,9 @@ class DetectorService {
     /// and the dispatcher's per-shard stats are updated as if it had
     /// dispatched the sub-batches itself.
     ShardDispatcher* dispatcher = nullptr;
-    /// The session's decode prefetcher; drained (in ticket order) before the
-    /// flush detects anything. Null when the session does not decode.
+    /// The session's decode prefetcher; drained (in ticket order) before a
+    /// flush detects anything of this request. Null when the session does
+    /// not decode.
     DecodePrefetcher* prefetcher = nullptr;
     /// The session's scheduler/coalescing tallies; updated at flush time.
     SessionSchedulerStats* session_stats = nullptr;
@@ -110,15 +194,24 @@ class DetectorService {
 
   /// `num_shards` fixes the submission-queue fan-out (1 for unsharded
   /// engines). `pools` — when non-empty, one per shard — name the worker
-  /// pool each shard's device batches fan out over (null entries run
-  /// inline); `default_pool` serves shards without one.
+  /// pool each shard's in-process device batches fan out over (null entries
+  /// run inline); `default_pool` serves shards without one. With
+  /// `options.transport`, execution happens runner-side and these pools are
+  /// not used.
   DetectorService(DetectorServiceOptions options, size_t num_shards = 1,
                   std::vector<common::ThreadPool*> pools = {},
                   common::ThreadPool* default_pool = nullptr);
 
-  /// \brief Enqueues a session's batch and returns its ticket. Non-blocking:
-  /// nothing is detected until `Flush`.
+  /// \brief Enqueues a session's batch and returns its ticket. Non-blocking
+  /// under the barrier policy; the latency-aware policy may execute shard
+  /// queues that reached a full wire batch before returning.
   Ticket Submit(const DetectRequest& request);
+
+  /// \brief Latency-aware housekeeping: executes any shard queue whose
+  /// oldest ticket has waited past `flush_deadline_seconds`. No-op under
+  /// the barrier policy (or with no deadline configured) — drivers can call
+  /// it unconditionally between steps.
+  void Poll();
 
   /// \brief Executes everything pending as coalesced per-shard device
   /// batches and makes every submitted request's results available to
@@ -133,6 +226,20 @@ class DetectorService {
   /// the ticket was never submitted or not yet flushed.
   std::vector<detect::Detections> Take(Ticket ticket);
 
+  /// \brief OK until the transport permanently fails (every shard runner
+  /// down, or an unrecoverable wire error); then the sticky error. Drivers
+  /// must check after flushing and abandon the workload on failure — pending
+  /// tickets are cancelled, never completed.
+  const common::Status& transport_status() const { return transport_status_; }
+
+  /// \brief Abandons the whole workload: drops every queued and in-flight
+  /// request (their spans are released; their tickets will never become
+  /// ready) **and** every completed-but-untaken result — after a cancel,
+  /// `Take` is fatal for any outstanding ticket. Called internally on
+  /// permanent transport failure; drivers call it when abandoning a
+  /// workload mid-step so the service holds no stale spans.
+  void CancelPending();
+
   /// \brief Frames currently queued and not yet flushed.
   size_t PendingFrames() const { return pending_frames_; }
 
@@ -140,40 +247,102 @@ class DetectorService {
   const DetectorServiceOptions& options() const { return options_; }
   const DetectorServiceStats& stats() const { return stats_; }
 
+  /// \brief Wall-clock seconds from `Submit` to completed flush, one entry
+  /// per completed ticket in completion order — the latency the flush
+  /// policy trades fill against (`bench_dist_transport` gates on its p95).
+  /// Bounded on a long-lived service: only the most recent
+  /// `kTicketLatencyCap` completions are retained.
+  const std::vector<double>& TicketLatencies() const { return ticket_latencies_; }
+
+  /// \brief Retention bound of `TicketLatencies` (far above any single
+  /// workload; an engine-lifetime service must not grow without bound).
+  static constexpr size_t kTicketLatencyCap = size_t{1} << 16;
+
+  /// \brief Forgets a session's wire registrations (directory entries hold
+  /// raw detector pointers, which dangle once the session dies). Called by
+  /// `QueryExecution::Finish` and `AbortPendingStep` — deliberately never
+  /// from a destructor, so a session object that outlives its engine stays
+  /// destructible; a session abandoned without `Finish` leaves one stale,
+  /// never-again-resolved entry behind (ids are not reused). No-op for ids
+  /// never registered.
+  void UnregisterSession(uint64_t session_id);
+
   /// \brief Mean fill of the device batches paid for so far:
   /// frames / (device_batches * device_batch). 0 before the first flush.
   double FillRate() const;
+
+  /// \brief The runner-side session directory (wire id -> detector context)
+  /// the service maintains for its transport. Exposed for tests.
+  const SessionDirectory& directory() const { return directory_; }
 
  private:
   struct PendingRequest {
     Ticket ticket = 0;
     DetectRequest request;
     std::vector<detect::Detections> results;  // Slot per frame, filled at flush.
+    size_t remaining = 0;      // Frames not yet detected (any shard).
+    double submit_seconds = 0.0;  // Wall clock at Submit, for latency stats.
   };
-  /// One queued frame: where it came from (request r, batch position i).
+  /// One queued frame: where it came from (ticket t, batch position i).
   struct QueueEntry {
-    size_t request_index = 0;
+    Ticket ticket = 0;
     size_t frame_index = 0;
   };
+  /// One extracted frame of a flush, its owning request resolved *once* on
+  /// the coordinator (`pending_` nodes are pointer-stable for the flush's
+  /// duration) — the per-frame detect fan-out on the pool workers must not
+  /// pay a map lookup per frame.
+  struct WorkItem {
+    Ticket ticket = 0;
+    size_t frame_index = 0;
+    PendingRequest* request = nullptr;
+  };
+  using ShardWork = std::pair<uint32_t, std::vector<WorkItem>>;
+  enum class FlushReason { kBarrier, kFill, kDeadline };
 
-  /// Runs one shard's queue as sliced device batches. Safe to call for
+  /// Extracts and executes work from the named shard queues: the full queue
+  /// per shard, or only whole `device_batch` slices (`only_full_slices`,
+  /// the fill trigger — a partial tail keeps waiting). Runs prefetcher
+  /// drains, execution (in-process or over the transport), slice
+  /// bookkeeping, and request completion.
+  void FlushShards(const std::vector<uint32_t>& shards, bool only_full_slices,
+                   FlushReason reason);
+
+  /// In-process execution of one shard's extracted entries (sliced into
+  /// device batches, fanned over the shard's pool). Safe to call for
   /// different shards from different threads: writes go to per-request
-  /// result slots and disjoint per-shard slice records.
-  void RunShardQueue(uint32_t shard);
+  /// result slots only.
+  void RunShardEntries(uint32_t shard, const std::vector<WorkItem>& entries);
+
+  /// Transport execution of all extracted entries: sends every slice as a
+  /// wire batch, receives completions in arrival order, retries/requeues
+  /// failures. Sets `transport_status_` (and cancels everything pending) on
+  /// permanent failure.
+  void SendAndCollect(const std::vector<ShardWork>& work);
+
+  /// Deterministic per-slice bookkeeping shared by both execution paths.
+  void BookSlices(uint32_t shard, const std::vector<WorkItem>& entries);
+
+  /// Picks the runner for `origin`'s batches: `origin` itself while its
+  /// runner is up, else the next surviving shard. Returns false — leaving
+  /// `*runner` untouched — when every runner is down.
+  bool RouteShard(uint32_t origin, uint32_t* runner) const;
 
   DetectorServiceOptions options_;
   std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
   common::ThreadPool* default_pool_ = nullptr;
 
-  std::vector<PendingRequest> pending_;                // Ticket order.
-  std::vector<std::vector<QueueEntry>> queues_;        // Per shard.
-  std::vector<std::vector<size_t>> slice_sessions_;    // Scratch per shard:
-                                                       // distinct sessions per
-                                                       // executed slice, for
-                                                       // stats (see Flush).
+  std::map<Ticket, PendingRequest> pending_;     // Ticket order.
+  std::vector<std::vector<QueueEntry>> queues_;  // Per shard.
   size_t pending_frames_ = 0;
   Ticket next_ticket_ = 1;
+  uint64_t next_wire_seq_ = 1;
   std::unordered_map<Ticket, std::vector<detect::Detections>> ready_;
+  std::vector<bool> shard_down_;       // Runners marked permanently failed.
+  common::Status transport_status_;    // Sticky; OK while the fleet serves.
+  SessionDirectory directory_;         // Runner-side id -> detector registry.
+  std::unordered_set<uint64_t> registered_sessions_;
+  std::vector<double> ticket_latencies_;
   DetectorServiceStats stats_;
 };
 

@@ -289,12 +289,32 @@ void QueryExecution::FinishStep() {
   trace_.final = current_;
 }
 
+void QueryExecution::AbortPendingStep() {
+  if (!pending_detect_) return;
+  pending_detect_ = false;
+  // Stop the decode tasks holding spans into the abandoned batch before
+  // releasing it.
+  if (prefetcher_ != nullptr) prefetcher_->Drain();
+  pending_frames_.clear();
+  pending_ticket_ = 0;
+  finished_ = true;
+  if (options_.detector_service != nullptr) {
+    options_.detector_service->UnregisterSession(options_.service_session_id);
+  }
+}
+
 bool QueryExecution::Step() {
   if (!BeginStep()) return false;
   // Standalone stepping under a shared service: flush inline (coalesce width
   // 1 for this session's frames; anything other sessions left pending rides
   // along, which coalescing guarantees is trace-neutral).
-  if (options_.detector_service != nullptr) options_.detector_service->Flush();
+  if (options_.detector_service != nullptr) {
+    options_.detector_service->Flush();
+    // Standalone stepping has no error channel; concurrent workloads get the
+    // status surfaced by `SearchEngine::RunConcurrent` instead of this stop.
+    common::CheckOk(options_.detector_service->transport_status(),
+                    "detect transport failed during a standalone step");
+  }
   FinishStep();
   return true;
 }
@@ -323,6 +343,15 @@ QueryTrace QueryExecution::Finish() {
       trace_ = std::move(merged).value();
     }
     finalized_ = true;
+    // The query is over: withdraw its wire registrations (the directory
+    // holds raw pointers to detectors that die with this session). Done
+    // here — never from the destructor — so a session object that outlives
+    // its engine stays destructible; a session abandoned mid-query without
+    // Finish leaves one never-again-resolved directory entry behind, which
+    // is bounded by session count and harmless (ids are never reused).
+    if (options_.detector_service != nullptr) {
+      options_.detector_service->UnregisterSession(options_.service_session_id);
+    }
   }
   return trace_;
 }

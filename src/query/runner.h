@@ -153,6 +153,14 @@ class QueryExecution {
   /// \brief True between a successful `BeginStep` and its `FinishStep`.
   bool DetectPending() const { return pending_detect_; }
 
+  /// \brief Abandons a begun step whose detections will never arrive — the
+  /// shared service's transport failed permanently and cancelled its pending
+  /// tickets. Drains the prefetcher (decode tasks hold spans into the
+  /// abandoned batch) and marks the execution finished: the strategy already
+  /// consumed the batch's frames, so the query cannot legally continue. The
+  /// trace ends at the last completed step. No-op when nothing is pending.
+  void AbortPendingStep();
+
   /// \brief True once no further `Step` will make progress.
   bool Done() const { return finished_; }
 

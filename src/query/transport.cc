@@ -1,0 +1,278 @@
+#include "query/transport.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace exsample {
+namespace query {
+
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Deterministic uniform draw in [0, 1) keyed by the request's identity, so
+/// fault injection and reordering are reproducible run to run.
+double WireCoin(uint64_t seed, const DetectRequestMsg& msg, uint64_t salt) {
+  uint64_t h = common::HashCombine(seed, msg.wire_seq);
+  h = common::HashCombine(h, msg.attempt);
+  h = common::HashCombine(h, salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// --- SessionDirectory -------------------------------------------------------
+
+void SessionDirectory::Register(uint64_t session_id, uint32_t shard,
+                                detect::ObjectDetector* detector) {
+  common::Check(detector != nullptr, "registering a null session detector");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<detect::ObjectDetector*>& per_shard = sessions_[session_id];
+  if (per_shard.size() <= shard) per_shard.resize(shard + 1, nullptr);
+  common::Check(per_shard[shard] == nullptr || per_shard[shard] == detector,
+                "conflicting detector registered for a live session id");
+  per_shard[shard] = detector;
+}
+
+detect::ObjectDetector* SessionDirectory::Resolve(uint64_t session_id,
+                                                  uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || shard >= it->second.size()) return nullptr;
+  return it->second[shard];
+}
+
+void SessionDirectory::Unregister(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+size_t SessionDirectory::NumSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+// --- Runner-side execution --------------------------------------------------
+
+DetectResponseMsg ExecuteWireRequest(const DetectRequestMsg& request,
+                                     const SessionDirectory& directory,
+                                     common::ThreadPool* pool) {
+  DetectResponseMsg response;
+  response.wire_seq = request.wire_seq;
+  response.origin_shard = request.origin_shard;
+  response.attempt = request.attempt;
+  response.status = WireStatus::kOk;
+  response.detections.resize(request.slots.size());
+
+  // Resolve on the driving thread (the directory lock is cheap, but taking
+  // it from every pool worker would serialize the fan-out), then detect
+  // data-parallel: slots are independent and results land in fixed indices,
+  // so pool size cannot change the response.
+  std::vector<detect::ObjectDetector*> detectors(request.slots.size(), nullptr);
+  for (size_t i = 0; i < request.slots.size(); ++i) {
+    detectors[i] =
+        directory.Resolve(request.slots[i].session_id, request.origin_shard);
+    common::Check(detectors[i] != nullptr,
+                  "wire request names an unregistered (session, shard)");
+    response.charged_seconds += detectors[i]->SecondsPerFrame();
+  }
+  const auto detect_one = [&](size_t i) {
+    response.detections[i] = detectors[i]->Detect(request.slots[i].frame);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(request.slots.size(), detect_one);
+  } else {
+    for (size_t i = 0; i < request.slots.size(); ++i) detect_one(i);
+  }
+  return response;
+}
+
+// --- LocalTransport ---------------------------------------------------------
+
+LocalTransport::LocalTransport(size_t num_shards,
+                               std::vector<common::ThreadPool*> pools,
+                               common::ThreadPool* default_pool)
+    : pools_(std::move(pools)), default_pool_(default_pool) {
+  common::Check(num_shards >= 1, "transport needs at least one shard");
+  common::Check(pools_.empty() || pools_.size() == num_shards,
+                "per-shard pools must cover every shard");
+  if (pools_.empty()) pools_.resize(num_shards, nullptr);
+}
+
+void LocalTransport::BindDirectory(const SessionDirectory* directory) {
+  directory_ = directory;
+}
+
+common::Status LocalTransport::Send(uint32_t runner_shard,
+                                    const DetectRequestMsg& request) {
+  common::Check(directory_ != nullptr, "transport used before BindDirectory");
+  if (runner_shard >= pools_.size()) {
+    return common::Status::InvalidArgument("wire batch sent past the shards");
+  }
+  common::ThreadPool* pool =
+      pools_[runner_shard] != nullptr ? pools_[runner_shard] : default_pool_;
+  completed_.push_back(ExecuteWireRequest(request, *directory_, pool));
+  stats_.requests += 1;
+  return common::Status::OK();
+}
+
+common::Result<DetectResponseMsg> LocalTransport::Receive() {
+  if (completed_.empty()) {
+    return common::Status::FailedPrecondition("no wire batch in flight");
+  }
+  DetectResponseMsg response = std::move(completed_.front());
+  completed_.pop_front();
+  stats_.responses += 1;
+  return response;
+}
+
+// --- LoopbackTransport ------------------------------------------------------
+
+LoopbackTransport::LoopbackTransport(size_t num_shards,
+                                     std::vector<common::ThreadPool*> pools,
+                                     LoopbackTransportOptions options)
+    : options_(options), pools_(std::move(pools)) {
+  common::Check(num_shards >= 1, "transport needs at least one shard");
+  common::Check(pools_.empty() || pools_.size() == num_shards,
+                "per-shard pools must cover every shard");
+  if (pools_.empty()) pools_.resize(num_shards, nullptr);
+  runners_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    runners_.push_back(std::make_unique<Runner>());
+  }
+  // Start the runner threads only after every Runner exists: a runner never
+  // touches another's state, but keeping construction fully ordered is free.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    runners_[s]->thread = std::thread([this, s] { RunnerLoop(s); });
+  }
+}
+
+LoopbackTransport::~LoopbackTransport() {
+  for (auto& runner : runners_) {
+    {
+      std::lock_guard<std::mutex> lock(runner->mu);
+      runner->stop = true;
+    }
+    runner->cv.notify_all();
+  }
+  for (auto& runner : runners_) {
+    if (runner->thread.joinable()) runner->thread.join();
+  }
+}
+
+void LoopbackTransport::BindDirectory(const SessionDirectory* directory) {
+  directory_ = directory;
+}
+
+common::Status LoopbackTransport::Send(uint32_t runner_shard,
+                                       const DetectRequestMsg& request) {
+  common::Check(directory_ != nullptr, "transport used before BindDirectory");
+  if (runner_shard >= runners_.size()) {
+    return common::Status::InvalidArgument("wire batch sent past the shards");
+  }
+  // The one serialization point on the send path: from here to the response
+  // parse, the batch exists only as bytes.
+  std::vector<uint8_t> bytes = SerializeDetectRequest(request);
+  stats_.requests += 1;
+  stats_.bytes_sent += bytes.size();
+  in_flight_ += 1;
+  Runner& runner = *runners_[runner_shard];
+  {
+    std::lock_guard<std::mutex> lock(runner.mu);
+    runner.inbox.push_back(std::move(bytes));
+  }
+  runner.cv.notify_one();
+  return common::Status::OK();
+}
+
+common::Result<DetectResponseMsg> LoopbackTransport::Receive() {
+  if (in_flight_ == 0) {
+    return common::Status::FailedPrecondition("no wire batch in flight");
+  }
+  std::vector<uint8_t> bytes;
+  {
+    std::unique_lock<std::mutex> lock(out_mu_);
+    out_cv_.wait(lock, [this] { return !outbox_.empty(); });
+    bytes = std::move(outbox_.front());
+    outbox_.pop_front();
+  }
+  in_flight_ -= 1;
+  stats_.responses += 1;
+  stats_.bytes_received += bytes.size();
+  auto response =
+      ParseDetectResponse(common::Span<const uint8_t>(bytes.data(), bytes.size()));
+  // In-process, an unparseable response is a wire-format bug, not weather.
+  common::CheckOk(response.status(), "loopback response failed to parse");
+  if (response.value().status != WireStatus::kOk) {
+    // Every loopback failure is an injected one.
+    stats_.failures_injected += 1;
+  }
+  return response;
+}
+
+void LoopbackTransport::RunnerLoop(uint32_t shard) {
+  Runner& runner = *runners_[shard];
+  while (true) {
+    std::vector<uint8_t> bytes;
+    {
+      std::unique_lock<std::mutex> lock(runner.mu);
+      runner.cv.wait(lock,
+                     [&runner] { return runner.stop || !runner.inbox.empty(); });
+      // Drain before exiting: a request accepted by Send is always answered,
+      // so the coordinator can never block forever in Receive.
+      if (runner.inbox.empty()) return;
+      bytes = std::move(runner.inbox.front());
+      runner.inbox.pop_front();
+    }
+
+    auto parsed =
+        ParseDetectRequest(common::Span<const uint8_t>(bytes.data(), bytes.size()));
+    common::CheckOk(parsed.status(), "loopback request failed to parse");
+    const DetectRequestMsg& request = parsed.value();
+    runner.requests_served += 1;
+
+    SleepSeconds(options_.latency_seconds);
+
+    DetectResponseMsg response;
+    response.wire_seq = request.wire_seq;
+    response.origin_shard = request.origin_shard;
+    response.attempt = request.attempt;
+    const bool fingerprint_mismatch =
+        options_.expected_fingerprint != 0 && request.repo_fingerprint != 0 &&
+        request.repo_fingerprint != options_.expected_fingerprint;
+    const bool shard_dead =
+        options_.fail_shard >= 0 &&
+        shard == static_cast<uint32_t>(options_.fail_shard) &&
+        runner.requests_served > options_.fail_after_requests;
+    const bool transient_failure =
+        options_.failure_rate > 0.0 &&
+        WireCoin(options_.seed, request, shard) < options_.failure_rate;
+    if (fingerprint_mismatch) {
+      response.status = WireStatus::kRepoMismatch;
+    } else if (shard_dead || transient_failure) {
+      response.status = WireStatus::kUnavailable;
+    } else {
+      response = ExecuteWireRequest(request, *directory_, pools_[shard]);
+    }
+
+    if (options_.reorder_jitter_seconds > 0.0) {
+      SleepSeconds(WireCoin(options_.seed, request, 0x9e1u + shard) *
+                   options_.reorder_jitter_seconds);
+    }
+
+    std::vector<uint8_t> out_bytes = SerializeDetectResponse(response);
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      outbox_.push_back(std::move(out_bytes));
+    }
+    out_cv_.notify_one();
+  }
+}
+
+}  // namespace query
+}  // namespace exsample

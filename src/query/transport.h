@@ -1,0 +1,247 @@
+#ifndef EXSAMPLE_QUERY_TRANSPORT_H_
+#define EXSAMPLE_QUERY_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "detect/detector.h"
+#include "query/wire.h"
+
+namespace exsample {
+namespace query {
+
+/// \brief Runner-side registry resolving a wire slot's (session, shard) ids
+/// to the detector context that serves it.
+///
+/// Wire messages carry ids, never pointers: a remote machine cannot
+/// dereference the coordinator's memory. The directory is the stand-in for
+/// the deployment step that makes ids meaningful remotely — "the shard
+/// machine loaded this session's model configuration" — and in this
+/// reproduction it simply holds the in-process detector pointers under their
+/// ids. The `DetectorService` registers every session's per-shard detectors
+/// on first submit, before any wire batch referencing them is sent.
+///
+/// Thread-safe: the coordinator registers while shard runner threads resolve.
+class SessionDirectory {
+ public:
+  /// \brief Associates `detector` with (`session_id`, `shard`). Idempotent
+  /// for an identical registration; re-registering a *different* detector
+  /// under a live id is a fatal error (ids must be stable and unique —
+  /// `SearchEngine` hands every session a fresh one).
+  void Register(uint64_t session_id, uint32_t shard,
+                detect::ObjectDetector* detector);
+
+  /// \brief The detector serving (`session_id`, `shard`), or null when the
+  /// pair was never registered.
+  detect::ObjectDetector* Resolve(uint64_t session_id, uint32_t shard) const;
+
+  /// \brief Drops every registration of `session_id` — the session is gone
+  /// and its detector pointers are about to dangle. No-op for unknown ids.
+  void Unregister(uint64_t session_id);
+
+  /// \brief Sessions registered so far (observability).
+  size_t NumSessions() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Per session: detector per shard (indexed by shard id, nulls for shards
+  // the session has no context on).
+  std::unordered_map<uint64_t, std::vector<detect::ObjectDetector*>> sessions_;
+};
+
+/// \brief Transfer tallies of a transport.
+struct TransportStats {
+  /// Wire batches sent / responses delivered to the coordinator.
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  /// Serialized bytes that crossed the wire (0 for `LocalTransport`, which
+  /// never serializes).
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  /// Failures the transport injected (loopback fault injection only).
+  uint64_t failures_injected = 0;
+};
+
+/// \brief The transport boundary between the `DetectorService`'s per-shard
+/// queues and the shard runners that execute them.
+///
+/// One coordinator thread drives a transport: `Send` hands a sliced device
+/// batch to a shard's runner (non-blocking for asynchronous transports),
+/// `Receive` blocks for the next completed batch — completions may arrive in
+/// **any order** (the wire sequence number matches them back; the service's
+/// ticket slots tolerate any completion order by construction, which is
+/// exactly why the trace survives distribution). `Send(runner_shard, ...)`
+/// addresses the *runner*; the request's `origin_shard` names whose detector
+/// contexts serve the frames, and the two differ only for batches requeued
+/// off a failed shard.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// \brief Transport name for reports ("local", "loopback").
+  virtual const char* name() const = 0;
+
+  /// \brief Binds the directory runners resolve wire slots against. Must be
+  /// called (by the owning `DetectorService`) before the first `Send`.
+  virtual void BindDirectory(const SessionDirectory* directory) = 0;
+
+  /// \brief Submits one wire batch for execution on `runner_shard`'s runner.
+  virtual common::Status Send(uint32_t runner_shard,
+                              const DetectRequestMsg& request) = 0;
+
+  /// \brief Blocks until a previously sent batch completes and returns its
+  /// response. `FailedPrecondition` when nothing is in flight.
+  virtual common::Result<DetectResponseMsg> Receive() = 0;
+
+  /// \brief Batches sent but not yet received.
+  virtual size_t InFlight() const = 0;
+
+  virtual const TransportStats& stats() const = 0;
+};
+
+/// \brief Executes one wire request against a directory: resolves every
+/// slot's detector, fans the `Detect` calls over `pool` (inline when null),
+/// and returns the `kOk` response with per-slot detections and the charged
+/// detector seconds. This is the runner-side core both transports share —
+/// and the function a real RPC shard server would wrap.
+///
+/// Fatal when a slot names an unregistered (session, shard): in-process that
+/// is a protocol bug, not an environmental failure.
+DetectResponseMsg ExecuteWireRequest(const DetectRequestMsg& request,
+                                     const SessionDirectory& directory,
+                                     common::ThreadPool* pool);
+
+/// \brief The in-process transport: `Send` executes the batch synchronously
+/// on the caller (fanning over the shard's pool) and queues the response for
+/// `Receive`, with no serialization — today's execution path behind the
+/// transport interface, bit-compatible with the service's built-in local
+/// execution by construction (same detectors, same slicing, same slots).
+class LocalTransport : public ShardTransport {
+ public:
+  /// `pools` — when non-empty, one per shard — name the worker pool each
+  /// shard's batches fan out over; `default_pool` serves shards without one.
+  explicit LocalTransport(size_t num_shards,
+                          std::vector<common::ThreadPool*> pools = {},
+                          common::ThreadPool* default_pool = nullptr);
+
+  const char* name() const override { return "local"; }
+  void BindDirectory(const SessionDirectory* directory) override;
+  common::Status Send(uint32_t runner_shard,
+                      const DetectRequestMsg& request) override;
+  common::Result<DetectResponseMsg> Receive() override;
+  size_t InFlight() const override { return completed_.size(); }
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  const SessionDirectory* directory_ = nullptr;
+  std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
+  common::ThreadPool* default_pool_ = nullptr;
+  std::deque<DetectResponseMsg> completed_;
+  TransportStats stats_;
+};
+
+/// \brief Fault-injection knobs of a `LoopbackTransport`.
+struct LoopbackTransportOptions {
+  /// Wall-clock seconds each runner sleeps per request (simulated network +
+  /// queueing latency of the remote hop).
+  double latency_seconds = 0.0;
+  /// Extra per-response delay drawn deterministically in [0, this) seconds,
+  /// so completions of concurrently running shards reorder — the completion
+  /// order a real fleet produces and the service must tolerate.
+  double reorder_jitter_seconds = 0.0;
+  /// Seed of the deterministic fault/jitter draws (keyed by wire_seq,
+  /// attempt, and shard, so a rerun injects identical faults).
+  uint64_t seed = 23;
+  /// When >= 0, this runner permanently fails every request after serving
+  /// `fail_after_requests` of them — the single-machine-dies scenario the
+  /// requeue path exists for.
+  int64_t fail_shard = -1;
+  uint64_t fail_after_requests = 0;
+  /// Per-attempt transient failure probability applied to every shard
+  /// (deterministic coin; retries draw fresh coins).
+  double failure_rate = 0.0;
+  /// When non-zero, runners reject requests whose `repo_fingerprint` differs
+  /// (deployment-mismatch detection; `kRepoMismatch`, never retried).
+  uint64_t expected_fingerprint = 0;
+};
+
+/// \brief The RPC stand-in: per-shard runner threads connected to the
+/// coordinator by byte queues.
+///
+/// Every request and response crosses the thread boundary **only as wire
+/// bytes** — the runner parses the coordinator's serialized request and the
+/// coordinator parses the runner's serialized response, so anything a real
+/// socket transport would corrupt, reorder, or lose has to survive the same
+/// (de)serialization here. Runners execute concurrently (each fanning its
+/// batches over its own shard pool, or inline on the runner thread), inject
+/// configurable latency, response reordering, and failures, and the
+/// completion queue delivers responses in whatever order they finish.
+class LoopbackTransport : public ShardTransport {
+ public:
+  /// `pools` — when non-empty, one per shard — give each runner a private
+  /// worker pool ("one GPU's worth" next to the shard's data); null entries
+  /// detect inline on the runner thread. Runners never share a pool: the
+  /// library's pools are single-driver.
+  explicit LoopbackTransport(size_t num_shards,
+                             std::vector<common::ThreadPool*> pools = {},
+                             LoopbackTransportOptions options = {});
+  ~LoopbackTransport() override;
+
+  LoopbackTransport(const LoopbackTransport&) = delete;
+  LoopbackTransport& operator=(const LoopbackTransport&) = delete;
+
+  const char* name() const override { return "loopback"; }
+  void BindDirectory(const SessionDirectory* directory) override;
+  common::Status Send(uint32_t runner_shard,
+                      const DetectRequestMsg& request) override;
+  common::Result<DetectResponseMsg> Receive() override;
+  size_t InFlight() const override { return in_flight_; }
+  const TransportStats& stats() const override { return stats_; }
+
+  size_t NumShards() const { return runners_.size(); }
+  const LoopbackTransportOptions& options() const { return options_; }
+
+ private:
+  struct Runner {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> inbox;  // Serialized requests.
+    bool stop = false;
+    // Runner-thread state (no locking needed).
+    uint64_t requests_served = 0;
+  };
+
+  void RunnerLoop(uint32_t shard);
+
+  LoopbackTransportOptions options_;
+  std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
+  // Written once by BindDirectory before the first Send; runner threads read
+  // it only while handling requests enqueued afterwards (the inbox mutex
+  // orders the accesses).
+  const SessionDirectory* directory_ = nullptr;
+  std::vector<std::unique_ptr<Runner>> runners_;
+
+  // Completion queue: runners push serialized responses, the coordinator
+  // blocks in Receive.
+  std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::deque<std::vector<uint8_t>> outbox_;
+
+  // Coordinator-side bookkeeping (one thread drives Send/Receive).
+  size_t in_flight_ = 0;
+  TransportStats stats_;
+};
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_TRANSPORT_H_

@@ -1,0 +1,129 @@
+#ifndef EXSAMPLE_QUERY_WIRE_H_
+#define EXSAMPLE_QUERY_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/span.h"
+#include "common/status.h"
+#include "detect/detection.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace query {
+
+/// \file
+/// \brief Serializable wire format of the distributed detect stage.
+///
+/// The `DetectorService`'s per-shard submission queues are the transport unit
+/// the ROADMAP names for cross-machine execution: a remote shard runner
+/// drains its queue's sliced device batches over RPC instead of a local
+/// pool. These are the two messages that cross that wire — a *detect
+/// request* (one sliced device batch: wire sequence number, origin shard,
+/// and the (session, frame) slots to detect) and its *detect response*
+/// (per-slot detection lists plus the detector seconds the runner charged).
+///
+/// The encoding is a versioned, deterministic binary layout: fixed-width
+/// little-endian integers, doubles as raw IEEE-754 bit patterns (so a
+/// detection box round-trips bit-identically — the loopback-equals-local
+/// trace contract depends on it), length-prefixed repeated fields, no
+/// padding. Serialization of the same message always yields the same bytes;
+/// parsing is bounds-checked and returns `InvalidArgument` for truncated,
+/// oversized, or trailing-garbage buffers and rejects unknown versions and
+/// message kinds instead of guessing.
+
+/// \brief Magic prefix of every wire message ("XSWM": eXSample Wire Message).
+inline constexpr uint32_t kWireMagic = 0x4d575358;
+/// \brief Current wire-format version. Parsers reject anything else: a shard
+/// fleet is upgraded in lockstep before the coordinator starts speaking a new
+/// version.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// \brief Message kinds, tagged in the header byte after the version.
+enum class WireKind : uint8_t {
+  kDetectRequest = 1,
+  kDetectResponse = 2,
+};
+
+/// \brief Outcome a shard runner reports for one wire batch.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  /// The runner (or its machine) could not serve the batch. The service
+  /// retries `max_retries` times, then requeues onto a surviving shard.
+  kUnavailable = 1,
+  /// The runner serves a different repository than the request was built
+  /// against (fingerprint mismatch) — a deployment error, never retryable.
+  kRepoMismatch = 2,
+};
+
+/// \brief One frame of a wire batch: which session's detector context serves
+/// it (ids, not pointers — the runner resolves them in its own directory) and
+/// the global frame to detect.
+struct WireSlot {
+  uint64_t session_id = 0;
+  video::FrameId frame = 0;
+
+  bool operator==(const WireSlot& other) const {
+    return session_id == other.session_id && frame == other.frame;
+  }
+};
+
+/// \brief One sliced device batch, addressed to a shard runner.
+struct DetectRequestMsg {
+  /// Coordinator-assigned id of this wire batch; the matching response echoes
+  /// it, so completions may arrive in any order. Retries and requeues reuse
+  /// the sequence number with a bumped `attempt`.
+  uint64_t wire_seq = 0;
+  /// The shard whose detector contexts serve these frames. Normally the
+  /// runner the request is sent to; after a failure the batch is requeued
+  /// onto a *surviving* runner with `origin_shard` unchanged, so the
+  /// detections (and the session's per-shard accounting) are identical to
+  /// the no-failure run.
+  uint32_t origin_shard = 0;
+  /// 0 on the first send; incremented per retry/requeue (observability).
+  uint32_t attempt = 0;
+  /// Fingerprint of the repository the coordinator is querying
+  /// (`video::VideoRepository::Fingerprint`); 0 disables the check. A runner
+  /// configured with a different expectation answers `kRepoMismatch`.
+  uint64_t repo_fingerprint = 0;
+  std::vector<WireSlot> slots;
+};
+
+/// \brief A shard runner's answer to one `DetectRequestMsg`.
+struct DetectResponseMsg {
+  uint64_t wire_seq = 0;
+  uint32_t origin_shard = 0;
+  /// Echo of the request's attempt counter.
+  uint32_t attempt = 0;
+  WireStatus status = WireStatus::kOk;
+  /// Simulated detector seconds the runner charged for the batch (the
+  /// shard-side half of the cost accounting; `kOk` only).
+  double charged_seconds = 0.0;
+  /// Per-slot detection lists, parallel to the request's `slots` (`kOk`
+  /// only; empty on failure).
+  std::vector<detect::Detections> detections;
+};
+
+/// \brief Serializes `msg` into the canonical byte layout. Deterministic:
+/// equal messages yield equal bytes.
+std::vector<uint8_t> SerializeDetectRequest(const DetectRequestMsg& msg);
+
+/// \brief Parses a buffer produced by `SerializeDetectRequest`.
+///
+/// Returns `InvalidArgument` for short/truncated buffers, bad magic, version
+/// or kind mismatches, implausible length prefixes, and trailing bytes.
+common::Result<DetectRequestMsg> ParseDetectRequest(
+    common::Span<const uint8_t> bytes);
+
+/// \brief Serializes `msg` into the canonical byte layout.
+std::vector<uint8_t> SerializeDetectResponse(const DetectResponseMsg& msg);
+
+/// \brief Parses a buffer produced by `SerializeDetectResponse`; same error
+/// contract as `ParseDetectRequest`.
+common::Result<DetectResponseMsg> ParseDetectResponse(
+    common::Span<const uint8_t> bytes);
+
+}  // namespace query
+}  // namespace exsample
+
+#endif  // EXSAMPLE_QUERY_WIRE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace exsample {
 namespace video {
 
@@ -29,6 +31,19 @@ common::Result<FrameLocation> VideoRepository::Locate(FrameId frame) const {
   auto it = std::upper_bound(clip_offsets_.begin(), clip_offsets_.end(), frame);
   const size_t clip_idx = static_cast<size_t>(it - clip_offsets_.begin()) - 1;
   return FrameLocation{static_cast<uint32_t>(clip_idx), frame - clip_offsets_[clip_idx]};
+}
+
+uint64_t VideoRepository::Fingerprint() const {
+  uint64_t h = common::HashCombine(0x4d575358u /* "XSWM" */, clips_.size());
+  for (const VideoClip& clip : clips_) {
+    h = common::HashCombine(h, clip.frame_count);
+  }
+  // Offsets are derivable from the counts, but folding them in keeps the
+  // fingerprint honest should the layout rule ever change.
+  for (const FrameId offset : clip_offsets_) {
+    h = common::HashCombine(h, offset);
+  }
+  return common::HashCombine(h, total_frames_);
 }
 
 VideoRepository VideoRepository::SingleClip(uint64_t frame_count, double fps,

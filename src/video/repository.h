@@ -76,6 +76,15 @@ class VideoRepository {
   /// Returns OutOfRange when `frame` is past the end of the repository.
   common::Result<FrameLocation> Locate(FrameId frame) const;
 
+  /// \brief Stable 64-bit fingerprint of the repository's frame layout (clip
+  /// count, per-clip frame counts, global offsets). Two repositories agree on
+  /// every global frame id iff their fingerprints match, so the distributed
+  /// detect wire format stamps requests with it: a shard runner serving a
+  /// different repository rejects the batch instead of silently detecting
+  /// the wrong frames. Clip names and frame rates are deliberately excluded —
+  /// they do not affect frame addressing.
+  uint64_t Fingerprint() const;
+
   /// \brief Convenience builder: a repository with a single clip.
   static VideoRepository SingleClip(uint64_t frame_count, double fps = 30.0,
                                     std::string name = "clip0");

@@ -1,0 +1,265 @@
+// Wire-format round-trip and robustness suite (`dist` label).
+//
+// The distributed detect stage stands or falls with its serialization: the
+// loopback-equals-local trace contract requires every Detection to survive
+// the wire bit for bit, and a coordinator fed by real sockets must reject
+// malformed bytes with a clean Status instead of reading wild. The suite
+// fuzzes serialize -> parse round-trips over randomized messages (empty
+// batches, zero-area boxes, saturated FrameIds) and hammers the parsers with
+// every truncation prefix, corrupted headers, version/kind mismatches,
+// implausible length prefixes, and random garbage.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "query/wire.h"
+
+namespace exsample {
+namespace query {
+namespace {
+
+common::Span<const uint8_t> BytesOf(const std::vector<uint8_t>& bytes) {
+  return common::Span<const uint8_t>(bytes.data(), bytes.size());
+}
+
+DetectRequestMsg RandomRequest(common::Rng& rng, size_t max_slots) {
+  DetectRequestMsg msg;
+  msg.wire_seq = rng.NextU64();
+  msg.origin_shard = static_cast<uint32_t>(rng.NextBounded(64));
+  msg.attempt = static_cast<uint32_t>(rng.NextBounded(8));
+  msg.repo_fingerprint = rng.NextU64();
+  const size_t slots = static_cast<size_t>(rng.NextBounded(max_slots + 1));
+  for (size_t i = 0; i < slots; ++i) {
+    WireSlot slot;
+    slot.session_id = rng.NextU64();
+    // Bias toward edge frames: id 0 and the saturated max both must survive.
+    const uint64_t pick = rng.NextBounded(4);
+    slot.frame = pick == 0   ? 0
+                 : pick == 1 ? ~video::FrameId{0}
+                             : rng.NextU64();
+    msg.slots.push_back(slot);
+  }
+  return msg;
+}
+
+detect::Detection RandomDetection(common::Rng& rng) {
+  detect::Detection det;
+  const uint64_t shape = rng.NextBounded(4);
+  if (shape == 0) {
+    // Zero-area / degenerate boxes are legal detector output.
+    det.box = common::Box{rng.NextDouble(), rng.NextDouble(), 0.0, 0.0};
+  } else if (shape == 1) {
+    det.box = common::Box{-rng.NextDouble(), 2.0 + rng.NextDouble(),
+                          rng.NextDouble() * 1e-12, rng.NextDouble() * 1e12};
+  } else {
+    det.box = common::Box{rng.NextDouble(), rng.NextDouble(), rng.NextDouble(),
+                          rng.NextDouble()};
+  }
+  det.class_id = static_cast<int32_t>(rng.UniformInt(-5, 100));
+  det.confidence = rng.NextDouble();
+  det.source_instance =
+      rng.NextBounded(3) == 0 ? scene::kNoInstance : rng.NextU64();
+  return det;
+}
+
+DetectResponseMsg RandomResponse(common::Rng& rng, size_t max_slots) {
+  DetectResponseMsg msg;
+  msg.wire_seq = rng.NextU64();
+  msg.origin_shard = static_cast<uint32_t>(rng.NextBounded(64));
+  msg.attempt = static_cast<uint32_t>(rng.NextBounded(8));
+  msg.status = static_cast<WireStatus>(rng.NextBounded(3));
+  msg.charged_seconds = rng.NextDouble() * 1e3;
+  const size_t slots = static_cast<size_t>(rng.NextBounded(max_slots + 1));
+  for (size_t i = 0; i < slots; ++i) {
+    detect::Detections dets;
+    const size_t count = static_cast<size_t>(rng.NextBounded(4));
+    for (size_t j = 0; j < count; ++j) dets.push_back(RandomDetection(rng));
+    msg.detections.push_back(std::move(dets));
+  }
+  return msg;
+}
+
+void ExpectSameDetection(const detect::Detection& a, const detect::Detection& b) {
+  // Bitwise double comparison — the trace contract is bit-identity, not
+  // approximate equality.
+  EXPECT_EQ(a.box, b.box);
+  EXPECT_EQ(a.class_id, b.class_id);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.source_instance, b.source_instance);
+}
+
+// --- Round-trip fuzz --------------------------------------------------------
+
+TEST(WireRequestTest, FuzzRoundTrip) {
+  common::Rng rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    const DetectRequestMsg msg = RandomRequest(rng, 40);
+    const std::vector<uint8_t> bytes = SerializeDetectRequest(msg);
+    auto parsed = ParseDetectRequest(BytesOf(bytes));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().wire_seq, msg.wire_seq);
+    EXPECT_EQ(parsed.value().origin_shard, msg.origin_shard);
+    EXPECT_EQ(parsed.value().attempt, msg.attempt);
+    EXPECT_EQ(parsed.value().repo_fingerprint, msg.repo_fingerprint);
+    ASSERT_EQ(parsed.value().slots.size(), msg.slots.size());
+    for (size_t i = 0; i < msg.slots.size(); ++i) {
+      EXPECT_EQ(parsed.value().slots[i], msg.slots[i]);
+    }
+  }
+}
+
+TEST(WireResponseTest, FuzzRoundTrip) {
+  common::Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const DetectResponseMsg msg = RandomResponse(rng, 24);
+    const std::vector<uint8_t> bytes = SerializeDetectResponse(msg);
+    auto parsed = ParseDetectResponse(BytesOf(bytes));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().wire_seq, msg.wire_seq);
+    EXPECT_EQ(parsed.value().origin_shard, msg.origin_shard);
+    EXPECT_EQ(parsed.value().attempt, msg.attempt);
+    EXPECT_EQ(parsed.value().status, msg.status);
+    EXPECT_EQ(parsed.value().charged_seconds, msg.charged_seconds);
+    ASSERT_EQ(parsed.value().detections.size(), msg.detections.size());
+    for (size_t i = 0; i < msg.detections.size(); ++i) {
+      ASSERT_EQ(parsed.value().detections[i].size(), msg.detections[i].size());
+      for (size_t j = 0; j < msg.detections[i].size(); ++j) {
+        ExpectSameDetection(parsed.value().detections[i][j], msg.detections[i][j]);
+      }
+    }
+  }
+}
+
+TEST(WireRequestTest, EmptyBatchRoundTrips) {
+  DetectRequestMsg msg;
+  msg.wire_seq = 7;
+  auto parsed = ParseDetectRequest(BytesOf(SerializeDetectRequest(msg)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().slots.empty());
+}
+
+TEST(WireResponseTest, EmptyAndFailureResponsesRoundTrip) {
+  DetectResponseMsg msg;
+  msg.wire_seq = 9;
+  msg.status = WireStatus::kUnavailable;
+  auto parsed = ParseDetectResponse(BytesOf(SerializeDetectResponse(msg)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, WireStatus::kUnavailable);
+  EXPECT_TRUE(parsed.value().detections.empty());
+}
+
+TEST(WireRequestTest, SerializationIsDeterministic) {
+  common::Rng rng(17);
+  const DetectRequestMsg request = RandomRequest(rng, 16);
+  EXPECT_EQ(SerializeDetectRequest(request), SerializeDetectRequest(request));
+  const DetectResponseMsg response = RandomResponse(rng, 16);
+  EXPECT_EQ(SerializeDetectResponse(response), SerializeDetectResponse(response));
+}
+
+// --- Truncation and corruption ----------------------------------------------
+
+TEST(WireRequestTest, EveryTruncationFailsCleanly) {
+  common::Rng rng(19);
+  const std::vector<uint8_t> bytes =
+      SerializeDetectRequest(RandomRequest(rng, 12));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed = ParseDetectRequest(common::Span<const uint8_t>(bytes.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireResponseTest, EveryTruncationFailsCleanly) {
+  common::Rng rng(23);
+  const std::vector<uint8_t> bytes =
+      SerializeDetectResponse(RandomResponse(rng, 8));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed =
+        ParseDetectResponse(common::Span<const uint8_t>(bytes.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireRequestTest, TrailingBytesRejected) {
+  common::Rng rng(29);
+  std::vector<uint8_t> bytes = SerializeDetectRequest(RandomRequest(rng, 4));
+  bytes.push_back(0);
+  EXPECT_FALSE(ParseDetectRequest(BytesOf(bytes)).ok());
+  std::vector<uint8_t> resp_bytes =
+      SerializeDetectResponse(RandomResponse(rng, 4));
+  resp_bytes.push_back(0xff);
+  EXPECT_FALSE(ParseDetectResponse(BytesOf(resp_bytes)).ok());
+}
+
+TEST(WireRequestTest, HeaderCorruptionRejected) {
+  common::Rng rng(31);
+  const std::vector<uint8_t> good = SerializeDetectRequest(RandomRequest(rng, 4));
+
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0x01;
+  EXPECT_FALSE(ParseDetectRequest(BytesOf(bad_magic)).ok());
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[4] = static_cast<uint8_t>(kWireVersion + 1);  // Little-endian lo byte.
+  auto version_result = ParseDetectRequest(BytesOf(bad_version));
+  EXPECT_FALSE(version_result.ok());
+  EXPECT_NE(version_result.status().message().find("version"), std::string::npos);
+
+  std::vector<uint8_t> bad_flags = good;
+  bad_flags[7] = 0x40;  // Reserved request flags must be zero.
+  EXPECT_FALSE(ParseDetectRequest(BytesOf(bad_flags)).ok());
+}
+
+TEST(WireRequestTest, KindMismatchRejected) {
+  common::Rng rng(37);
+  const std::vector<uint8_t> request = SerializeDetectRequest(RandomRequest(rng, 4));
+  const std::vector<uint8_t> response =
+      SerializeDetectResponse(RandomResponse(rng, 4));
+  EXPECT_FALSE(ParseDetectResponse(BytesOf(request)).ok());
+  EXPECT_FALSE(ParseDetectRequest(BytesOf(response)).ok());
+}
+
+TEST(WireResponseTest, UnknownStatusByteRejected) {
+  DetectResponseMsg msg;
+  std::vector<uint8_t> bytes = SerializeDetectResponse(msg);
+  bytes[7] = 17;  // Header status byte past the last known WireStatus.
+  EXPECT_FALSE(ParseDetectResponse(BytesOf(bytes)).ok());
+}
+
+TEST(WireRequestTest, ImplausibleLengthPrefixRejectedWithoutAllocation) {
+  // A hostile length prefix must be rejected against the remaining bytes
+  // *before* any resize — a 2^60 count in a tiny buffer would otherwise be
+  // an allocation bomb.
+  DetectRequestMsg msg;
+  std::vector<uint8_t> bytes = SerializeDetectRequest(msg);
+  const uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(bytes.data() + bytes.size() - 8, &huge, 8);
+  auto parsed = ParseDetectRequest(BytesOf(bytes));
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("length prefix"), std::string::npos);
+
+  DetectResponseMsg resp;
+  resp.detections.emplace_back();
+  std::vector<uint8_t> resp_bytes = SerializeDetectResponse(resp);
+  std::memcpy(resp_bytes.data() + resp_bytes.size() - 8, &huge, 8);
+  EXPECT_FALSE(ParseDetectResponse(BytesOf(resp_bytes)).ok());
+}
+
+TEST(WireRequestTest, RandomGarbageNeverCrashes) {
+  common::Rng rng(41);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> junk(static_cast<size_t>(rng.NextBounded(128)));
+    for (uint8_t& b : junk) b = static_cast<uint8_t>(rng.NextBounded(256));
+    // Parsing arbitrary bytes must return, OK or not, without UB — the
+    // sanitizer configs of the dist CI lane are the real assertion here.
+    (void)ParseDetectRequest(BytesOf(junk));
+    (void)ParseDetectResponse(BytesOf(junk));
+  }
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace exsample

@@ -35,6 +35,18 @@
 //                      to B frames (default B: 32); prints the batch fill
 //                      rate. Traces are identical with or without it.
 //   --batch=B          frames per session step          (default: 8)
+//
+// Distributed transport (implies --coalesce; traces are identical):
+//   --transport=KIND   local | loopback (default: local). Loopback executes
+//                      every device batch through the serialized wire format
+//                      on per-shard runner threads — the RPC stand-in —
+//                      and prints the wire traffic
+//   --flush-deadline=MS latency-aware flush: ship a shard's queue when a
+//                      wire batch fills or its oldest ticket has waited MS
+//                      milliseconds, instead of only at round barriers
+//   --max-retries=N    transient-failure retries per wire batch before the
+//                      runner is marked down and work requeues onto a
+//                      surviving shard (default: 2)
 
 #include <algorithm>
 #include <cstdio>
@@ -70,6 +82,10 @@ struct CliArgs {
   size_t device_batch = 32;
   double deadline = 0.0;
   std::string scheduler = "fair";
+  std::string transport = "local";
+  double flush_deadline_ms = 0.0;
+  size_t max_retries = 2;
+  bool max_retries_set = false;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -129,6 +145,15 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.batch = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(arg, "--deadline", &value)) {
       args.deadline = std::strtod(value.c_str(), nullptr);
+    } else if (ParseArg(arg, "--transport", &value)) {
+      args.transport = value;
+      if (value != "local") args.coalesce = true;  // Transport rides the service.
+    } else if (ParseArg(arg, "--flush-deadline", &value)) {
+      args.flush_deadline_ms = std::strtod(value.c_str(), nullptr);
+      args.coalesce = true;  // Flush policy is the service's.
+    } else if (ParseArg(arg, "--max-retries", &value)) {
+      args.max_retries = std::strtoull(value.c_str(), nullptr, 10);
+      args.max_retries_set = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -203,6 +228,12 @@ int main(int argc, char** argv) {
                  args.scheduler.c_str());
     return 1;
   }
+  const auto transport_kind = engine::ParseTransportKind(args.transport);
+  if (!transport_kind.has_value()) {
+    std::fprintf(stderr, "unknown transport '%s' (local|loopback)\n",
+                 args.transport.c_str());
+    return 1;
+  }
 
   std::printf("building %s at scale %.2f (seed %llu)...\n", spec->name.c_str(),
               args.scale, static_cast<unsigned long long>(args.seed));
@@ -238,6 +269,13 @@ int main(int argc, char** argv) {
   if (args.coalesce) {
     config.coalesce_detect = true;
     config.device_batch = std::max<size_t>(1, args.device_batch);
+    config.transport = *transport_kind;
+    config.flush_deadline_seconds = args.flush_deadline_ms / 1000.0;
+    config.transport_max_retries = args.max_retries;
+  } else if (args.max_retries_set) {
+    std::fprintf(stderr,
+                 "warning: --max-retries is ignored without --coalesce or "
+                 "--transport (retries are the detect transport's)\n");
   }
   // --shards=1 (the default) keeps the zero-overhead single-repository path;
   // traces are identical either way.
@@ -320,6 +358,24 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.device_batches),
           100.0 * service->FillRate(), service->options().device_batch,
           static_cast<unsigned long long>(stats.shared_batches));
+      if (stats.fill_flushes + stats.deadline_flushes > 0) {
+        std::printf("latency-aware flushes: %llu on batch fill, %llu on deadline\n",
+                    static_cast<unsigned long long>(stats.fill_flushes),
+                    static_cast<unsigned long long>(stats.deadline_flushes));
+      }
+      if (const query::ShardTransport* transport = search.shard_transport()) {
+        // `wire_batches` counts first sends only — the retried/requeued
+        // parenthetical names the *extra* sends on top of it.
+        const query::TransportStats& wire = transport->stats();
+        std::printf(
+            "%s transport: %llu wire batches (%llu retried, %llu requeued), "
+            "%llu bytes sent / %llu received\n",
+            transport->name(), static_cast<unsigned long long>(stats.wire_batches),
+            static_cast<unsigned long long>(stats.wire_retries),
+            static_cast<unsigned long long>(stats.wire_requeues),
+            static_cast<unsigned long long>(wire.bytes_sent),
+            static_cast<unsigned long long>(wire.bytes_received));
+      }
     }
     return 0;
   }
