@@ -1,0 +1,351 @@
+// Cross-query result reuse: what the detection cache, scanned sketch, and
+// warm-started beliefs buy across queries — and that they buy it without
+// changing a single answer.
+//
+// Three questions:
+//
+//   1. Repeated identical query: the second run of an identical query must
+//      answer (nearly) entirely from the shared detection cache — charged
+//      detector seconds drop by >= 10x (exit 1 below) — while reproducing
+//      the cold run's discovery sequence exactly (exit 3: a reuse layer that
+//      changes answers is a correctness bug, not a perf miss).
+//
+//   2. Overlapping workload: a second wave of queries where half the specs
+//      repeat the first wave must finish >= 1.5x cheaper end-to-end (summed
+//      simulated detector seconds) than the same wave on a reuse-free
+//      engine, with the cold first wave still bit-identical to reuse-off
+//      (exit 3).
+//
+//   3. Warm-started beliefs: after one query banks its chunk posteriors, a
+//      fresh query for the same key must reach its first k results in fewer
+//      samples than a cold-prior run (exit 1).
+//
+// --quick (the default scale; CI passes it explicitly) finishes in seconds;
+// --full scales the workload up. --json=PATH writes the measurements
+// (CI uploads BENCH_cache_reuse.json per PR).
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.h"
+
+namespace exsample {
+namespace bench {
+namespace {
+
+engine::EngineConfig BaseConfig() {
+  engine::EngineConfig config;
+  config.discriminator = engine::EngineConfig::DiscriminatorKind::kOracle;
+  config.detector = detect::DetectorOptions::Perfect(0);
+  config.coalesce_detect = true;
+  config.device_batch = 32;
+  return config;
+}
+
+std::vector<engine::QuerySpec> MakeSpecs(size_t sessions, uint64_t limit,
+                                         uint64_t seed) {
+  std::vector<engine::QuerySpec> specs;
+  for (size_t i = 0; i < sessions; ++i) {
+    engine::QuerySpec spec;
+    spec.class_id = 0;
+    spec.limit = limit;
+    spec.options.batch_size = 4;
+    spec.options.max_samples = 3000;
+    spec.options.exsample.seed = seed + i;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// Reused detections are charged zero seconds, so a repeat run's trace differs
+// from the cold run's in `seconds` alone; the *answers* — which frames were
+// picked, what was discovered when — must match point for point.
+bool SameDiscovery(const query::QueryTrace& a, const query::QueryTrace& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].samples != b.points[i].samples ||
+        a.points[i].reported_results != b.points[i].reported_results ||
+        a.points[i].true_distinct != b.points[i].true_distinct) {
+      return false;
+    }
+  }
+  return a.final.samples == b.final.samples &&
+         a.final.reported_results == b.final.reported_results &&
+         a.final.true_distinct == b.final.true_distinct;
+}
+
+double SumSeconds(const std::vector<query::QueryTrace>& traces) {
+  double sum = 0.0;
+  for (const query::QueryTrace& trace : traces) sum += trace.final.seconds;
+  return sum;
+}
+
+// --- Part 1: repeated identical query ---------------------------------------
+
+struct RepeatPart {
+  bool identical = false;
+  double cold_charged = 0.0;
+  double warm_charged = 0.0;
+  double warm_saved = 0.0;
+  uint64_t warm_hits = 0;
+  uint64_t warm_misses = 0;
+  double ratio = 0.0;
+};
+
+RepeatPart RunRepeatedQuery(Workload& workload, uint64_t limit, uint64_t seed) {
+  engine::EngineConfig config = BaseConfig();
+  config.reuse.cache = true;
+  config.reuse.sketch = true;
+  engine::SearchEngine engine(&workload.repo, &workload.chunking, &workload.truth,
+                              config);
+
+  engine::QueryOptions options;
+  options.batch_size = 4;
+  options.max_samples = 3000;
+  options.exsample.seed = seed;
+
+  RepeatPart part;
+  query::QueryTrace traces[2];
+  for (int run = 0; run < 2; ++run) {
+    auto session = engine.CreateSession(/*class_id=*/0, limit, options);
+    common::CheckOk(session.status(), "session creation failed");
+    traces[run] = session.value()->Finish();
+    const reuse::ReuseSessionStats& stats = session.value()->reuse_stats();
+    if (run == 0) {
+      part.cold_charged = stats.charged_detector_seconds;
+    } else {
+      part.warm_charged = stats.charged_detector_seconds;
+      part.warm_saved = stats.saved_detector_seconds;
+      part.warm_hits = stats.cache_hits;
+      part.warm_misses = stats.cache_misses;
+    }
+  }
+  part.identical = SameDiscovery(traces[0], traces[1]);
+  // A perfect repeat charges zero: report the ratio against a floor of one
+  // detector-second-per-frame epsilon so "infinitely cheaper" stays finite.
+  const double floor = 1e-12;
+  part.ratio = part.cold_charged / std::max(part.warm_charged, floor);
+  return part;
+}
+
+// --- Part 2: 50%-overlap workload -------------------------------------------
+
+struct OverlapPart {
+  bool answers_identical = false;
+  double off_seconds = 0.0;
+  double on_seconds = 0.0;
+  double speedup = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t sketch_skips = 0;
+};
+
+OverlapPart RunOverlapWorkload(Workload& workload, uint64_t limit, uint64_t seed) {
+  // Wave 1 primes; wave 2 repeats half of wave 1's specs verbatim and brings
+  // two fresh seeds — a 50%-overlap workload.
+  const std::vector<engine::QuerySpec> wave1 = MakeSpecs(4, limit, seed);
+  std::vector<engine::QuerySpec> wave2 = MakeSpecs(4, limit, seed + 100);
+  wave2[0] = wave1[0];
+  wave2[1] = wave1[1];
+
+  engine::SearchEngine off(&workload.repo, &workload.chunking, &workload.truth,
+                           BaseConfig());
+  auto off1 = off.RunConcurrent(wave1);
+  common::CheckOk(off1.status(), "reuse-off wave 1 failed");
+  auto off2 = off.RunConcurrent(wave2);
+  common::CheckOk(off2.status(), "reuse-off wave 2 failed");
+
+  engine::EngineConfig on_config = BaseConfig();
+  on_config.reuse.cache = true;
+  on_config.reuse.sketch = true;
+  engine::SearchEngine on(&workload.repo, &workload.chunking, &workload.truth,
+                          on_config);
+  auto on1 = on.RunConcurrent(wave1);
+  common::CheckOk(on1.status(), "reuse-on wave 1 failed");
+  auto on2 = on.RunConcurrent(wave2);
+  common::CheckOk(on2.status(), "reuse-on wave 2 failed");
+
+  OverlapPart part;
+  // Concurrent sessions share the cache even within a wave, so reuse-on
+  // traces may be *cheaper* than reuse-off from the first wave on — but the
+  // answers (frames picked, discoveries made) must match point for point.
+  part.answers_identical = true;
+  for (size_t i = 0; i < wave1.size(); ++i) {
+    if (!SameDiscovery(off1.value()[i], on1.value()[i]) ||
+        !SameDiscovery(off2.value()[i], on2.value()[i])) {
+      part.answers_identical = false;
+    }
+  }
+  part.off_seconds = SumSeconds(off2.value());
+  part.on_seconds = SumSeconds(on2.value());
+  part.speedup = part.on_seconds > 0.0 ? part.off_seconds / part.on_seconds : 0.0;
+  const reuse::DetectionCacheStats cache = on.reuse_manager()->cache().Stats();
+  part.cache_hits = cache.hits;
+  part.sketch_skips = on.reuse_manager()->sketch().Stats().known_empty;
+  return part;
+}
+
+// --- Part 3: warm-started beliefs -------------------------------------------
+
+struct WarmPart {
+  double cold_mean_samples = 0.0;
+  double warm_mean_samples = 0.0;
+  uint64_t prime_samples = 0;
+  size_t probes = 0;
+};
+
+// Thompson sampling is randomized, so one probe seed proves nothing either
+// way: bank a few priming queries, then compare the *mean* samples-to-limit
+// over several probe seeds against the same probes on cold priors.
+WarmPart RunWarmStart(Workload& workload, uint64_t limit, uint64_t seed) {
+  const size_t kPrimes = 3;
+  const size_t kProbes = 5;
+  engine::QueryOptions options;
+  options.batch_size = 1;  // Algorithm-1 stepping: every sample informed.
+
+  WarmPart part;
+  part.probes = kProbes;
+
+  engine::SearchEngine cold(&workload.repo, &workload.chunking, &workload.truth,
+                            BaseConfig());
+  engine::EngineConfig warm_config = BaseConfig();
+  warm_config.reuse.warm_start = true;  // Beliefs only: frame picks change,
+                                        // cost attribution stays real.
+  engine::SearchEngine warm(&workload.repo, &workload.chunking, &workload.truth,
+                            warm_config);
+  for (size_t i = 0; i < kPrimes; ++i) {
+    options.exsample.seed = seed + i;
+    auto prime = warm.FindDistinct(/*class_id=*/0, limit, options);
+    common::CheckOk(prime.status(), "warm prime failed");
+    part.prime_samples += prime.value().final.samples;
+  }
+  for (size_t i = 0; i < kProbes; ++i) {
+    options.exsample.seed = seed + 100 + i;
+    auto cold_trace = cold.FindDistinct(/*class_id=*/0, limit, options);
+    common::CheckOk(cold_trace.status(), "cold probe failed");
+    part.cold_mean_samples += static_cast<double>(cold_trace.value().final.samples);
+    auto warm_trace = warm.FindDistinct(/*class_id=*/0, limit, options);
+    common::CheckOk(warm_trace.status(), "warm probe failed");
+    part.warm_mean_samples += static_cast<double>(warm_trace.value().final.samples);
+  }
+  part.cold_mean_samples /= static_cast<double>(kProbes);
+  part.warm_mean_samples /= static_cast<double>(kProbes);
+  return part;
+}
+
+int Run(const BenchConfig& config, const std::string& json_path) {
+  const uint64_t kFrames = config.full ? 120000 : 50000;
+  const uint64_t kLimit = config.full ? 16 : 10;
+  auto workload = Workload::Simulated(kFrames, /*chunks=*/16, /*instances=*/80,
+                                      /*duration=*/150.0, /*skew_fraction=*/0.4,
+                                      config.seed);
+
+  std::printf("=== Cross-query reuse: cache, overlap workload, warm start ===\n\n");
+
+  // --- Part 1 ---------------------------------------------------------------
+  const RepeatPart repeat = RunRepeatedQuery(*workload, kLimit, config.seed);
+  {
+    common::TextTable table;
+    table.SetHeader({"run", "charged det-s", "saved det-s", "hits", "misses"});
+    char cold_charged[32], warm_charged[32], warm_saved[32];
+    std::snprintf(cold_charged, sizeof(cold_charged), "%.3f", repeat.cold_charged);
+    std::snprintf(warm_charged, sizeof(warm_charged), "%.3f", repeat.warm_charged);
+    std::snprintf(warm_saved, sizeof(warm_saved), "%.3f", repeat.warm_saved);
+    table.AddRow({"cold (empty cache)", cold_charged, "0.000", "-", "-"});
+    table.AddRow({"repeat (same spec)", warm_charged, warm_saved,
+                  std::to_string(repeat.warm_hits),
+                  std::to_string(repeat.warm_misses)});
+    std::printf("--- repeated identical query, limit %llu ---\n%s",
+                static_cast<unsigned long long>(kLimit), table.ToString().c_str());
+    std::printf("charged-seconds reduction: %.0fx (>= 10x required): %s\n",
+                repeat.ratio, repeat.ratio >= 10.0 ? "PASS" : "FAIL");
+    std::printf("repeat reproduced the cold discovery sequence: %s\n\n",
+                repeat.identical ? "yes" : "NO — BUG");
+  }
+
+  // --- Part 2 ---------------------------------------------------------------
+  const OverlapPart overlap = RunOverlapWorkload(*workload, kLimit, config.seed);
+  {
+    std::printf("--- 50%%-overlap workload: wave 2 = 2 repeats + 2 fresh ---\n");
+    std::printf("wave-2 end-to-end: reuse off %.3f det-s, reuse on %.3f det-s "
+                "(%.2fx; >= 1.5x required): %s\n",
+                overlap.off_seconds, overlap.on_seconds, overlap.speedup,
+                overlap.speedup >= 1.5 ? "PASS" : "FAIL");
+    std::printf("shared cache: %llu hits, %llu proven-empty sketch entries\n",
+                static_cast<unsigned long long>(overlap.cache_hits),
+                static_cast<unsigned long long>(overlap.sketch_skips));
+    std::printf("every query's discovery sequence matches reuse-off: %s\n\n",
+                overlap.answers_identical ? "yes" : "NO — BUG");
+  }
+
+  // --- Part 3 ---------------------------------------------------------------
+  // Warm starts pay off where beliefs carry real information: a sparse,
+  // heavily skewed scene in which cold Thompson sampling must spend samples
+  // discovering which chunks are empty before it can exploit the hot ones.
+  const uint64_t kWarmLimit = 8;
+  auto sparse = Workload::Simulated(kFrames, /*chunks=*/16, /*instances=*/16,
+                                    /*duration=*/80.0, /*skew_fraction=*/0.15,
+                                    config.seed);
+  const WarmPart warm = RunWarmStart(*sparse, kWarmLimit, config.seed);
+  {
+    std::printf("--- warm-started beliefs: samples to first %llu results ---\n",
+                static_cast<unsigned long long>(kWarmLimit));
+    std::printf("cold priors %.1f samples; warm priors %.1f samples "
+                "(mean of %zu probes; bank primed with %llu samples): %s\n\n",
+                warm.cold_mean_samples, warm.warm_mean_samples, warm.probes,
+                static_cast<unsigned long long>(warm.prime_samples),
+                warm.warm_mean_samples < warm.cold_mean_samples ? "PASS" : "FAIL");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    json << "{\n  \"bench\": \"cache_reuse\",\n";
+    json << "  \"full\": " << (config.full ? "true" : "false") << ",\n";
+    json << "  \"repeat\": {\"discovery_identical\": "
+         << (repeat.identical ? "true" : "false")
+         << ", \"cold_charged_s\": " << repeat.cold_charged
+         << ", \"warm_charged_s\": " << repeat.warm_charged
+         << ", \"warm_saved_s\": " << repeat.warm_saved
+         << ", \"cache_hits\": " << repeat.warm_hits
+         << ", \"cache_misses\": " << repeat.warm_misses
+         << ", \"charged_reduction\": " << repeat.ratio << "},\n";
+    json << "  \"overlap\": {\"answers_identical\": "
+         << (overlap.answers_identical ? "true" : "false")
+         << ", \"off_seconds\": " << overlap.off_seconds
+         << ", \"on_seconds\": " << overlap.on_seconds
+         << ", \"speedup\": " << overlap.speedup
+         << ", \"cache_hits\": " << overlap.cache_hits << "},\n";
+    json << "  \"warm_start\": {\"cold_mean_samples\": " << warm.cold_mean_samples
+         << ", \"warm_mean_samples\": " << warm.warm_mean_samples
+         << ", \"probes\": " << warm.probes
+         << ", \"prime_samples\": " << warm.prime_samples << "}\n}\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+
+  // Exit enforcement: answer changes are correctness bugs, perf floors are
+  // regressions.
+  if (!repeat.identical || !overlap.answers_identical) return 3;
+  const bool perf_ok = repeat.ratio >= 10.0 && overlap.speedup >= 1.5 &&
+                       warm.warm_mean_samples < warm.cold_mean_samples;
+  return perf_ok ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::Parse(argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    // --quick is the default scale; accepted explicitly for CI clarity.
+  }
+  return Run(config, json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace exsample
+
+int main(int argc, char** argv) { return exsample::bench::Main(argc, argv); }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/status.h"
+
 namespace exsample {
 namespace core {
 
@@ -36,28 +38,37 @@ size_t ArgmaxEligible(size_t num_chunks, const std::vector<bool>& eligible,
 
 }  // namespace
 
+void BeliefChunkPolicy::CheckPriors(const ChunkStatsTable& stats) const {
+  common::Check(chunk_priors_.empty() || chunk_priors_.size() == stats.NumChunks(),
+                "BeliefChunkPolicy: per-chunk priors disagree with chunk count");
+}
+
 size_t ThompsonPolicy::PickChunk(const ChunkStatsTable& stats,
                                  const std::vector<bool>& eligible, common::Rng& rng) {
+  CheckPriors(stats);
   return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
-    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Sample(rng);
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, PriorFor(j)).Sample(rng);
   });
 }
 
 size_t BayesUcbPolicy::PickChunk(const ChunkStatsTable& stats,
                                  const std::vector<bool>& eligible, common::Rng& rng) {
+  CheckPriors(stats);
   // Quantile level 1 - 1/t grows toward 1 as evidence accumulates, shrinking
   // the exploration bonus (Kaufmann's Bayes-UCB index).
   const double t = static_cast<double>(stats.TotalSamples()) + 1.0;
   const double level = std::min(1.0 - 1.0 / t, 1.0 - 1e-12);
   return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
-    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Quantile(level);
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, PriorFor(j))
+        .Quantile(level);
   });
 }
 
 size_t GreedyPolicy::PickChunk(const ChunkStatsTable& stats,
                                const std::vector<bool>& eligible, common::Rng& rng) {
+  CheckPriors(stats);
   return ArgmaxEligible(stats.NumChunks(), eligible, rng, [&](size_t j) {
-    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, params_).Mean();
+    return MakeBelief(stats.N1NonNegative(j), stats.State(j).n, PriorFor(j)).Mean();
   });
 }
 

@@ -29,48 +29,76 @@ class ChunkPolicy {
   virtual std::string name() const = 0;
 };
 
+/// \brief Shared base of the Gamma-belief policies: holds the flat prior and
+/// optional *per-chunk* prior overrides.
+///
+/// Per-chunk priors are the cross-query warm-start seam
+/// (`reuse::BeliefBank`): a later query for the same class seeds chunk j's
+/// belief from earlier queries' accumulated posterior counts instead of the
+/// flat (alpha0, beta0). This is a pure prior substitution — the update math
+/// (Algorithm 1 lines 11–12, Eq. III.4) and the policy's scoring rule are
+/// untouched, and with no overrides set behavior is bit-identical to before
+/// the seam existed.
+class BeliefChunkPolicy : public ChunkPolicy {
+ public:
+  explicit BeliefChunkPolicy(BeliefParams params) : params_(params) {}
+
+  /// \brief Installs per-chunk prior overrides. `priors[j]` replaces the flat
+  /// prior for chunk j; the vector's size must match the stats table the
+  /// policy is used with (checked at pick time). Empty reverts to the flat
+  /// prior.
+  void SetChunkPriors(std::vector<BeliefParams> priors) {
+    chunk_priors_ = std::move(priors);
+  }
+
+  /// \brief True when per-chunk priors are installed.
+  bool HasChunkPriors() const { return !chunk_priors_.empty(); }
+
+ protected:
+  /// The prior belief of chunk `j`.
+  const BeliefParams& PriorFor(size_t j) const {
+    return chunk_priors_.empty() ? params_ : chunk_priors_[j];
+  }
+  /// Fatal when installed priors disagree with the table's chunk count.
+  void CheckPriors(const ChunkStatsTable& stats) const;
+
+  BeliefParams params_;
+  std::vector<BeliefParams> chunk_priors_;
+};
+
 /// \brief Thompson sampling over Gamma beliefs (the paper's method,
 /// Sec. III-C): draw R_j ~ Gamma(N1_j + alpha0, n_j + beta0) for every chunk
 /// and take the argmax. Ties are broken by the randomness of the draws; on
 /// the first iteration all beliefs are identical, so the pick is uniform.
-class ThompsonPolicy : public ChunkPolicy {
+class ThompsonPolicy : public BeliefChunkPolicy {
  public:
-  explicit ThompsonPolicy(BeliefParams params = {}) : params_(params) {}
+  explicit ThompsonPolicy(BeliefParams params = {}) : BeliefChunkPolicy(params) {}
   size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
                    common::Rng& rng) override;
   std::string name() const override { return "thompson"; }
-
- private:
-  BeliefParams params_;
 };
 
 /// \brief Bayes-UCB (Kaufmann): use the upper 1 - 1/t quantile of the same
 /// Gamma belief instead of a random draw. The paper reports results
 /// indistinguishable from Thompson sampling (Sec. III-C).
-class BayesUcbPolicy : public ChunkPolicy {
+class BayesUcbPolicy : public BeliefChunkPolicy {
  public:
-  explicit BayesUcbPolicy(BeliefParams params = {}) : params_(params) {}
+  explicit BayesUcbPolicy(BeliefParams params = {}) : BeliefChunkPolicy(params) {}
   size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
                    common::Rng& rng) override;
   std::string name() const override { return "bayes-ucb"; }
-
- private:
-  BeliefParams params_;
 };
 
 /// \brief Greedy point-estimate policy: argmax of (N1+alpha0)/(n+beta0) with
 /// random tie-breaking. Included as the ablation the paper warns about: a raw
 /// point estimate "could get stuck sampling chunks with an early lucky result
 /// and ignore better chunks with unlucky early results" (Sec. III-B).
-class GreedyPolicy : public ChunkPolicy {
+class GreedyPolicy : public BeliefChunkPolicy {
  public:
-  explicit GreedyPolicy(BeliefParams params = {}) : params_(params) {}
+  explicit GreedyPolicy(BeliefParams params = {}) : BeliefChunkPolicy(params) {}
   size_t PickChunk(const ChunkStatsTable& stats, const std::vector<bool>& eligible,
                    common::Rng& rng) override;
   std::string name() const override { return "greedy"; }
-
- private:
-  BeliefParams params_;
 };
 
 /// \brief Uniform-random chunk choice (reduces ExSample to chunk-stratified

@@ -33,6 +33,15 @@ ExSampleStrategy::ExSampleStrategy(const video::Chunking* chunking,
       eligible_(chunking->NumChunks(), true),
       eligible_count_(chunking->NumChunks()) {
   common::Check(options_.batch_size >= 1, "ExSampleOptions: batch_size must be >= 1");
+  if (!options_.chunk_priors.empty()) {
+    common::Check(options_.chunk_priors.size() == chunking->NumChunks(),
+                  "ExSampleOptions: chunk_priors must match the chunk count");
+    // Warm start: the belief-based policies accept per-chunk priors; the
+    // uniform policy holds no beliefs, so overrides are meaningless there.
+    if (auto* belief_policy = dynamic_cast<BeliefChunkPolicy*>(policy_.get())) {
+      belief_policy->SetChunkPriors(options_.chunk_priors);
+    }
+  }
 }
 
 FrameSampler* ExSampleStrategy::SamplerFor(size_t chunk) {

@@ -43,6 +43,14 @@ struct ExSampleOptions {
 
   /// Seed of the strategy's private random stream.
   uint64_t seed = 1;
+
+  /// Optional per-chunk prior overrides (cross-query warm start,
+  /// `reuse::BeliefBank`): `chunk_priors[j]` replaces `belief` as chunk j's
+  /// prior pseudo-counts. Must be empty or sized to the chunking's chunk
+  /// count. A pure prior change — the update math is untouched, and empty
+  /// (the default) is bit-identical to the pre-warm-start strategy. Ignored
+  /// by the kUniform policy, which holds no beliefs.
+  std::vector<BeliefParams> chunk_priors;
 };
 
 /// \brief ExSample (Algorithm 1): adaptive chunk-based sampling for distinct
@@ -79,6 +87,9 @@ class ExSampleStrategy : public query::SearchStrategy {
   /// \brief Read access to the per-chunk statistics (for inspection, tests,
   /// and the bench harness's skew reports).
   const ChunkStatsTable& Stats() const { return stats_; }
+
+  // Posterior export for cross-query warm starts (reuse::BeliefBank).
+  const ChunkStatsTable* ChunkStatistics() const override { return &stats_; }
 
   /// \brief Number of chunks still holding unsampled frames.
   size_t EligibleChunks() const { return eligible_count_; }

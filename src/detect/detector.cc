@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "common/hash.h"
@@ -11,6 +12,30 @@
 
 namespace exsample {
 namespace detect {
+
+namespace {
+
+uint64_t HashDouble(uint64_t seed, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return common::HashCombine(seed, bits);
+}
+
+}  // namespace
+
+uint64_t DetectorOptionsHash(const DetectorOptions& options) {
+  uint64_t h = common::HashCombine(0x44455448u /* "HTED" */,
+                                   static_cast<uint64_t>(static_cast<uint32_t>(
+                                       options.target_class)));
+  h = HashDouble(h, options.miss_prob);
+  h = HashDouble(h, options.edge_ramp_fraction);
+  h = HashDouble(h, options.edge_min_factor);
+  h = HashDouble(h, options.localization_sigma);
+  h = HashDouble(h, options.false_positive_rate);
+  h = HashDouble(h, options.seconds_per_frame);
+  return common::HashCombine(h, options.seed);
+}
 
 std::vector<Detections> ObjectDetector::DetectBatch(
     common::Span<video::FrameId> frames, common::ThreadPool* pool) {

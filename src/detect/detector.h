@@ -74,6 +74,17 @@ struct DetectorOptions {
   static DetectorOptions Perfect(int32_t target_class);
 };
 
+/// \brief Stable 64-bit hash of a detector configuration, folding in every
+/// field (doubles by bit pattern, so even denormal-level differences count).
+///
+/// `SimulatedDetector` is a pure per-frame function of (truth, options,
+/// frame): two detectors whose options hash equal produce identical
+/// detections on identical frames over the same ground truth. That makes
+/// this hash one third of the cross-query reuse key (`reuse::ReuseKey`) —
+/// cached detections are only served to sessions whose detector would have
+/// computed the same bytes.
+uint64_t DetectorOptionsHash(const DetectorOptions& options);
+
 /// \brief Simulated object detector backed by scene ground truth.
 ///
 /// For every instance visible in the frame, a deterministic per-frame coin

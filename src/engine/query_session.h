@@ -11,6 +11,7 @@
 #include "query/shard_dispatch.h"
 #include "query/strategy.h"
 #include "query/trace.h"
+#include "reuse/reuse.h"
 #include "track/discriminator.h"
 #include "video/decode.h"
 
@@ -72,7 +73,15 @@ class QuerySession {
   const query::QueryTrace& Trace() const { return execution_->trace(); }
 
   /// \brief Runs the query to completion and returns the finalized trace.
-  query::QueryTrace Finish() { return execution_->Finish(); }
+  /// Under warm-start reuse, the finished strategy's chunk statistics — the
+  /// sufficient statistic of its Gamma posteriors — are harvested into the
+  /// engine's `reuse::BeliefBank` here, once, so later queries for the same
+  /// key can seed their priors from them.
+  query::QueryTrace Finish() {
+    query::QueryTrace trace = execution_->Finish();
+    HarvestBeliefs();
+    return trace;
+  }
 
   /// \brief The session's shard dispatcher, or null when the engine is not
   /// sharded. Exposes per-shard execution stats for observability.
@@ -107,9 +116,23 @@ class QuerySession {
     return scheduler_stats_;
   }
 
+  /// \brief Cross-query reuse observability: cache hits/misses, sketch
+  /// skips, saved vs charged detector seconds, and whether this session's
+  /// beliefs were warm-started. All zeros when the engine's reuse is off
+  /// (`EngineConfig::reuse`).
+  const reuse::ReuseSessionStats& reuse_stats() const { return reuse_stats_; }
+
  private:
   friend class SearchEngine;
   QuerySession() = default;
+
+  void HarvestBeliefs() {
+    if (belief_bank_ == nullptr || beliefs_harvested_) return;
+    const core::ChunkStatsTable* stats = strategy_->ChunkStatistics();
+    if (stats == nullptr) return;  // Strategy holds no chunk beliefs.
+    belief_bank_->RecordPosterior(belief_key_, chunking_signature_, *stats);
+    beliefs_harvested_ = true;
+  }
 
   std::unique_ptr<query::SearchStrategy> strategy_;
   std::unique_ptr<detect::ObjectDetector> detector_;
@@ -129,6 +152,17 @@ class QuerySession {
   // coalescing fields filled in by the engine's shared detector service
   // (wired via RunnerOptions::session_stats).
   query::SessionSchedulerStats scheduler_stats_;
+  // Cross-query reuse: the session's binding to the engine's shared
+  // ReuseManager (wired via RunnerOptions::reuse; null when cache and
+  // sketch are both off) and its stats sink.
+  std::unique_ptr<reuse::SessionReuse> reuse_;
+  reuse::ReuseSessionStats reuse_stats_;
+  // Warm-start harvest target: where Finish() deposits this query's
+  // posterior counts (null when warm start is off).
+  reuse::BeliefBank* belief_bank_ = nullptr;
+  reuse::ReuseKey belief_key_{};
+  uint64_t chunking_signature_ = 0;
+  bool beliefs_harvested_ = false;
 };
 
 }  // namespace engine

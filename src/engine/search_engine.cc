@@ -179,6 +179,14 @@ query::DetectorService* SearchEngine::detector_service() {
   return detector_service_.get();
 }
 
+reuse::ReuseManager* SearchEngine::reuse_manager() {
+  if (!config_.reuse.AnyEnabled()) return nullptr;
+  if (reuse_manager_ == nullptr) {
+    reuse_manager_ = std::make_unique<reuse::ReuseManager>(config_.reuse);
+  }
+  return reuse_manager_.get();
+}
+
 common::ThreadPool* SearchEngine::shard_io_pool(uint32_t shard) {
   if (config_.io_threads_per_shard == 0) return nullptr;
   if (shard_io_pools_.empty()) {
@@ -194,16 +202,63 @@ common::ThreadPool* SearchEngine::shard_io_pool(uint32_t shard) {
 common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
     int32_t class_id, const query::RunnerOptions& runner_options,
     const QueryOptions& options) {
-  auto strategy = MakeStrategy(class_id, options);
+  detect::DetectorOptions det_opts = config_.detector;
+  det_opts.target_class = class_id;
+
+  // Cross-query reuse: every component is addressed by the (dataset,
+  // detector config, class) triple, so a cache populated for one query can
+  // only ever answer queries whose real detect calls would return the same
+  // bytes (detection is a pure per-frame function of exactly that triple).
+  reuse::ReuseManager* reuse = reuse_manager();
+  reuse::ReuseKey reuse_key;
+  if (reuse != nullptr) {
+    reuse_key.repo_fingerprint = repo_->Fingerprint();
+    reuse_key.detector_config = detect::DetectorOptionsHash(det_opts);
+    reuse_key.class_id = class_id;
+  }
+
+  // Warm start: seed the strategy's per-chunk priors from the bank's
+  // persisted posteriors *before* the strategy is built. A pure prior
+  // substitution — nothing else about the strategy changes, and an empty
+  // bank (or a non-belief method) leaves `options` untouched.
+  QueryOptions effective = options;
+  bool warm_started = false;
+  if (reuse != nullptr && reuse->options().warm_start) {
+    const uint64_t signature = reuse::ChunkingSignature(*chunking_);
+    const double weight = reuse->options().warm_start_weight;
+    if (options.method == Method::kExSample) {
+      std::vector<core::BeliefParams> priors = reuse->beliefs().WarmPriors(
+          reuse_key, signature, options.exsample.belief, weight);
+      if (!priors.empty()) {
+        effective.exsample.chunk_priors = std::move(priors);
+        warm_started = true;
+      }
+    } else if (options.method == Method::kHybrid) {
+      std::vector<core::BeliefParams> priors = reuse->beliefs().WarmPriors(
+          reuse_key, signature, options.hybrid.belief, weight);
+      if (!priors.empty()) {
+        effective.hybrid.chunk_priors = std::move(priors);
+        warm_started = true;
+      }
+    }
+  }
+
+  auto strategy = MakeStrategy(class_id, effective);
   if (!strategy.ok()) return strategy.status();
 
   // Per-query state (Algorithm 1 assumes independent queries): fresh
   // detector noise stream, fresh discriminator memory, fresh strategy.
   std::unique_ptr<QuerySession> session(new QuerySession());
   session->strategy_ = std::move(strategy).value();
+  session->reuse_stats_.warm_started = warm_started;
+  if (reuse != nullptr && reuse->options().warm_start) {
+    // Finish() deposits this query's posterior counts back into the bank
+    // (a no-op for strategies without chunk beliefs).
+    session->belief_bank_ = &reuse->beliefs();
+    session->belief_key_ = reuse_key;
+    session->chunking_signature_ = reuse::ChunkingSignature(*chunking_);
+  }
 
-  detect::DetectorOptions det_opts = config_.detector;
-  det_opts.target_class = class_id;
   if (sharded_ != nullptr) {
     // One detector context per shard. Each shard's detector carries the same
     // options (and seed) as the unsharded detector would, and detection is a
@@ -271,6 +326,14 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   session_options.detector_service = detector_service();
   session_options.service_session_id = next_session_id_++;
   session_options.session_stats = &session->scheduler_stats_;
+  // Detect-stage reuse (cache/sketch): the session binds to the engine's
+  // shared manager under its key; the runner consults it per picked batch.
+  // Warm start alone leaves this null — the detect stage is then untouched.
+  if (reuse != nullptr && (reuse->options().cache || reuse->options().sketch)) {
+    session->reuse_ = std::make_unique<reuse::SessionReuse>(
+        reuse, reuse_key, repo_->TotalFrames(), &session->reuse_stats_);
+    session_options.reuse = session->reuse_.get();
+  }
   session->execution_ = std::make_unique<query::QueryExecution>(
       truth_, session->detector_.get(), session->discriminator_.get(),
       session->strategy_.get(), session_options);

@@ -19,6 +19,7 @@
 #include "query/scheduler.h"
 #include "query/strategy.h"
 #include "query/trace.h"
+#include "reuse/reuse.h"
 #include "samplers/hybrid_strategy.h"
 #include "samplers/proxy_strategy.h"
 #include "samplers/random_strategy.h"
@@ -159,6 +160,17 @@ struct EngineConfig {
   /// granted at least one step per this many rounds
   /// (`SessionSchedulerOptions::starvation_rounds`).
   uint64_t scheduler_starvation_rounds = 4;
+
+  /// Cross-query result reuse (`reuse::ReuseManager`): an engine-owned exact
+  /// detection cache, scanned-space sketch, and belief bank shared by every
+  /// session — consecutive queries and `RunConcurrent` workloads alike.
+  /// Components are keyed by (repository fingerprint, detector-config hash,
+  /// class), so reuse never crosses datasets, detector configs, or classes.
+  /// Cache hits and sketch skips serve detections bit-identical to a real
+  /// detect call at zero charged detector seconds; warm start is a pure
+  /// prior substitution. All off (the default) leaves every query
+  /// bit-identical to the pre-reuse engine.
+  reuse::ReuseOptions reuse;
 
   /// Shard the repository into this many contiguous, clip-aligned shards,
   /// each serving its frames with its own detector context (the in-process
@@ -302,6 +314,11 @@ class SearchEngine {
   /// wire stats (batches, bytes, injected failures) for observability.
   const query::ShardTransport* shard_transport() const { return transport_.get(); }
 
+  /// \brief The engine-owned cross-query reuse state, created lazily on
+  /// first use. Null when no reuse piece is enabled (`config.reuse`).
+  /// Exposes cache/sketch/bank statistics for observability.
+  reuse::ReuseManager* reuse_manager();
+
  private:
   /// The pool a shard's detect stage fans out over: the shard's private pool
   /// when `config.threads_per_shard > 0` (created lazily, shared by all
@@ -343,6 +360,8 @@ class SearchEngine {
   std::unique_ptr<query::DetectorService> detector_service_;
   // Session identities for the service's shared-batch attribution.
   uint64_t next_session_id_ = 1;
+  // Engine-owned cross-query reuse state (config.reuse), lazy.
+  std::unique_ptr<reuse::ReuseManager> reuse_manager_;
   // Per-shard private pools (config.threads_per_shard > 0), lazily created.
   std::vector<std::unique_ptr<common::ThreadPool>> shard_pools_;
   // Per-shard private I/O pools (config.io_threads_per_shard > 0), lazy.

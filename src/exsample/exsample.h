@@ -8,7 +8,8 @@
 /// strategies (samplers/), the simulated video/detection substrate (video/,
 /// scene/, detect/, track/), the shared query runner (query/), the offline
 /// optimal-weights benchmark (opt/), the probabilistic simulation model
-/// (sim/), and the six dataset emulations (datasets/).
+/// (sim/), the cross-query result-reuse layer (reuse/), and the six dataset
+/// emulations (datasets/).
 
 #include "common/format.h"
 #include "common/geometry.h"
@@ -45,6 +46,11 @@
 #include "query/trace_io.h"
 #include "query/transport.h"
 #include "query/wire.h"
+#include "reuse/belief_bank.h"
+#include "reuse/detection_cache.h"
+#include "reuse/reuse.h"
+#include "reuse/reuse_key.h"
+#include "reuse/scanned_sketch.h"
 #include "samplers/hybrid_strategy.h"
 #include "samplers/proxy_strategy.h"
 #include "samplers/random_strategy.h"

@@ -165,6 +165,10 @@ class DetectorService {
 
   /// One session's pending detect work. Spans must stay valid until the
   /// request's results are taken; the pointees must outlive the flush.
+  /// Under cross-query reuse (`RunnerOptions::reuse`) the submitting runner
+  /// has already filtered its batch: only cache/sketch *misses* arrive here,
+  /// so coalesced device batches never spend capacity on frames whose
+  /// detections are already known.
   struct DetectRequest {
     /// Stable identity of the submitting session. Used for shared-batch
     /// stats attribution and, over a transport, as the wire id the shard

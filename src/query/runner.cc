@@ -91,14 +91,13 @@ void QueryExecution::RecordEvent(size_t part, double seconds, uint32_t samples,
 }
 
 std::vector<detect::Detections> QueryExecution::DetectStage(
-    const std::vector<video::FrameId>& frames) {
+    const std::vector<video::FrameId>& frames, const std::vector<uint32_t>& shards) {
   ShardDispatcher* dispatcher = options_.shard_dispatcher;
   const auto detect_range = [&](size_t begin, size_t count) {
     const common::Span<video::FrameId> sub(frames.data() + begin, count);
     return dispatcher != nullptr
                ? dispatcher->DetectBatch(
-                     sub, common::Span<const uint32_t>(frame_shards_.data() + begin,
-                                                       count))
+                     sub, common::Span<const uint32_t>(shards.data() + begin, count))
                : detector_->DetectBatch(sub, options_.thread_pool);
   };
 
@@ -187,42 +186,71 @@ bool QueryExecution::BeginStep() {
   }
   charged_overhead_ = overhead;
 
-  // Decode stage, behind the prefetcher. Charged up front for the whole
-  // batch: the prefetcher plans every read now, in batch order — per-shard
-  // stores plan on the owning shard (each shard keeps its own position
-  // state), otherwise the query-global store is used and the cost is still
+  // Cross-query reuse: classify the picked batch before anything is paid
+  // for. Hits carry their exact cached detections and skips a proven-empty
+  // list; only the remaining misses flow into the decode and detect stages
+  // below. The *full* batch stays in `pending_frames_` — discrimination and
+  // strategy feedback consume it in batch order in FinishStep, so reuse
+  // changes which frames are paid for, never what any stage observes.
+  const bool reusing = options_.reuse != nullptr;
+  if (reusing) {
+    reuse_outcomes_.clear();
+    reuse_detections_.assign(pending_frames_.size(), detect::Detections());
+    miss_frames_.clear();
+    miss_shards_.clear();
+    for (size_t i = 0; i < pending_frames_.size(); ++i) {
+      const reuse::SessionReuse::Outcome outcome =
+          options_.reuse->Classify(pending_frames_[i], &reuse_detections_[i]);
+      reuse_outcomes_.push_back(outcome);
+      if (outcome == reuse::SessionReuse::Outcome::kMiss) {
+        miss_frames_.push_back(pending_frames_[i]);
+        if (dispatcher != nullptr) miss_shards_.push_back(frame_shards_[i]);
+      }
+    }
+  }
+  const std::vector<video::FrameId>& detect_frames =
+      reusing ? miss_frames_ : pending_frames_;
+  const std::vector<uint32_t>& detect_shards = reusing ? miss_shards_ : frame_shards_;
+
+  // Decode stage, behind the prefetcher. Charged up front for the batch's
+  // detect set (reused frames never decode: their outcome is already known):
+  // the prefetcher plans every read now, in batch order — per-shard stores
+  // plan on the owning shard (each shard keeps its own position state),
+  // otherwise the query-global store is used and the cost is still
   // attributed to the owning shard's partial trace. The decode *work* runs
   // asynchronously while the detect stage consumes the batch — which, under
   // a shared service, happens only at flush time, so the decode-ahead window
   // spans the whole coalesce window instead of one session's detect windows.
-  if (prefetcher_ != nullptr) {
+  if (prefetcher_ != nullptr && !detect_frames.empty()) {
     const bool sharded_stores = dispatcher != nullptr && dispatcher->HasStores();
     const std::vector<double>& charges = prefetcher_->SubmitBatch(
-        pending_frames_, sharded_stores
-                             ? common::Span<const uint32_t>(frame_shards_.data(),
-                                                            frame_shards_.size())
-                             : common::Span<const uint32_t>());
-    for (size_t i = 0; i < pending_frames_.size(); ++i) {
+        detect_frames, sharded_stores
+                           ? common::Span<const uint32_t>(detect_shards.data(),
+                                                          detect_shards.size())
+                           : common::Span<const uint32_t>());
+    for (size_t i = 0; i < detect_frames.size(); ++i) {
       current_.seconds += charges[i];
       if (dispatcher != nullptr) {
-        RecordEvent(1 + frame_shards_[i], charges[i], 0, 0, 0, false);
+        RecordEvent(1 + detect_shards[i], charges[i], 0, 0, 0, false);
       }
     }
   }
 
-  // Stage the detect work. With a shared service the batch is *submitted* —
-  // merged with other sessions' pending frames into full device batches at
-  // the next flush; without one it is held for FinishStep's local detect
-  // stage. Either way `pending_frames_` stays stable until the step finishes
-  // (the service and the prefetcher hold spans into it).
-  if (options_.detector_service != nullptr) {
+  // Stage the detect work. With a shared service the batch's detect set is
+  // *submitted* — merged with other sessions' pending frames into full
+  // device batches at the next flush; without one it is held for
+  // FinishStep's local detect stage. Either way the backing vector stays
+  // stable until the step finishes (the service and the prefetcher hold
+  // spans into it). A fully-reused batch submits nothing at all — that is
+  // the whole point.
+  if (options_.detector_service != nullptr && !detect_frames.empty()) {
     DetectorService::DetectRequest request;
     request.session_id = options_.service_session_id;
-    request.frames = common::Span<const video::FrameId>(pending_frames_.data(),
-                                                        pending_frames_.size());
+    request.frames = common::Span<const video::FrameId>(detect_frames.data(),
+                                                        detect_frames.size());
     if (dispatcher != nullptr) {
       request.shards =
-          common::Span<const uint32_t>(frame_shards_.data(), frame_shards_.size());
+          common::Span<const uint32_t>(detect_shards.data(), detect_shards.size());
       request.dispatcher = dispatcher;
     } else {
       request.detector = detector_;
@@ -230,6 +258,7 @@ bool QueryExecution::BeginStep() {
     request.prefetcher = prefetcher_.get();
     request.session_stats = options_.session_stats;
     pending_ticket_ = options_.detector_service->Submit(request);
+    pending_ticket_valid_ = true;
   }
   pending_detect_ = true;
   return true;
@@ -239,30 +268,59 @@ void QueryExecution::FinishStep() {
   common::Check(pending_detect_, "FinishStep without a pending BeginStep");
   pending_detect_ = false;
   ShardDispatcher* dispatcher = options_.shard_dispatcher;
+  const bool reusing = options_.reuse != nullptr;
+  const std::vector<video::FrameId>& detect_frames =
+      reusing ? miss_frames_ : pending_frames_;
+  const std::vector<uint32_t>& detect_shards = reusing ? miss_shards_ : frame_shards_;
 
-  // Detect stage: per-frame-independent, fans out across the pool — or, when
-  // the repository is sharded, across the owning shards' detector contexts;
+  // Detect stage over the batch's detect set (the misses, under reuse):
+  // per-frame-independent, fans out across the pool — or, when the
+  // repository is sharded, across the owning shards' detector contexts;
   // under a shared service the work already ran in coalesced device batches
-  // and is collected here. Result i belongs to frames[i] whatever the
-  // execution order.
-  const std::vector<detect::Detections> detections =
-      options_.detector_service != nullptr
-          ? options_.detector_service->Take(pending_ticket_)
-          : DetectStage(pending_frames_);
+  // and is collected here. Result i belongs to detect_frames[i] whatever the
+  // execution order. A fully-reused batch has nothing to collect.
+  std::vector<detect::Detections> miss_detections;
+  if (pending_ticket_valid_) {
+    miss_detections = options_.detector_service->Take(pending_ticket_);
+    pending_ticket_valid_ = false;
+  } else if (options_.detector_service == nullptr && !detect_frames.empty()) {
+    miss_detections = DetectStage(detect_frames, detect_shards);
+  }
 
   // Discriminate stage: strictly sequential in batch order — matching is
   // stateful, and reproducibility requires a fixed observation order. This is
   // the merge point of a sharded execution: whatever shard detected a frame,
-  // its detections are observed here, in the coordinator's batch order.
+  // its detections are observed here, in the coordinator's batch order —
+  // and the merge point of reuse: cached/proven-empty detections interleave
+  // with fresh ones in the same order a cold run would observe, byte-equal,
+  // so everything downstream (matching, feedback, results) is unchanged.
   feedback_.clear();
+  size_t miss_pos = 0;
   for (size_t i = 0; i < pending_frames_.size(); ++i) {
     const uint32_t shard = dispatcher != nullptr ? frame_shards_[i] : 0;
-    const double detect_seconds = dispatcher != nullptr
-                                      ? dispatcher->SecondsPerFrame(shard)
-                                      : detector_->SecondsPerFrame();
+    const double seconds_per_frame = dispatcher != nullptr
+                                         ? dispatcher->SecondsPerFrame(shard)
+                                         : detector_->SecondsPerFrame();
+    const bool reused =
+        reusing && reuse_outcomes_[i] != reuse::SessionReuse::Outcome::kMiss;
+    // Reused frames charge zero detector seconds — that cost was paid by
+    // whichever query populated the cache; the avoided cost is credited to
+    // the session's saved_detector_seconds instead.
+    const double detect_seconds = reused ? 0.0 : seconds_per_frame;
+    const detect::Detections& detections =
+        reused ? reuse_detections_[i] : miss_detections[miss_pos];
+    if (reused) {
+      options_.reuse->RecordSaved(seconds_per_frame);
+    } else {
+      if (reusing) {
+        options_.reuse->RecordDetected(pending_frames_[i], detections,
+                                       seconds_per_frame);
+      }
+      ++miss_pos;
+    }
     current_.seconds += detect_seconds;
     const track::MatchResult result =
-        discriminator_->Observe(pending_frames_[i], detections[i]);
+        discriminator_->Observe(pending_frames_[i], detections);
     feedback_.push_back(
         FrameFeedback{pending_frames_[i], result.d0.size(), result.d1.size()});
     ++current_.samples;
@@ -296,7 +354,12 @@ void QueryExecution::AbortPendingStep() {
   // releasing it.
   if (prefetcher_ != nullptr) prefetcher_->Drain();
   pending_frames_.clear();
+  miss_frames_.clear();
+  miss_shards_.clear();
+  reuse_outcomes_.clear();
+  reuse_detections_.clear();
   pending_ticket_ = 0;
+  pending_ticket_valid_ = false;
   finished_ = true;
   if (options_.detector_service != nullptr) {
     options_.detector_service->UnregisterSession(options_.service_session_id);

@@ -16,6 +16,7 @@
 #include "query/shard_trace.h"
 #include "query/strategy.h"
 #include "query/trace.h"
+#include "reuse/reuse.h"
 #include "scene/ground_truth.h"
 #include "track/discriminator.h"
 #include "video/decode.h"
@@ -101,6 +102,20 @@ struct RunnerOptions {
   /// the service at flush time (`frames_submitted`, `frames_coalesced`,
   /// `batches_shared`); the driver counts `steps_granted`.
   SessionSchedulerStats* session_stats = nullptr;
+  /// When non-null, the detect stage consults cross-query reuse before
+  /// paying for detection: every picked frame is classified against the
+  /// shared `reuse::DetectionCache` (exact stored detections, bit-identical
+  /// to a real call) and `reuse::ScannedSketch` (proof the frame was scanned
+  /// and found empty). Hits and skips are charged *zero* detector seconds —
+  /// credited to `ReuseSessionStats::saved_detector_seconds` instead — and
+  /// only the remaining misses are decoded, submitted to the service, or
+  /// detected locally; their fresh outcomes are recorded back. Everything
+  /// order-sensitive is untouched: the full picked batch still flows through
+  /// the discriminator and strategy feedback in batch order, with hit/skip
+  /// detections byte-equal to what a cold run computes — so reused answers
+  /// are bit-identical and only the charged seconds shrink. Null (the
+  /// default) is the pre-reuse execution, bit for bit.
+  reuse::SessionReuse* reuse = nullptr;
 };
 
 /// \brief Incremental execution state of one distinct-object query.
@@ -185,10 +200,11 @@ class QueryExecution {
   bool StopConditionHit() const;
   void RecordEvent(size_t part, double seconds, uint32_t samples, uint32_t reported,
                    uint32_t distinct, bool emit_point);
-  /// Detect stage over `frames` (owners in `frame_shards_` when sharded):
-  /// waits for prefetched windows and overlaps their detection with the
-  /// decode of later windows.
-  std::vector<detect::Detections> DetectStage(const std::vector<video::FrameId>& frames);
+  /// Detect stage over `frames` (owners in `shards` when sharded): waits for
+  /// prefetched windows and overlaps their detection with the decode of
+  /// later windows. Under reuse, `frames` is the batch's miss subset.
+  std::vector<detect::Detections> DetectStage(const std::vector<video::FrameId>& frames,
+                                              const std::vector<uint32_t>& shards);
 
   const scene::GroundTruth* truth_;
   detect::ObjectDetector* detector_;
@@ -208,7 +224,17 @@ class QueryExecution {
   // must stay stable while pending: the service (and the prefetcher) hold
   // spans into it.
   std::vector<video::FrameId> pending_frames_;
+  // Reuse classification of the in-flight batch (`options_.reuse` only):
+  // per-frame outcomes parallel to `pending_frames_`, the reused detections
+  // for hits/skips, and the miss subset — which is what actually gets
+  // decoded/submitted/detected. `miss_frames_` must stay span-stable while
+  // pending, exactly like `pending_frames_`.
+  std::vector<reuse::SessionReuse::Outcome> reuse_outcomes_;
+  std::vector<detect::Detections> reuse_detections_;
+  std::vector<video::FrameId> miss_frames_;
+  std::vector<uint32_t> miss_shards_;
   DetectorService::Ticket pending_ticket_ = 0;
+  bool pending_ticket_valid_ = false;
   bool pending_detect_ = false;
   uint64_t next_seq_ = 0;
   double charged_overhead_ = 0.0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/span.h"
+#include "core/chunk_stats.h"
 #include "video/repository.h"
 
 namespace exsample {
@@ -88,6 +89,14 @@ class SearchStrategy {
   /// frames (the Sec. VII "predictive scoring" extension). The runner charges
   /// the delta after each step. Default 0 for pure samplers.
   virtual double CumulativeOverheadSeconds() const { return 0.0; }
+
+  /// \brief The per-chunk (n, N1) statistics driving this strategy's picks,
+  /// or null for strategies without chunk beliefs (random, sequential,
+  /// proxy). A finished query's table is the sufficient statistic of its
+  /// Gamma posteriors — the cross-query warm-start seam harvests it into the
+  /// `reuse::BeliefBank` so later queries for the same class can seed their
+  /// priors from it.
+  virtual const core::ChunkStatsTable* ChunkStatistics() const { return nullptr; }
 
   /// \brief Strategy name for reports.
   virtual std::string name() const = 0;

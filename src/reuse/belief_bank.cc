@@ -1,0 +1,56 @@
+#include "reuse/belief_bank.h"
+
+#include "common/status.h"
+
+namespace exsample {
+namespace reuse {
+
+uint64_t ChunkingSignature(const video::Chunking& chunking) {
+  uint64_t h = common::HashCombine(0x43484b53u /* "SKHC" */, chunking.NumChunks());
+  for (const video::Chunk& chunk : chunking.Chunks()) {
+    h = common::HashCombine(h, chunk.begin);
+    h = common::HashCombine(h, chunk.end);
+  }
+  return common::HashCombine(h, chunking.TotalFrames());
+}
+
+void BeliefBank::RecordPosterior(const ReuseKey& key, uint64_t chunking_signature,
+                                 const core::ChunkStatsTable& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ChunkEvidence>& evidence = bank_[BankKey{key, chunking_signature}];
+  if (evidence.empty()) evidence.resize(stats.NumChunks());
+  common::Check(evidence.size() == stats.NumChunks(),
+                "BeliefBank: posterior table size changed under one signature");
+  for (size_t j = 0; j < stats.NumChunks(); ++j) {
+    evidence[j].n += stats.State(j).n;
+    evidence[j].n1 += stats.N1NonNegative(j);
+  }
+  ++stats_.posteriors_recorded;
+}
+
+std::vector<core::BeliefParams> BeliefBank::WarmPriors(const ReuseKey& key,
+                                                       uint64_t chunking_signature,
+                                                       const core::BeliefParams& base,
+                                                       double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = bank_.find(BankKey{key, chunking_signature});
+  if (it == bank_.end()) return {};
+  std::vector<core::BeliefParams> priors;
+  priors.reserve(it->second.size());
+  for (const ChunkEvidence& evidence : it->second) {
+    core::BeliefParams prior = base;
+    prior.alpha0 += weight * static_cast<double>(evidence.n1);
+    prior.beta0 += weight * static_cast<double>(evidence.n);
+    priors.push_back(prior);
+  }
+  ++stats_.warm_starts;
+  return priors;
+}
+
+BeliefBankStats BeliefBank::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace reuse
+}  // namespace exsample

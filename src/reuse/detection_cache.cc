@@ -1,0 +1,78 @@
+#include "reuse/detection_cache.h"
+
+#include "common/status.h"
+
+namespace exsample {
+namespace reuse {
+
+DetectionCache::DetectionCache(DetectionCacheOptions options) : options_(options) {
+  common::Check(options_.budget_frames >= 1,
+                "DetectionCache: budget must hold at least one frame");
+}
+
+bool DetectionCache::Lookup(const ReuseKey& key, video::FrameId frame,
+                            detect::Detections* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(FrameKey{key, frame});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = it->second.detections;
+  return true;
+}
+
+void DetectionCache::EvictOneLocked() {
+  // Oldest empty entry first; non-empty entries go only when no empty entry
+  // remains. Stale tickets (their entry was refreshed under a newer seq) are
+  // popped and ignored — the entry's live ticket is further back.
+  for (std::deque<Ticket>* queue : {&empty_queue_, &nonempty_queue_}) {
+    while (!queue->empty()) {
+      const Ticket ticket = queue->front();
+      queue->pop_front();
+      const auto it = entries_.find(ticket.frame_key);
+      if (it == entries_.end() || it->second.seq != ticket.seq) continue;
+      const bool was_empty = it->second.detections.empty();
+      if (was_empty) {
+        ++stats_.evicted_empty;
+      } else {
+        ++stats_.evicted_nonempty;
+        --nonempty_entries_;
+      }
+      entries_.erase(it);
+      return;
+    }
+  }
+  common::FatalError("DetectionCache: eviction found no live entry");
+}
+
+void DetectionCache::Insert(const ReuseKey& key, video::FrameId frame,
+                            const detect::Detections& detections) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FrameKey frame_key{key, frame};
+  Entry& entry = entries_[frame_key];
+  const bool fresh = entry.seq == 0;
+  if (!fresh && !entry.detections.empty()) --nonempty_entries_;
+  entry.detections = detections;
+  entry.seq = next_seq_++;
+  ++stats_.insertions;
+  if (!detections.empty()) ++nonempty_entries_;
+  if (detections.empty()) {
+    empty_queue_.push_back(Ticket{frame_key, entry.seq});
+  } else {
+    nonempty_queue_.push_back(Ticket{frame_key, entry.seq});
+  }
+  if (fresh && entries_.size() > options_.budget_frames) EvictOneLocked();
+}
+
+DetectionCacheStats DetectionCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DetectionCacheStats stats = stats_;
+  stats.entries = entries_.size();
+  stats.nonempty_entries = nonempty_entries_;
+  return stats;
+}
+
+}  // namespace reuse
+}  // namespace exsample

@@ -1,0 +1,58 @@
+#include "reuse/reuse.h"
+
+namespace exsample {
+namespace reuse {
+
+namespace {
+
+DetectionCacheOptions CacheOptions(const ReuseOptions& options) {
+  DetectionCacheOptions cache_options;
+  cache_options.budget_frames = options.cache_budget_frames;
+  return cache_options;
+}
+
+}  // namespace
+
+ReuseManager::ReuseManager(ReuseOptions options)
+    : options_(options),
+      cache_(CacheOptions(options)),
+      sketch_(options.sketch_options) {}
+
+SessionReuse::SessionReuse(ReuseManager* manager, const ReuseKey& key,
+                           uint64_t total_frames, ReuseSessionStats* stats)
+    : manager_(manager), key_(key), total_frames_(total_frames), stats_(stats) {}
+
+SessionReuse::Outcome SessionReuse::Classify(video::FrameId frame,
+                                             detect::Detections* cached) {
+  if (manager_->options().cache && manager_->cache().Lookup(key_, frame, cached)) {
+    ++stats_->cache_hits;
+    return Outcome::kCacheHit;
+  }
+  // The sketch is the fallback tier: consulted only on a cache miss, it
+  // recovers the (common) scanned-and-empty outcomes whose exact entries the
+  // cache has evicted — or never held, when only the sketch is enabled.
+  if (manager_->options().sketch && manager_->sketch().KnownEmpty(key_, frame)) {
+    ++stats_->sketch_skips;
+    cached->clear();
+    return Outcome::kSketchSkip;
+  }
+  ++stats_->cache_misses;
+  return Outcome::kMiss;
+}
+
+void SessionReuse::RecordDetected(video::FrameId frame,
+                                  const detect::Detections& detections,
+                                  double seconds_per_frame) {
+  if (manager_->options().cache) manager_->cache().Insert(key_, frame, detections);
+  if (manager_->options().sketch) {
+    manager_->sketch().RecordScan(key_, frame, detections.empty(), total_frames_);
+  }
+  stats_->charged_detector_seconds += seconds_per_frame;
+}
+
+void SessionReuse::RecordSaved(double seconds_per_frame) {
+  stats_->saved_detector_seconds += seconds_per_frame;
+}
+
+}  // namespace reuse
+}  // namespace exsample

@@ -1,0 +1,78 @@
+#include "reuse/scanned_sketch.h"
+
+#include "common/status.h"
+
+namespace exsample {
+namespace reuse {
+
+ScannedSketch::ScannedSketch(ScannedSketchOptions options) : options_(options) {
+  common::Check(options_.bloom_bits >= 64, "ScannedSketch: bloom needs >= 64 bits");
+  common::Check(options_.num_hashes >= 1, "ScannedSketch: needs >= 1 hash");
+  bloom_.assign((options_.bloom_bits + 63) / 64, 0);
+}
+
+bool ScannedSketch::BloomMayContainLocked(uint64_t hash) const {
+  // Double hashing: bit_i = h1 + i * h2 (Kirsch–Mitzenmacher), h2 forced odd
+  // so the probe sequence covers the table.
+  const uint64_t h1 = hash;
+  const uint64_t h2 = common::Mix64(hash) | 1;
+  const uint64_t bits = bloom_.size() * 64;
+  for (size_t i = 0; i < options_.num_hashes; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bits;
+    if ((bloom_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void ScannedSketch::BloomInsertLocked(uint64_t hash) {
+  const uint64_t h1 = hash;
+  const uint64_t h2 = common::Mix64(hash) | 1;
+  const uint64_t bits = bloom_.size() * 64;
+  for (size_t i = 0; i < options_.num_hashes; ++i) {
+    const uint64_t bit = (h1 + i * h2) % bits;
+    bloom_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+void ScannedSketch::RecordScan(const ReuseKey& key, video::FrameId frame,
+                               bool found_empty, uint64_t total_frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t>& bitmap = scanned_[key];
+  if (bitmap.empty()) bitmap.assign((total_frames + 63) / 64, 0);
+  common::Check(frame / 64 < bitmap.size(),
+                "ScannedSketch: frame past the keyed repository's end");
+  bitmap[frame / 64] |= uint64_t{1} << (frame % 64);
+  const FrameKey frame_key{key, frame};
+  if (found_empty) {
+    BloomInsertLocked(frame_key.Hash());
+    ++stats_.recorded_empty;
+  } else {
+    nonempty_.insert(frame_key);
+    ++stats_.recorded_nonempty;
+  }
+}
+
+bool ScannedSketch::KnownEmpty(const ReuseKey& key, video::FrameId frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FrameKey frame_key{key, frame};
+  if (!BloomMayContainLocked(frame_key.Hash())) return false;
+  // Bloom says "maybe scanned empty" — consult the exact guards before
+  // letting anyone act on it.
+  const auto it = scanned_.find(key);
+  const bool really_scanned = it != scanned_.end() && frame / 64 < it->second.size() &&
+                              (it->second[frame / 64] & (uint64_t{1} << (frame % 64)));
+  if (!really_scanned || nonempty_.count(frame_key) != 0) {
+    ++stats_.guard_rejects;
+    return false;
+  }
+  ++stats_.known_empty;
+  return true;
+}
+
+ScannedSketchStats ScannedSketch::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace reuse
+}  // namespace exsample

@@ -19,6 +19,11 @@ HybridProxyExSampleStrategy::HybridProxyExSampleStrategy(
       eligible_count_(chunking->NumChunks()) {
   common::Check(options_.candidates_per_pick >= 1,
                 "HybridOptions: candidates_per_pick must be >= 1");
+  if (!options_.chunk_priors.empty()) {
+    common::Check(options_.chunk_priors.size() == chunking->NumChunks(),
+                  "HybridOptions: chunk_priors must match the chunk count");
+    policy_.SetChunkPriors(options_.chunk_priors);
+  }
 }
 
 core::FrameSampler* HybridProxyExSampleStrategy::SamplerFor(size_t chunk) {

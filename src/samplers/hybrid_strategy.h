@@ -26,6 +26,10 @@ struct HybridOptions {
   size_t candidates_per_pick = 8;
   /// Seed of the strategy's random stream.
   uint64_t seed = 1;
+  /// Optional per-chunk prior overrides (cross-query warm start,
+  /// `reuse::BeliefBank`), as in `core::ExSampleOptions::chunk_priors`:
+  /// empty (the default) keeps the flat `belief` prior everywhere.
+  std::vector<core::BeliefParams> chunk_priors;
 };
 
 /// \brief The paper's Sec. VII "future work" fusion of ExSample and
@@ -60,6 +64,9 @@ class HybridProxyExSampleStrategy : public query::SearchStrategy {
 
   /// \brief Read access to the chunk statistics.
   const core::ChunkStatsTable& Stats() const { return stats_; }
+
+  // Posterior export for cross-query warm starts (reuse::BeliefBank).
+  const core::ChunkStatsTable* ChunkStatistics() const override { return &stats_; }
 
  private:
   core::FrameSampler* SamplerFor(size_t chunk);

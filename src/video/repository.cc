@@ -1,6 +1,7 @@
 #include "video/repository.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/hash.h"
 
@@ -18,8 +19,28 @@ common::Result<uint32_t> VideoRepository::AddClip(std::string name,
   const uint32_t clip_id = static_cast<uint32_t>(clips_.size());
   clip_offsets_.push_back(total_frames_);
   clips_.push_back(VideoClip{clip_id, std::move(name), frame_count, fps});
+  // Fold the new clip into the running fingerprint chain, then finalize the
+  // memo — O(name length) per clip instead of O(clips) per Fingerprint call.
+  const VideoClip& added = clips_.back();
+  clip_chain_ = common::HashCombine(clip_chain_, added.frame_count);
+  // Identity, not just layout: the reuse layer keys cached detections by the
+  // fingerprint, so two different recordings with identical frame counts
+  // must not collide. Names hash bytewise (length first, so "ab"+"c" and
+  // "a"+"bc" differ); fps by bit pattern.
+  clip_chain_ = common::HashCombine(clip_chain_, added.name.size());
+  for (const char c : added.name) {
+    clip_chain_ =
+        common::HashCombine(clip_chain_, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  uint64_t fps_bits = 0;
+  std::memcpy(&fps_bits, &added.fps, sizeof(fps_bits));
+  clip_chain_ = common::HashCombine(clip_chain_, fps_bits);
+  // The clip's global begin offset is derivable from the counts, but folding
+  // it in keeps the fingerprint honest should the layout rule ever change.
+  clip_chain_ = common::HashCombine(clip_chain_, clip_offsets_.back());
   total_frames_ += frame_count;
   total_seconds_ += static_cast<double>(frame_count) / fps;
+  fingerprint_ = ComputeFingerprint();
   return clip_id;
 }
 
@@ -33,16 +54,12 @@ common::Result<FrameLocation> VideoRepository::Locate(FrameId frame) const {
   return FrameLocation{static_cast<uint32_t>(clip_idx), frame - clip_offsets_[clip_idx]};
 }
 
-uint64_t VideoRepository::Fingerprint() const {
-  uint64_t h = common::HashCombine(0x4d575358u /* "XSWM" */, clips_.size());
-  for (const VideoClip& clip : clips_) {
-    h = common::HashCombine(h, clip.frame_count);
-  }
-  // Offsets are derivable from the counts, but folding them in keeps the
-  // fingerprint honest should the layout rule ever change.
-  for (const FrameId offset : clip_offsets_) {
-    h = common::HashCombine(h, offset);
-  }
+uint64_t VideoRepository::ComputeFingerprint() const {
+  // Finalizer over the per-clip chain maintained by AddClip: clip count and
+  // total extent close the hash so prefix repositories cannot collide with
+  // their extensions.
+  uint64_t h = common::HashCombine(0x4d575358u /* "XSWM" */, clip_chain_);
+  h = common::HashCombine(h, clips_.size());
   return common::HashCombine(h, total_frames_);
 }
 

@@ -76,14 +76,21 @@ class VideoRepository {
   /// Returns OutOfRange when `frame` is past the end of the repository.
   common::Result<FrameLocation> Locate(FrameId frame) const;
 
-  /// \brief Stable 64-bit fingerprint of the repository's frame layout (clip
-  /// count, per-clip frame counts, global offsets). Two repositories agree on
-  /// every global frame id iff their fingerprints match, so the distributed
-  /// detect wire format stamps requests with it: a shard runner serving a
-  /// different repository rejects the batch instead of silently detecting
-  /// the wrong frames. Clip names and frame rates are deliberately excluded —
-  /// they do not affect frame addressing.
-  uint64_t Fingerprint() const;
+  /// \brief Stable 64-bit fingerprint of the repository: clip count,
+  /// per-clip frame counts, names, and frame rates, plus the global offsets.
+  /// Two repositories agree on every global frame id — and on clip identity —
+  /// iff their fingerprints match. The distributed detect wire format stamps
+  /// requests with it (a shard runner serving a different repository rejects
+  /// the batch instead of silently detecting the wrong frames), and the
+  /// cross-query reuse layer keys its detection cache by it. Names and frame
+  /// rates are folded in deliberately: they do not affect frame addressing,
+  /// but two *different recordings* laid out identically must not share
+  /// cached detections, so layout-only collisions became a correctness
+  /// hazard, not just an honesty concern. Memoized — maintained by `AddClip`,
+  /// so the call is O(1) however many clips the repository holds.
+  uint64_t Fingerprint() const {
+    return clips_.empty() ? ComputeFingerprint() : fingerprint_;
+  }
 
   /// \brief Convenience builder: a repository with a single clip.
   static VideoRepository SingleClip(uint64_t frame_count, double fps = 30.0,
@@ -94,10 +101,18 @@ class VideoRepository {
                                       double fps = 30.0);
 
  private:
+  uint64_t ComputeFingerprint() const;
+
   std::vector<VideoClip> clips_;
   std::vector<FrameId> clip_offsets_;  // Parallel to clips_: global begin frame.
   uint64_t total_frames_ = 0;
   double total_seconds_ = 0.0;
+  // Memoized Fingerprint(), refreshed by AddClip from the running per-clip
+  // hash chain (clip_chain_). The repository is immutable once built, so
+  // post-build reads are plain const loads — no atomics needed even when
+  // concurrent sessions key their reuse state by it.
+  uint64_t clip_chain_ = 0;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace video

@@ -1,0 +1,237 @@
+// Concurrent reuse suite — many sessions, one shared cache/sketch/bank.
+//
+// The reuse components are engine-owned and shared by every session, so they
+// must hold their contracts under concurrent access:
+//  (a) hammering one DetectionCache from many threads never corrupts it —
+//      every hit returns the exact stored bytes for its key (the exactness
+//      contract is timing-independent), the budget holds, and the counters
+//      balance;
+//  (b) the ScannedSketch never yields an unsafe skip under concurrent
+//      record/query traffic;
+//  (c) the BeliefBank's accumulation is a sum of per-thread contributions —
+//      order-independent by construction;
+//  (d) at the engine level, RunConcurrent sessions share one manager: a
+//      workload re-run answers from the cache populated by the first run and
+//      reproduces its traces exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/search_engine.h"
+#include "reuse/belief_bank.h"
+#include "reuse/detection_cache.h"
+#include "reuse/reuse.h"
+#include "reuse/scanned_sketch.h"
+#include "scene/generator.h"
+
+namespace exsample {
+namespace {
+
+reuse::ReuseKey MakeKey(int32_t class_id) {
+  reuse::ReuseKey key;
+  key.repo_fingerprint = 0xF00D;
+  key.detector_config = 0xBEEF;
+  key.class_id = class_id;
+  return key;
+}
+
+// The detections stored for (class, frame) are a pure function of both —
+// so any thread can verify any hit, whoever inserted it.
+detect::Detections ExpectedDetections(int32_t class_id, video::FrameId frame) {
+  detect::Detections detections;
+  const size_t count = static_cast<size_t>((frame + class_id) % 3);
+  for (size_t i = 0; i < count; ++i) {
+    detect::Detection d;
+    d.box = {static_cast<double>(frame), static_cast<double>(class_id),
+             10.0 + static_cast<double>(i), 10.0};
+    d.class_id = class_id;
+    d.confidence = 0.25 * static_cast<double>(i + 1);
+    detections.push_back(d);
+  }
+  return detections;
+}
+
+// (a) Many threads, distinct keys, overlapping frames: every hit is exact.
+TEST(ReuseConcurrencyTest, CacheHitsStayExactUnderConcurrentTraffic) {
+  reuse::DetectionCacheOptions options;
+  options.budget_frames = 256;  // Small enough that eviction churns.
+  reuse::DetectionCache cache(options);
+
+  const int kThreads = 8;
+  const int kOpsPerThread = 4000;
+  std::vector<uint64_t> bad_hits(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &bad_hits, t]() {
+      common::Rng rng(1000 + static_cast<uint64_t>(t));
+      const int32_t class_id = t % 4;  // Keys overlap across threads.
+      const reuse::ReuseKey key = MakeKey(class_id);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const video::FrameId frame = rng.NextU64() % 512;
+        detect::Detections out;
+        if (cache.Lookup(key, frame, &out)) {
+          const detect::Detections expected = ExpectedDetections(class_id, frame);
+          if (out.size() != expected.size()) {
+            ++bad_hits[t];
+            continue;
+          }
+          for (size_t j = 0; j < out.size(); ++j) {
+            if (out[j].box.x != expected[j].box.x ||
+                out[j].confidence != expected[j].confidence ||
+                out[j].class_id != expected[j].class_id) {
+              ++bad_hits[t];
+              break;
+            }
+          }
+        } else {
+          cache.Insert(key, frame, ExpectedDetections(class_id, frame));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(bad_hits[t], 0u) << "thread " << t << " observed a corrupted hit";
+  }
+  const reuse::DetectionCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.entries, 256u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.insertions, stats.misses);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evicted_empty + stats.evicted_nonempty, 0u);
+}
+
+// (b) Concurrent recorders and queriers: a true KnownEmpty answer must imply
+// the frame was really recorded scanned-and-empty by *some* thread — with
+// frames partitioned even/odd by outcome, an unsafe answer is detectable.
+TEST(ReuseConcurrencyTest, SketchNeverYieldsUnsafeSkipConcurrently) {
+  reuse::ScannedSketchOptions options;
+  options.bloom_bits = 1024;  // Tiny: force Bloom collisions under load.
+  options.num_hashes = 3;
+  reuse::ScannedSketch sketch(options);
+  const uint64_t kTotalFrames = 8192;
+
+  const int kThreads = 8;
+  std::vector<uint64_t> unsafe(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, &unsafe, t]() {
+      common::Rng rng(2000 + static_cast<uint64_t>(t));
+      const reuse::ReuseKey key = MakeKey(t % 2);
+      for (int i = 0; i < 4000; ++i) {
+        const video::FrameId frame = rng.NextU64() % kTotalFrames;
+        if (i % 2 == 0) {
+          // Even frames are recorded empty, odd frames non-empty — a stable
+          // rule every thread agrees on.
+          sketch.RecordScan(key, frame, /*found_empty=*/(frame % 2) == 0,
+                            kTotalFrames);
+        } else if (sketch.KnownEmpty(key, frame) && (frame % 2) != 0) {
+          ++unsafe[t];  // Claimed empty for a frame only ever scanned non-empty.
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(unsafe[t], 0u) << "thread " << t << " got an unsafe skip";
+  }
+}
+
+// (c) Posterior accumulation commutes: N threads recording interleaved
+// tables end at the exact per-chunk sums, whatever the interleaving.
+TEST(ReuseConcurrencyTest, BeliefBankAccumulationIsOrderIndependent) {
+  reuse::BeliefBank bank;
+  const reuse::ReuseKey key = MakeKey(0);
+  const uint64_t signature = 0x5157;
+  const int kThreads = 8;
+  const int kRecordsPerThread = 50;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bank, &key, t]() {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        core::ChunkStatsTable stats(4);
+        stats.Update(static_cast<size_t>(t % 4), 1, 0);  // n += 1, N1 += 1
+        bank.RecordPosterior(key, signature, stats);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(bank.Stats().posteriors_recorded,
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  core::BeliefParams base;
+  const std::vector<core::BeliefParams> priors =
+      bank.WarmPriors(key, signature, base, 1.0);
+  ASSERT_EQ(priors.size(), 4u);
+  // 8 threads mod 4 = 2 threads per chunk, 50 records each.
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(priors[j].alpha0, base.alpha0 + 100.0) << "chunk " << j;
+    EXPECT_DOUBLE_EQ(priors[j].beta0, base.beta0 + 100.0) << "chunk " << j;
+  }
+}
+
+// (d) Engine level: a RunConcurrent workload re-run against the same engine
+// answers from the shared cache and reproduces every trace exactly.
+TEST(ReuseConcurrencyTest, ConcurrentWorkloadRerunServedFromSharedCache) {
+  const uint64_t frames = 20000;
+  common::Rng rng(77);
+  auto chunking = video::MakeFixedCountChunks(frames, 8).value();
+  scene::SceneSpec spec;
+  spec.total_frames = frames;
+  scene::ClassPopulationSpec cls;
+  cls.instance_count = 120;
+  cls.duration.mean_frames = 90.0;
+  spec.classes.push_back(cls);
+  auto repo = video::VideoRepository::UniformClips(10, 2000);
+  auto truth = scene::GenerateScene(spec, nullptr, rng).value();
+
+  engine::EngineConfig config;
+  config.reuse.cache = true;
+  config.reuse.sketch = true;
+  config.coalesce_detect = true;  // Shared service sees pre-filtered misses.
+  engine::SearchEngine engine(&repo, &chunking, &truth, config);
+
+  std::vector<engine::QuerySpec> specs(4);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].class_id = 0;
+    specs[i].limit = 20;
+    specs[i].options.method = engine::Method::kExSample;
+    specs[i].options.exsample.seed = 5 + i;
+    specs[i].options.batch_size = 8;
+    specs[i].options.max_samples = 2000;
+  }
+
+  auto first = engine.RunConcurrent(specs);
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(engine.reuse_manager(), nullptr);
+  const uint64_t misses_after_first = engine.reuse_manager()->cache().Stats().misses;
+  EXPECT_GT(misses_after_first, 0u);
+
+  auto second = engine.RunConcurrent(specs);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first.value().size(), second.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    const query::QueryTrace& a = first.value()[i];
+    const query::QueryTrace& b = second.value()[i];
+    ASSERT_EQ(a.points.size(), b.points.size()) << "session " << i;
+    EXPECT_EQ(a.final.samples, b.final.samples) << "session " << i;
+    EXPECT_EQ(a.final.reported_results, b.final.reported_results) << "session " << i;
+    EXPECT_EQ(a.final.true_distinct, b.final.true_distinct) << "session " << i;
+    // The repeat is strictly cheaper: its detector work came from the cache.
+    EXPECT_LT(b.final.seconds, a.final.seconds) << "session " << i;
+  }
+  const reuse::DetectionCacheStats stats = engine.reuse_manager()->cache().Stats();
+  EXPECT_GT(stats.hits, 0u);
+  // The re-run's sessions pick the same frames (same seeds), so the cache
+  // answers everything: no new misses beyond the first run's.
+  EXPECT_EQ(stats.misses, misses_after_first);
+}
+
+}  // namespace
+}  // namespace exsample

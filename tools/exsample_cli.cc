@@ -47,6 +47,15 @@
 //   --max-retries=N    transient-failure retries per wire batch before the
 //                      runner is marked down and work requeues onto a
 //                      surviving shard (default: 2)
+//
+// Cross-query reuse (EngineConfig::reuse; the engine-owned cache/sketch/bank
+// persists across every query of one invocation):
+//   --reuse[=LIST]     enable cross-query result reuse: comma-separated list
+//                      of cache | sketch | warm | all (bare --reuse = all);
+//                      prints the reuse stats line (cache hit rate, saved
+//                      detector seconds, FP-safe sketch skips) after the run
+//   --repeat=N         run the solo query N times against the same engine —
+//                      the reuse payoff shows from run 2 on (default: 1)
 
 #include <algorithm>
 #include <cstdio>
@@ -86,6 +95,9 @@ struct CliArgs {
   double flush_deadline_ms = 0.0;
   size_t max_retries = 2;
   bool max_retries_set = false;
+  bool reuse = false;
+  std::string reuse_components = "all";
+  size_t repeat = 1;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -154,11 +166,70 @@ CliArgs ParseArgs(int argc, char** argv) {
     } else if (ParseArg(arg, "--max-retries", &value)) {
       args.max_retries = std::strtoull(value.c_str(), nullptr, 10);
       args.max_retries_set = true;
+    } else if (std::strcmp(arg, "--reuse") == 0) {
+      args.reuse = true;
+    } else if (ParseArg(arg, "--reuse", &value)) {
+      args.reuse = true;
+      args.reuse_components = value;
+    } else if (ParseArg(arg, "--repeat", &value)) {
+      args.repeat = std::max<size_t>(1, std::strtoull(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
   }
   return args;
+}
+
+// Parses a --reuse component list ("cache,warm", "all", ...) into options;
+// returns false on an unknown component name.
+bool ParseReuseComponents(const std::string& list, reuse::ReuseOptions* out) {
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string item = list.substr(begin, end - begin);
+    if (item == "all") {
+      out->cache = out->sketch = out->warm_start = true;
+    } else if (item == "cache") {
+      out->cache = true;
+    } else if (item == "sketch") {
+      out->sketch = true;
+    } else if (item == "warm") {
+      out->warm_start = true;
+    } else if (!item.empty()) {
+      return false;
+    }
+    begin = end + 1;
+  }
+  return out->AnyEnabled();
+}
+
+// The reuse stats line: engine-wide cache/sketch/bank tallies plus the
+// saved detector seconds the caller accumulated from its sessions.
+void PrintReuseStats(engine::SearchEngine& search, double saved_seconds) {
+  reuse::ReuseManager* manager = search.reuse_manager();
+  if (manager == nullptr) return;
+  const reuse::DetectionCacheStats cache = manager->cache().Stats();
+  const reuse::ScannedSketchStats sketch = manager->sketch().Stats();
+  const reuse::BeliefBankStats bank = manager->beliefs().Stats();
+  const uint64_t lookups = cache.hits + cache.misses;
+  std::printf(
+      "reuse: cache hit rate %.1f%% (%llu of %llu lookups), saved detector "
+      "time %s, %llu FP-safe sketch skips (%llu bloom positives rejected by "
+      "exact guard)\n",
+      lookups > 0 ? 100.0 * static_cast<double>(cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(lookups),
+      common::FormatDuration(saved_seconds).c_str(),
+      static_cast<unsigned long long>(sketch.known_empty),
+      static_cast<unsigned long long>(sketch.guard_rejects));
+  if (bank.posteriors_recorded + bank.warm_starts > 0) {
+    std::printf("reuse: %llu posteriors banked, %llu queries warm-started\n",
+                static_cast<unsigned long long>(bank.posteriors_recorded),
+                static_cast<unsigned long long>(bank.warm_starts));
+  }
 }
 
 std::optional<engine::Method> ParseMethod(const std::string& name) {
@@ -266,6 +337,12 @@ int main(int argc, char** argv) {
   }
   config.scheduler = *scheduler_kind;
   config.scheduler_seed = args.seed;
+  if (args.reuse &&
+      !ParseReuseComponents(args.reuse_components, &config.reuse)) {
+    std::fprintf(stderr, "unknown --reuse component in '%s' (cache|sketch|warm|all)\n",
+                 args.reuse_components.c_str());
+    return 1;
+  }
   if (args.coalesce) {
     config.coalesce_detect = true;
     config.device_batch = std::max<size_t>(1, args.device_batch);
@@ -327,10 +404,26 @@ int main(int argc, char** argv) {
       qspec.deadline_seconds = args.deadline;
       specs.push_back(qspec);
     }
-    std::printf("running %zu sessions (%s scheduler%s)...\n", specs.size(),
+    if (args.repeat > 1) {
+      std::fprintf(stderr,
+                   "warning: --repeat is ignored with --concurrent (the N "
+                   "sessions already share the engine's reuse state)\n");
+    }
+    std::printf("running %zu sessions (%s scheduler%s%s)...\n", specs.size(),
                 query::SchedulerKindName(*scheduler_kind),
-                args.coalesce ? ", coalesced detect" : "");
-    auto traces = search.RunConcurrent(specs);
+                args.coalesce ? ", coalesced detect" : "",
+                args.reuse ? ", cross-query reuse" : "");
+    // With reuse on, watch the sessions to accumulate their per-session
+    // saved-seconds tallies (the sessions are internal to RunConcurrent).
+    std::vector<reuse::ReuseSessionStats> session_reuse(specs.size());
+    auto traces =
+        args.reuse
+            ? search.RunConcurrent(
+                  specs,
+                  [&session_reuse](size_t idx, const engine::QuerySession& s) {
+                    session_reuse[idx] = s.reuse_stats();
+                  })
+            : search.RunConcurrent(specs);
     if (!traces.ok()) {
       std::fprintf(stderr, "workload failed: %s\n",
                    traces.status().ToString().c_str());
@@ -377,18 +470,48 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(wire.bytes_received));
       }
     }
+    double saved_seconds = 0.0;
+    for (const reuse::ReuseSessionStats& rs : session_reuse) {
+      saved_seconds += rs.saved_detector_seconds;
+    }
+    PrintReuseStats(search, saved_seconds);
     return 0;
   }
 
-  common::Result<query::QueryTrace> trace =
-      args.recall.has_value()
-          ? search.RunToRecall(query->class_id, *args.recall, options)
-          : search.FindDistinct(query->class_id, args.limit, options);
-  if (!trace.ok()) {
-    std::fprintf(stderr, "query failed: %s\n", trace.status().ToString().c_str());
-    return 1;
+  // Solo run(s). --repeat runs the same query repeatedly against the same
+  // engine — with --reuse, later runs answer from the shared cache/sketch and
+  // warm-start their beliefs; without it they are independent repetitions.
+  std::optional<query::QueryTrace> final_trace;
+  double saved_seconds = 0.0;
+  for (size_t run = 0; run < args.repeat; ++run) {
+    if (args.recall.has_value()) {
+      auto trace = search.RunToRecall(query->class_id, *args.recall, options);
+      if (!trace.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", trace.status().ToString().c_str());
+        return 1;
+      }
+      final_trace = std::move(trace).value();
+    } else {
+      // Session-level execution so each run's reuse tallies are readable.
+      auto session = search.CreateSession(query->class_id, args.limit, options);
+      if (!session.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      final_trace = session.value()->Finish();
+      const reuse::ReuseSessionStats& rs = session.value()->reuse_stats();
+      saved_seconds += rs.saved_detector_seconds;
+      if (args.repeat > 1) {
+        std::printf("run %zu: %s frames, %s model time, %s detector time saved%s\n",
+                    run + 1, common::FormatCount(final_trace->final.samples).c_str(),
+                    common::FormatDuration(final_trace->final.seconds).c_str(),
+                    common::FormatDuration(rs.saved_detector_seconds).c_str(),
+                    rs.warm_started ? ", warm-started" : "");
+      }
+    }
   }
-  const query::QueryTrace& t = trace.value();
+  const query::QueryTrace& t = *final_trace;
 
   if (args.recall.has_value()) {
     std::printf("query: reach %.0f%% of %llu distinct '%s' instances\n",
@@ -414,6 +537,8 @@ int main(int argc, char** argv) {
               common::FormatDuration(static_cast<double>(ds.repo().TotalFrames()) /
                                      query::kDetectorFps)
                   .c_str());
+
+  PrintReuseStats(search, saved_seconds);
 
   if (!args.csv_path.empty()) {
     std::ofstream csv(args.csv_path);
