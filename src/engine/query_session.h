@@ -12,6 +12,7 @@
 #include "query/strategy.h"
 #include "query/trace.h"
 #include "reuse/reuse.h"
+#include "stats/stage_timer.h"
 #include "track/discriminator.h"
 #include "video/decode.h"
 
@@ -80,6 +81,7 @@ class QuerySession {
   query::QueryTrace Finish() {
     query::QueryTrace trace = execution_->Finish();
     HarvestBeliefs();
+    PublishStageTimer();
     return trace;
   }
 
@@ -122,9 +124,25 @@ class QuerySession {
   /// (`EngineConfig::reuse`).
   const reuse::ReuseSessionStats& reuse_stats() const { return reuse_stats_; }
 
+  /// \brief The session's per-stage latency histograms (pick → classify →
+  /// decode → detect → discriminate → observe). All-zero when the engine's
+  /// `collect_stats` is off. Merged into the engine-wide aggregate once at
+  /// `Finish`.
+  const stats::StageTimer& stage_timer() const { return stage_timer_; }
+
  private:
   friend class SearchEngine;
   QuerySession() = default;
+
+  // Merges this session's stage histograms into the engine-wide timer,
+  // once. Runs on the thread calling Finish — the session's coordinator —
+  // which is the engine timer's single-writer contract (the engine is
+  // single-driver, like every other engine method).
+  void PublishStageTimer() {
+    if (engine_stage_timer_ == nullptr || stage_timer_published_) return;
+    engine_stage_timer_->Merge(stage_timer_);
+    stage_timer_published_ = true;
+  }
 
   void HarvestBeliefs() {
     if (belief_bank_ == nullptr || beliefs_harvested_) return;
@@ -163,6 +181,12 @@ class QuerySession {
   reuse::ReuseKey belief_key_{};
   uint64_t chunking_signature_ = 0;
   bool beliefs_harvested_ = false;
+  // Observability: the session's own stage timer (single writer: the
+  // stepping thread, via RunnerOptions::stats) and where Finish publishes it
+  // (null when the engine's collect_stats is off).
+  stats::StageTimer stage_timer_;
+  stats::StageTimer* engine_stage_timer_ = nullptr;
+  bool stage_timer_published_ = false;
 };
 
 }  // namespace engine

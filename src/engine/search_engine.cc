@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+
+#include "stats/stats_json.h"
 
 namespace exsample {
 namespace engine {
@@ -175,6 +178,14 @@ query::DetectorService* SearchEngine::detector_service() {
     }
     detector_service_ = std::make_unique<query::DetectorService>(
         options, num_shards, std::move(pools), thread_pool());
+    if (config_.collect_stats) {
+      // The service's hot-path ticks and its submit→grant / transport
+      // latency records all run on the coordinator thread that drives
+      // Submit/Poll/Flush/Take — the same single-writer thread the engine
+      // timer already belongs to.
+      detector_service_->BindStats(query::ServiceStatsBinding::Bind(
+          &registry_, registry_.AcquireSlab("service"), &stage_timer_));
+    }
   }
   return detector_service_.get();
 }
@@ -326,6 +337,18 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   session_options.detector_service = detector_service();
   session_options.service_session_id = next_session_id_++;
   session_options.session_stats = &session->scheduler_stats_;
+  // Observability: the session ticks its own registry slab and its own
+  // stage timer from the stepping thread (single-writer both ways);
+  // Finish() merges the timer into the engine aggregate. All-null when
+  // collect_stats is off — the runner's hot path then pays one branch.
+  if (config_.collect_stats) {
+    session_options.stats = query::ExecutionStatsBinding::Bind(
+        &registry_,
+        registry_.AcquireSlab(
+            "session/" + std::to_string(session_options.service_session_id)),
+        &session->stage_timer_);
+    session->engine_stage_timer_ = &stage_timer_;
+  }
   // Detect-stage reuse (cache/sketch): the session binds to the engine's
   // shared manager under its key; the runner consults it per picked batch.
   // Warm start alone leaves this null — the detect stage is then untouched.
@@ -338,6 +361,60 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
       truth_, session->detector_.get(), session->discriminator_.get(),
       session->strategy_.get(), session_options);
   return session;
+}
+
+std::string SearchEngine::StatsJson() {
+  // Push half: sum every slab (sessions, service) into the named snapshot.
+  stats::StatsSnapshot snapshot = registry_.Sync();
+
+  // Pull half: engine-lifetime components keep their own authoritative
+  // stats structs (all either coordinator-written or mutex-guarded); they
+  // are published into the snapshot here, at export time, under the same
+  // dotted naming scheme as the slab metrics.
+  if (detector_service_ != nullptr) {
+    const query::DetectorServiceStats& s = detector_service_->stats();
+    snapshot.counters["service.requests"] = s.requests;
+    snapshot.counters["service.fill_flushes"] = s.fill_flushes;
+    snapshot.counters["service.deadline_flushes"] = s.deadline_flushes;
+    snapshot.counters["service.wire_retries"] = s.wire_retries;
+    snapshot.counters["service.wire_requeues"] = s.wire_requeues;
+    snapshot.counters["service.wire_reroutes"] = s.wire_reroutes;
+    snapshot.counters["service.shards_down"] = s.shards_down;
+    snapshot.gauges["service.wire_charged_seconds"] = s.wire_charged_seconds;
+    snapshot.gauges["service.fill_rate"] = detector_service_->FillRate();
+    snapshot.gauges["service.pending_frames"] =
+        static_cast<double>(detector_service_->PendingFrames());
+  }
+  if (transport_ != nullptr) {
+    const query::TransportStats& t = transport_->stats();
+    snapshot.counters["transport.requests"] = t.requests;
+    snapshot.counters["transport.responses"] = t.responses;
+    snapshot.counters["transport.bytes_sent"] = t.bytes_sent;
+    snapshot.counters["transport.bytes_received"] = t.bytes_received;
+    snapshot.counters["transport.failures_injected"] = t.failures_injected;
+  }
+  if (reuse_manager_ != nullptr) {
+    const reuse::DetectionCacheStats c = reuse_manager_->cache().Stats();
+    snapshot.counters["reuse.cache.hits"] = c.hits;
+    snapshot.counters["reuse.cache.misses"] = c.misses;
+    snapshot.counters["reuse.cache.insertions"] = c.insertions;
+    snapshot.counters["reuse.cache.evicted_empty"] = c.evicted_empty;
+    snapshot.counters["reuse.cache.evicted_nonempty"] = c.evicted_nonempty;
+    snapshot.gauges["reuse.cache.entries"] = static_cast<double>(c.entries);
+    snapshot.gauges["reuse.cache.nonempty_entries"] =
+        static_cast<double>(c.nonempty_entries);
+    const reuse::ScannedSketchStats k = reuse_manager_->sketch().Stats();
+    snapshot.counters["reuse.sketch.recorded_empty"] = k.recorded_empty;
+    snapshot.counters["reuse.sketch.recorded_nonempty"] = k.recorded_nonempty;
+    snapshot.counters["reuse.sketch.known_empty"] = k.known_empty;
+    snapshot.counters["reuse.sketch.guard_rejects"] = k.guard_rejects;
+    const reuse::BeliefBankStats b = reuse_manager_->beliefs().Stats();
+    snapshot.counters["reuse.beliefs.posteriors_recorded"] =
+        b.posteriors_recorded;
+    snapshot.counters["reuse.beliefs.warm_starts"] = b.warm_starts;
+  }
+
+  return stats::WriteStatsJson(snapshot, &stage_timer_);
 }
 
 common::Result<query::QueryTrace> SearchEngine::Run(
@@ -417,6 +494,20 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
   // no-progress replan loop below would otherwise spin or silently return
   // truncated traces as if the queries had completed.
   common::Status transport_error;
+  // Periodic observability dump: every `stats_dump_every_rounds` scheduler
+  // rounds the engine rewrites `stats_dump_path` with a fresh StatsJson()
+  // snapshot, from this coordinator thread (so the pull-published component
+  // stats are read race-free). Collection itself never touches the
+  // simulated clock, so dumping cannot perturb any trace.
+  uint64_t rounds_completed = 0;
+  const auto maybe_dump_stats = [&]() {
+    if (config_.stats_dump_every_rounds == 0 || config_.stats_dump_path.empty())
+      return;
+    ++rounds_completed;
+    if (rounds_completed % config_.stats_dump_every_rounds != 0) return;
+    std::ofstream out(config_.stats_dump_path, std::ios::trunc);
+    if (out) out << StatsJson();
+  };
   const auto check_service = [&]() -> bool {
     if (service == nullptr || service->transport_status().ok()) return true;
     transport_error = service->transport_status();
@@ -467,6 +558,7 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
       if (!check_service()) break;
     }
     if (!transport_error.ok() || !flush_wave()) break;
+    maybe_dump_stats();
     // A round with no progress still terminates the loop eventually: its
     // first grant to a then-live session either progressed or marked that
     // session done, so no-progress rounds strictly shrink the live set and

@@ -24,6 +24,8 @@
 #include "samplers/proxy_strategy.h"
 #include "samplers/random_strategy.h"
 #include "scene/ground_truth.h"
+#include "stats/counter_registry.h"
+#include "stats/stage_timer.h"
 #include "track/iou_discriminator.h"
 #include "track/oracle_discriminator.h"
 #include "video/chunking.h"
@@ -172,6 +174,22 @@ struct EngineConfig {
   /// bit-identical to the pre-reuse engine.
   reuse::ReuseOptions reuse;
 
+  /// Engine-wide observability: when true (the default) every session and
+  /// the shared detect service tick named counters into the engine's
+  /// `stats::CounterRegistry` (lock-free per-writer slabs) and record
+  /// per-stage latency histograms into `stats::StageTimer`s, all exported by
+  /// `SearchEngine::StatsJson()`. Collection never changes a trace
+  /// (`bench_observability` exit-enforces bit-identity and <= 3% overhead);
+  /// false turns every collection site into a single null test.
+  bool collect_stats = true;
+  /// When non-empty (and `collect_stats`), `RunConcurrent` rewrites this
+  /// file with a fresh `StatsJson()` snapshot every
+  /// `stats_dump_every_rounds` scheduler rounds — the periodic dump a
+  /// monitoring scraper tails. 0 rounds disables the periodic dump (the
+  /// caller can still call `StatsJson()` whenever it wants).
+  std::string stats_dump_path;
+  uint64_t stats_dump_every_rounds = 0;
+
   /// Shard the repository into this many contiguous, clip-aligned shards,
   /// each serving its frames with its own detector context (the in-process
   /// stand-in for "one query spans machines"). Picked batches are routed per
@@ -319,6 +337,25 @@ class SearchEngine {
   /// Exposes cache/sketch/bank statistics for observability.
   reuse::ReuseManager* reuse_manager();
 
+  /// \brief The engine-wide counter registry every session's and the
+  /// service's slabs hang off. Always present; slabs are only acquired (and
+  /// hot paths only tick) when `config.collect_stats` is on.
+  stats::CounterRegistry* counter_registry() { return &registry_; }
+
+  /// \brief The engine-wide stage-latency aggregate: per-session pipeline
+  /// timers merge in when their sessions finish; the shared service's
+  /// submit→grant and transport histograms record into it directly.
+  const stats::StageTimer& stage_timer() const { return stage_timer_; }
+
+  /// \brief One versioned JSON snapshot of everything the engine observes:
+  /// the synced counter registry, the per-component stats structs published
+  /// under uniform names (service.*, transport.*, reuse.*), and the
+  /// per-stage latency histograms. Deterministic key order; see
+  /// `stats::WriteStatsJson` for the shape. Call from the coordinator
+  /// thread (between steps / after runs) — the same single-driver contract
+  /// every other engine method has.
+  std::string StatsJson();
+
  private:
   /// The pool a shard's detect stage fans out over: the shard's private pool
   /// when `config.threads_per_shard > 0` (created lazily, shared by all
@@ -362,6 +399,12 @@ class SearchEngine {
   uint64_t next_session_id_ = 1;
   // Engine-owned cross-query reuse state (config.reuse), lazy.
   std::unique_ptr<reuse::ReuseManager> reuse_manager_;
+  // Engine-wide observability: the counter registry (owns every slab) and
+  // the cross-session stage-latency aggregate. The registry outlives every
+  // session, so slab pointers handed to components stay valid for the
+  // engine's lifetime.
+  stats::CounterRegistry registry_;
+  stats::StageTimer stage_timer_;
   // Per-shard private pools (config.threads_per_shard > 0), lazily created.
   std::vector<std::unique_ptr<common::ThreadPool>> shard_pools_;
   // Per-shard private I/O pools (config.io_threads_per_shard > 0), lazy.

@@ -21,6 +21,22 @@ double NowSeconds() {
 
 }  // namespace
 
+ServiceStatsBinding ServiceStatsBinding::Bind(stats::CounterRegistry* registry,
+                                              stats::CounterSlab* slab,
+                                              stats::StageTimer* timer) {
+  ServiceStatsBinding binding;
+  binding.slab = slab;
+  binding.timer = timer;
+  binding.submits = registry->RegisterCounter("service.submits");
+  binding.frames = registry->RegisterCounter("service.frames");
+  binding.device_batches = registry->RegisterCounter("service.device_batches");
+  binding.shared_batches = registry->RegisterCounter("service.shared_batches");
+  binding.flushes = registry->RegisterCounter("service.flushes");
+  binding.wire_batches = registry->RegisterCounter("service.wire_batches");
+  binding.queue_depth = registry->RegisterGauge("service.queue_depth");
+  return binding;
+}
+
 DetectorService::DetectorService(DetectorServiceOptions options, size_t num_shards,
                                  std::vector<common::ThreadPool*> pools,
                                  common::ThreadPool* default_pool)
@@ -84,6 +100,9 @@ DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
   }
   pending_frames_ += request.frames.size();
   stats_.requests += 1;
+  stats::SlabAdd(stats_binding_.slab, stats_binding_.submits);
+  stats::SlabSetGauge(stats_binding_.slab, stats_binding_.queue_depth,
+                      static_cast<double>(pending_frames_));
   if (request.session_stats != nullptr) {
     request.session_stats->frames_submitted += request.frames.size();
   }
@@ -131,6 +150,7 @@ void DetectorService::Flush() {
   }
   if (active.empty()) return;
   stats_.flushes += 1;
+  stats::SlabAdd(stats_binding_.slab, stats_binding_.flushes);
   FlushShards(active, /*only_full_slices=*/false, FlushReason::kBarrier);
 }
 
@@ -162,6 +182,8 @@ void DetectorService::FlushShards(const std::vector<uint32_t>& shards,
   if (work.empty()) return;
   if (reason == FlushReason::kFill) stats_.fill_flushes += 1;
   if (reason == FlushReason::kDeadline) stats_.deadline_flushes += 1;
+  stats::SlabSetGauge(stats_binding_.slab, stats_binding_.queue_depth,
+                      static_cast<double>(pending_frames_));
 
   // Decode barrier: drain the prefetcher of every request about to be
   // detected, in ticket order, before any detection runs (the charges were
@@ -232,6 +254,8 @@ void DetectorService::FlushShards(const std::vector<uint32_t>& shards,
           ticket_latencies_.begin() + static_cast<ptrdiff_t>(kTicketLatencyCap / 2));
     }
     ticket_latencies_.push_back(now - it->second.submit_seconds);
+    stats::TimerRecord(stats_binding_.timer, stats::Stage::kSubmitToGrant,
+                       now - it->second.submit_seconds);
     ready_.emplace(ticket, std::move(it->second.results));
     pending_.erase(it);
   }
@@ -292,6 +316,11 @@ void DetectorService::BookSlices(uint32_t shard,
     stats_.device_batches += 1;
     stats_.frames += count;
     if (shared) stats_.shared_batches += 1;
+    stats::SlabAdd(stats_binding_.slab, stats_binding_.device_batches);
+    stats::SlabAdd(stats_binding_.slab, stats_binding_.frames, count);
+    if (shared) {
+      stats::SlabAdd(stats_binding_.slab, stats_binding_.shared_batches);
+    }
     for (const PendingRequest* pr : in_slice) {
       SessionSchedulerStats* session = pr->request.session_stats;
       if (session == nullptr) continue;
@@ -343,6 +372,7 @@ void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
   struct InFlightSlice {
     uint32_t origin_shard = 0;
     uint32_t runner = 0;
+    double send_seconds = 0.0;     // Wall clock at (re)send: round-trip stats.
     uint32_t attempt = 0;          // Cumulative across runners (wire field).
     uint32_t runner_attempts = 0;  // Failures on the *current* runner only:
                                    // the retry budget is per runner, so a
@@ -388,9 +418,11 @@ void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
         break;
       }
       const uint64_t seq = next_wire_seq_++;
+      slice.send_seconds = NowSeconds();
       common::CheckOk(transport->Send(slice.runner, build_msg(slice, seq)),
                       "wire send failed");
       stats_.wire_batches += 1;
+      stats::SlabAdd(stats_binding_.slab, stats_binding_.wire_batches);
       // Proactive reroute off a runner already known to be down: still a
       // first send, counted apart from failure-driven requeue resends.
       if (slice.runner != slice.origin_shard) stats_.wire_reroutes += 1;
@@ -411,6 +443,11 @@ void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
     if (response.status == WireStatus::kOk) {
       common::Check(response.detections.size() == slice.entries.size(),
                     "wire response slot count mismatch");
+      // One transport round-trip, (re)send to completed response. Retried
+      // batches time from their last send — the round trip the wire actually
+      // served, not the cumulative wait.
+      stats::TimerRecord(stats_binding_.timer, stats::Stage::kTransport,
+                         NowSeconds() - slice.send_seconds);
       for (size_t i = 0; i < slice.entries.size(); ++i) {
         slice.entries[i].request->results[slice.entries[i].frame_index] =
             std::move(response.detections[i]);
@@ -448,6 +485,7 @@ void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
       slice.attempt += 1;
       slice.runner_attempts += 1;
       stats_.wire_retries += 1;
+      slice.send_seconds = NowSeconds();
       common::CheckOk(transport->Send(slice.runner, build_msg(slice, response.wire_seq)),
                       "wire send failed");
       continue;
@@ -466,6 +504,7 @@ void DetectorService::SendAndCollect(const std::vector<ShardWork>& work) {
     slice.attempt += 1;
     slice.runner_attempts = 0;  // Fresh retry budget on the new runner.
     stats_.wire_requeues += 1;
+    slice.send_seconds = NowSeconds();
     common::CheckOk(transport->Send(slice.runner, build_msg(slice, response.wire_seq)),
                     "wire send failed");
   }
@@ -501,9 +540,13 @@ std::vector<detect::Detections> DetectorService::Take(Ticket ticket) {
 
 double DetectorService::FillRate() const {
   if (stats_.device_batches == 0) return 0.0;
-  return static_cast<double>(stats_.frames) /
-         (static_cast<double>(stats_.device_batches) *
-          static_cast<double>(options_.device_batch));
+  // The constructor validates device_batch >= 1, but a ratio accessor must
+  // not be able to divide by zero whatever state it is called in — guard the
+  // denominator rather than trust a distant invariant.
+  const double denominator =
+      static_cast<double>(stats_.device_batches) *
+      static_cast<double>(std::max<size_t>(size_t{1}, options_.device_batch));
+  return static_cast<double>(stats_.frames) / denominator;
 }
 
 }  // namespace query

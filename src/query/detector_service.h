@@ -16,10 +16,36 @@
 #include "query/shard_dispatch.h"
 #include "query/transport.h"
 #include "query/wire.h"
+#include "stats/counter_registry.h"
+#include "stats/stage_timer.h"
 #include "video/repository.h"
 
 namespace exsample {
 namespace query {
+
+/// \brief The detect service's binding to the engine-wide observability
+/// registry: a single-writer counter slab, a stage timer for the
+/// submit→grant and transport-round-trip histograms, and the
+/// pre-registered metric ids. All-null (the default) collects nothing.
+/// Written only from the coordinator thread driving the service, per the
+/// registry's single-writer contract.
+struct ServiceStatsBinding {
+  stats::CounterSlab* slab = nullptr;
+  stats::StageTimer* timer = nullptr;
+  stats::MetricId submits = 0;
+  stats::MetricId frames = 0;
+  stats::MetricId device_batches = 0;
+  stats::MetricId shared_batches = 0;
+  stats::MetricId flushes = 0;
+  stats::MetricId wire_batches = 0;
+  stats::MetricId queue_depth = 0;  // Gauge: frames queued, not yet flushed.
+
+  /// Registers the service metric names and returns a binding over
+  /// `slab`/`timer` (either may be null to collect only the other half).
+  static ServiceStatsBinding Bind(stats::CounterRegistry* registry,
+                                  stats::CounterSlab* slab,
+                                  stats::StageTimer* timer);
+};
 
 /// \brief When a shard's submission queue is executed.
 enum class FlushPolicy {
@@ -275,6 +301,10 @@ class DetectorService {
   /// frames / (device_batches * device_batch). 0 before the first flush.
   double FillRate() const;
 
+  /// \brief Attaches (or detaches, with a default-constructed binding) the
+  /// observability sinks. Call from the coordinator thread, between steps.
+  void BindStats(const ServiceStatsBinding& binding) { stats_binding_ = binding; }
+
   /// \brief The runner-side session directory (wire id -> detector context)
   /// the service maintains for its transport. Exposed for tests.
   const SessionDirectory& directory() const { return directory_; }
@@ -348,6 +378,7 @@ class DetectorService {
   std::unordered_set<uint64_t> registered_sessions_;
   std::vector<double> ticket_latencies_;
   DetectorServiceStats stats_;
+  ServiceStatsBinding stats_binding_;
 };
 
 }  // namespace query

@@ -33,6 +33,21 @@ bool CountNewDistinct(const track::MatchResult& result, const RunnerOptions& opt
 
 }  // namespace
 
+ExecutionStatsBinding ExecutionStatsBinding::Bind(stats::CounterRegistry* registry,
+                                                  stats::CounterSlab* slab,
+                                                  stats::StageTimer* timer) {
+  ExecutionStatsBinding binding;
+  binding.slab = slab;
+  binding.timer = timer;
+  binding.steps = registry->RegisterCounter("execution.steps");
+  binding.frames_picked = registry->RegisterCounter("execution.frames_picked");
+  binding.frames_reused = registry->RegisterCounter("execution.frames_reused");
+  binding.frames_detected = registry->RegisterCounter("execution.frames_detected");
+  binding.results_reported =
+      registry->RegisterCounter("execution.results_reported");
+  return binding;
+}
+
 QueryExecution::QueryExecution(const scene::GroundTruth* truth,
                                detect::ObjectDetector* detector,
                                track::Discriminator* discriminator,
@@ -159,11 +174,18 @@ bool QueryExecution::BeginStep() {
   const uint64_t samples_left = options_.max_samples - current_.samples;
   const size_t want = static_cast<size_t>(
       std::min<uint64_t>(std::max<size_t>(1, options_.batch_size), samples_left));
-  pending_frames_ = strategy_->NextBatch(want);
+  {
+    stats::StageTimer::Scoped pick_timer(options_.stats.timer,
+                                         stats::Stage::kPick);
+    pending_frames_ = strategy_->NextBatch(want);
+  }
   if (pending_frames_.empty()) {
     finished_ = true;
     return false;
   }
+  stats::SlabAdd(options_.stats.slab, options_.stats.steps);
+  stats::SlabAdd(options_.stats.slab, options_.stats.frames_picked,
+                 pending_frames_.size());
 
   ShardDispatcher* dispatcher = options_.shard_dispatcher;
 
@@ -194,6 +216,8 @@ bool QueryExecution::BeginStep() {
   // changes which frames are paid for, never what any stage observes.
   const bool reusing = options_.reuse != nullptr;
   if (reusing) {
+    stats::StageTimer::Scoped classify_timer(options_.stats.timer,
+                                             stats::Stage::kClassify);
     reuse_outcomes_.clear();
     reuse_detections_.assign(pending_frames_.size(), detect::Detections());
     miss_frames_.clear();
@@ -207,6 +231,8 @@ bool QueryExecution::BeginStep() {
         if (dispatcher != nullptr) miss_shards_.push_back(frame_shards_[i]);
       }
     }
+    stats::SlabAdd(options_.stats.slab, options_.stats.frames_reused,
+                   pending_frames_.size() - miss_frames_.size());
   }
   const std::vector<video::FrameId>& detect_frames =
       reusing ? miss_frames_ : pending_frames_;
@@ -222,6 +248,8 @@ bool QueryExecution::BeginStep() {
   // a shared service, happens only at flush time, so the decode-ahead window
   // spans the whole coalesce window instead of one session's detect windows.
   if (prefetcher_ != nullptr && !detect_frames.empty()) {
+    stats::StageTimer::Scoped decode_timer(options_.stats.timer,
+                                           stats::Stage::kDecode);
     const bool sharded_stores = dispatcher != nullptr && dispatcher->HasStores();
     const std::vector<double>& charges = prefetcher_->SubmitBatch(
         detect_frames, sharded_stores
@@ -280,12 +308,18 @@ void QueryExecution::FinishStep() {
   // and is collected here. Result i belongs to detect_frames[i] whatever the
   // execution order. A fully-reused batch has nothing to collect.
   std::vector<detect::Detections> miss_detections;
-  if (pending_ticket_valid_) {
-    miss_detections = options_.detector_service->Take(pending_ticket_);
-    pending_ticket_valid_ = false;
-  } else if (options_.detector_service == nullptr && !detect_frames.empty()) {
-    miss_detections = DetectStage(detect_frames, detect_shards);
+  {
+    stats::StageTimer::Scoped detect_timer(options_.stats.timer,
+                                           stats::Stage::kDetect);
+    if (pending_ticket_valid_) {
+      miss_detections = options_.detector_service->Take(pending_ticket_);
+      pending_ticket_valid_ = false;
+    } else if (options_.detector_service == nullptr && !detect_frames.empty()) {
+      miss_detections = DetectStage(detect_frames, detect_shards);
+    }
   }
+  stats::SlabAdd(options_.stats.slab, options_.stats.frames_detected,
+                 detect_frames.size());
 
   // Discriminate stage: strictly sequential in batch order — matching is
   // stateful, and reproducibility requires a fixed observation order. This is
@@ -295,6 +329,11 @@ void QueryExecution::FinishStep() {
   // with fresh ones in the same order a cold run would observe, byte-equal,
   // so everything downstream (matching, feedback, results) is unchanged.
   feedback_.clear();
+  const uint64_t reported_before = current_.reported_results;
+  std::chrono::steady_clock::time_point discriminate_start;
+  if (options_.stats.timer != nullptr) {
+    discriminate_start = std::chrono::steady_clock::now();
+  }
   size_t miss_pos = 0;
   for (size_t i = 0; i < pending_frames_.size(); ++i) {
     const uint32_t shard = dispatcher != nullptr ? frame_shards_[i] : 0;
@@ -339,9 +378,23 @@ void QueryExecution::FinishStep() {
     }
   }
 
+  if (options_.stats.timer != nullptr) {
+    options_.stats.timer->Record(
+        stats::Stage::kDiscriminate,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      discriminate_start)
+            .count());
+  }
+  stats::SlabAdd(options_.stats.slab, options_.stats.results_reported,
+                 current_.reported_results - reported_before);
+
   // Feedback stage: the strategy sees the whole batch's outcomes at once
   // (Sec. III-F — belief updates are delayed until the batch returns).
-  strategy_->ObserveBatch(feedback_);
+  {
+    stats::StageTimer::Scoped observe_timer(options_.stats.timer,
+                                            stats::Stage::kObserve);
+    strategy_->ObserveBatch(feedback_);
+  }
 
   // Keep `final` current so a live session's trace reads correctly mid-run.
   trace_.final = current_;
@@ -456,9 +509,17 @@ QueryTrace QueryRunner::RunSingleFrame(SearchStrategy* strategy) {
     charged_overhead = overhead;
 
     if (options_.video_store != nullptr) {
-      const double before = options_.video_store->Stats().total_seconds;
-      options_.video_store->ReadAndDecode(*frame);
-      current.seconds += options_.video_store->Stats().total_seconds - before;
+      // PlanRead returns this read's charge directly. The old form diffed
+      // the store's cumulative `Stats().total_seconds` around the call,
+      // which reads shared mutable state — racy when the store is shared
+      // with concurrent sessions, and wrong (double-counted) even
+      // single-threaded if anything else touches the store in between.
+      const common::Result<video::ReadPlan> plan =
+          options_.video_store->PlanRead(*frame);
+      if (plan.ok()) {
+        options_.video_store->PerformRead(plan.value());
+        current.seconds += plan.value().seconds;
+      }
     }
     current.seconds += detector_->SecondsPerFrame();
 

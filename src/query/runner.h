@@ -18,11 +18,38 @@
 #include "query/trace.h"
 #include "reuse/reuse.h"
 #include "scene/ground_truth.h"
+#include "stats/counter_registry.h"
+#include "stats/stage_timer.h"
 #include "track/discriminator.h"
 #include "video/decode.h"
 
 namespace exsample {
 namespace query {
+
+/// \brief A query execution's binding to the engine-wide observability
+/// registry: a single-writer counter slab, the session's stage-latency
+/// timer, and the pre-registered metric ids the execution ticks.
+///
+/// All-null (the default) disables collection — every hot-path site then
+/// costs one pointer test. The slab and timer must be written from the
+/// session's coordinator thread only (the thread calling
+/// `BeginStep`/`FinishStep`), which is the registry's single-writer
+/// contract.
+struct ExecutionStatsBinding {
+  stats::CounterSlab* slab = nullptr;
+  stats::StageTimer* timer = nullptr;
+  stats::MetricId steps = 0;
+  stats::MetricId frames_picked = 0;
+  stats::MetricId frames_reused = 0;
+  stats::MetricId frames_detected = 0;
+  stats::MetricId results_reported = 0;
+
+  /// Registers the execution metric names and returns a binding over
+  /// `slab`/`timer` (either may be null to collect only the other half).
+  static ExecutionStatsBinding Bind(stats::CounterRegistry* registry,
+                                    stats::CounterSlab* slab,
+                                    stats::StageTimer* timer);
+};
 
 /// \brief Default cost constants from the paper's measurements (Sec. V-B):
 /// detector-bound sampling runs at ~20 fps; proxy scoring scans at ~100 fps
@@ -116,6 +143,11 @@ struct RunnerOptions {
   /// are bit-identical and only the charged seconds shrink. Null (the
   /// default) is the pre-reuse execution, bit for bit.
   reuse::SessionReuse* reuse = nullptr;
+  /// Observability binding (counters + per-stage latency histograms). The
+  /// default (all null) collects nothing; either way the trace is
+  /// bit-identical — stats are tallied beside the pipeline, never inside
+  /// its accounting (`bench_observability` exit-enforces both halves).
+  ExecutionStatsBinding stats;
 };
 
 /// \brief Incremental execution state of one distinct-object query.

@@ -22,6 +22,12 @@ Histogram::Histogram(double lo, double hi, size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {}
 
 void Histogram::Add(double value) {
+  if (!std::isfinite(value)) {
+    // NaN compares false against both range checks below and would reach the
+    // size_t cast (UB); +/-inf would overflow the cast the same way.
+    ++non_finite_;
+    return;
+  }
   if (value < lo_) {
     ++underflow_;
     return;
@@ -36,7 +42,13 @@ void Histogram::Add(double value) {
 }
 
 uint64_t Histogram::TotalCount() const {
-  uint64_t total = underflow_ + overflow_;
+  uint64_t total = underflow_ + overflow_ + non_finite_;
+  for (uint64_t c : counts_) total += c;
+  return total;
+}
+
+uint64_t Histogram::InRangeCount() const {
+  uint64_t total = 0;
   for (uint64_t c : counts_) total += c;
   return total;
 }
@@ -44,10 +56,10 @@ uint64_t Histogram::TotalCount() const {
 double Histogram::BinLeft(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
 double Histogram::Density(size_t i) const {
-  const uint64_t total = TotalCount();
-  if (total == 0) return 0.0;
+  const uint64_t in_range = InRangeCount();
+  if (in_range == 0) return 0.0;
   return static_cast<double>(counts_[i]) /
-         (static_cast<double>(total) * width_);
+         (static_cast<double>(in_range) * width_);
 }
 
 std::string Histogram::ToAscii(size_t max_bar_width) const {

@@ -22,11 +22,16 @@ class Histogram {
   static common::Result<Histogram> Make(double lo, double hi, size_t bins);
 
   /// \brief Records one value (out-of-range values go to the under/overflow
-  /// counters).
+  /// counters; NaN and +/-inf go to the non-finite counter).
   void Add(double value);
 
-  /// \brief Number of recorded values, including under/overflow.
+  /// \brief Number of recorded values, including under/overflow and
+  /// non-finite samples.
   uint64_t TotalCount() const;
+
+  /// \brief Number of recorded values that landed in a bin (excludes
+  /// under/overflow and non-finite samples).
+  uint64_t InRangeCount() const;
 
   /// \brief Count in bin `i`.
   uint64_t BinCount(size_t i) const { return counts_[i]; }
@@ -40,9 +45,22 @@ class Histogram {
   uint64_t Underflow() const { return underflow_; }
   /// \brief Count of values at or above `hi`.
   uint64_t Overflow() const { return overflow_; }
+  /// \brief Count of NaN / +/-inf samples.
+  uint64_t NonFinite() const { return non_finite_; }
 
-  /// \brief Normalized density of bin `i` (count / (total * width)), so the
-  /// histogram integrates to (in-range mass) and is comparable to a pdf.
+  /// \brief Adds `count` directly into bin `i` (merge support).
+  void AddBinCount(size_t i, uint64_t count) { counts_[i] += count; }
+  /// \brief Adds directly to the out-of-range counters (merge support).
+  void AddOutOfRange(uint64_t underflow, uint64_t overflow,
+                     uint64_t non_finite) {
+    underflow_ += underflow;
+    overflow_ += overflow;
+    non_finite_ += non_finite;
+  }
+
+  /// \brief Normalized density of bin `i` (count / (in_range * width)), so
+  /// the in-range densities integrate to 1 and are comparable to a pdf even
+  /// when out-of-range samples exist.
   double Density(size_t i) const;
 
   /// \brief Renders a compact ASCII bar chart, one line per bin.
@@ -57,6 +75,7 @@ class Histogram {
   std::vector<uint64_t> counts_;
   uint64_t underflow_ = 0;
   uint64_t overflow_ = 0;
+  uint64_t non_finite_ = 0;
 };
 
 }  // namespace stats

@@ -1,0 +1,115 @@
+#include "stats/stage_timer.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace exsample {
+namespace stats {
+
+namespace {
+
+// 100ns .. 100s at 1/10th-decade resolution.
+constexpr double kLogLo = -7.0;
+constexpr double kLogHi = 2.0;
+constexpr size_t kLogBins = 90;
+
+Histogram MakeLogHistogram() {
+  auto result = Histogram::Make(kLogLo, kLogHi, kLogBins);
+  common::CheckOk(result.status(), "stage histogram construction");
+  return std::move(result).value();
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kPick:
+      return "pick";
+    case Stage::kClassify:
+      return "classify";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kDetect:
+      return "detect";
+    case Stage::kDiscriminate:
+      return "discriminate";
+    case Stage::kObserve:
+      return "observe";
+    case Stage::kTransport:
+      return "transport";
+    case Stage::kSubmitToGrant:
+      return "submit_to_grant";
+  }
+  return "unknown";
+}
+
+StageTimer::StageTimer()
+    : histograms_{MakeLogHistogram(), MakeLogHistogram(), MakeLogHistogram(),
+                  MakeLogHistogram(), MakeLogHistogram(), MakeLogHistogram(),
+                  MakeLogHistogram(), MakeLogHistogram()} {}
+
+void StageTimer::Record(Stage stage, double seconds) {
+  PerStage& tally = tallies_[static_cast<size_t>(stage)];
+  ++tally.count;
+  tally.total_seconds += seconds;
+  // log10(0) = -inf and log10(negative) = NaN both land in the histogram's
+  // non-finite bucket rather than skewing a bin.
+  histograms_[static_cast<size_t>(stage)].Add(std::log10(seconds));
+}
+
+uint64_t StageTimer::Count(Stage stage) const {
+  return tallies_[static_cast<size_t>(stage)].count;
+}
+
+double StageTimer::TotalSeconds(Stage stage) const {
+  return tallies_[static_cast<size_t>(stage)].total_seconds;
+}
+
+const Histogram& StageTimer::StageHistogram(Stage stage) const {
+  return histograms_[static_cast<size_t>(stage)];
+}
+
+double StageTimer::ApproxQuantileSeconds(Stage stage, double q) const {
+  const Histogram& hist = histograms_[static_cast<size_t>(stage)];
+  const uint64_t in_range = hist.InRangeCount();
+  if (in_range == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(in_range);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < hist.NumBins(); ++i) {
+    const uint64_t bin = hist.BinCount(i);
+    if (static_cast<double>(cumulative + bin) >= target && bin > 0) {
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(bin);
+      const double log_value = hist.BinLeft(i) + hist.BinWidth() * fraction;
+      return std::pow(10.0, log_value);
+    }
+    cumulative += bin;
+  }
+  // All mass consumed without crossing the target (q == 1 with trailing
+  // zero bins): report the top of the last occupied bin.
+  for (size_t i = hist.NumBins(); i > 0; --i) {
+    if (hist.BinCount(i - 1) > 0) {
+      return std::pow(10.0, hist.BinLeft(i - 1) + hist.BinWidth());
+    }
+  }
+  return 0.0;
+}
+
+void StageTimer::Merge(const StageTimer& other) {
+  for (size_t s = 0; s < kNumStages; ++s) {
+    tallies_[s].count += other.tallies_[s].count;
+    tallies_[s].total_seconds += other.tallies_[s].total_seconds;
+    for (size_t b = 0; b < histograms_[s].NumBins(); ++b) {
+      histograms_[s].AddBinCount(b, other.histograms_[s].BinCount(b));
+    }
+    histograms_[s].AddOutOfRange(other.histograms_[s].Underflow(),
+                                 other.histograms_[s].Overflow(),
+                                 other.histograms_[s].NonFinite());
+  }
+}
+
+}  // namespace stats
+}  // namespace exsample

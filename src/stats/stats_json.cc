@@ -1,0 +1,107 @@
+#include "stats/stats_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace exsample {
+namespace stats {
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod gives the value back. %.17g always round-trips, so the
+  // loop terminates; most values exit at %.15g or earlier.
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return std::string(buf);
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string WriteStatsJson(const StatsSnapshot& snapshot,
+                           const StageTimer* stages) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"version\": " << kStatsJsonVersion << ",\n";
+  os << "  \"sync_sequence\": " << snapshot.sync_sequence << ",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n");
+    os << "    \"" << JsonEscape(name) << "\": " << value;
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n");
+    os << "    \"" << JsonEscape(name) << "\": " << JsonDouble(value);
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+
+  os << "  \"stages\": {";
+  first = true;
+  if (stages != nullptr) {
+    for (size_t s = 0; s < kNumStages; ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      os << (first ? "\n" : ",\n");
+      os << "    \"" << StageName(stage) << "\": {"
+         << "\"count\": " << stages->Count(stage)
+         << ", \"total_seconds\": " << JsonDouble(stages->TotalSeconds(stage))
+         << ", \"p50_seconds\": "
+         << JsonDouble(stages->ApproxQuantileSeconds(stage, 0.5))
+         << ", \"p95_seconds\": "
+         << JsonDouble(stages->ApproxQuantileSeconds(stage, 0.95))
+         << ", \"p99_seconds\": "
+         << JsonDouble(stages->ApproxQuantileSeconds(stage, 0.99)) << "}";
+      first = false;
+    }
+  }
+  os << (first ? "}\n" : "\n  }\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stats
+}  // namespace exsample

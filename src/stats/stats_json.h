@@ -1,0 +1,49 @@
+#ifndef EXSAMPLE_STATS_STATS_JSON_H_
+#define EXSAMPLE_STATS_STATS_JSON_H_
+
+#include <string>
+
+#include "stats/counter_registry.h"
+#include "stats/stage_timer.h"
+
+namespace exsample {
+namespace stats {
+
+/// Schema version stamped into every exported snapshot. Bump when the JSON
+/// shape changes incompatibly; consumers key parsing off this field.
+constexpr int kStatsJsonVersion = 1;
+
+/// \brief Renders a snapshot (and optional stage timer) as versioned JSON.
+///
+/// Output is deterministic for a given input: keys come from ordered maps,
+/// stages are emitted in enum order, and doubles use a fixed shortest
+/// round-trip format — so a golden test can compare byte-for-byte. Shape:
+///
+/// {
+///   "version": 1,
+///   "sync_sequence": N,
+///   "counters": {"name": N, ...},
+///   "gauges": {"name": X, ...},
+///   "stages": {
+///     "pick": {"count": N, "total_seconds": X, "p50_seconds": X,
+///              "p95_seconds": X, "p99_seconds": X},
+///     ...
+///   }
+/// }
+///
+/// `stages` is an empty object when `stages == nullptr`.
+std::string WriteStatsJson(const StatsSnapshot& snapshot,
+                           const StageTimer* stages);
+
+/// Formats a double as its shortest representation that round-trips
+/// (JSON-safe: no inf/nan — those render as 0). Exposed for tests.
+std::string JsonDouble(double value);
+
+/// Escapes a string for inclusion in JSON (quotes, backslash, control
+/// characters).
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace stats
+}  // namespace exsample
+
+#endif  // EXSAMPLE_STATS_STATS_JSON_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace exsample {
 namespace stats {
@@ -53,6 +54,55 @@ TEST(HistogramTest, DensityNormalizes) {
   // bin1 30/40/0.5 = 1.5.
   EXPECT_DOUBLE_EQ(hist.Density(0), 0.5);
   EXPECT_DOUBLE_EQ(hist.Density(1), 1.5);
+}
+
+TEST(HistogramTest, NonFiniteValuesLandInDedicatedBucket) {
+  // Regression: NaN used to fall through the bin-index arithmetic
+  // (undefined double→size_t conversion) and +/-inf could index out of
+  // range; they now tally in a dedicated non-finite bucket.
+  auto hist = Histogram::Make(0.0, 1.0, 4).value();
+  hist.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Add(std::numeric_limits<double>::infinity());
+  hist.Add(-std::numeric_limits<double>::infinity());
+  hist.Add(0.5);
+  EXPECT_EQ(hist.NonFinite(), 3u);
+  EXPECT_EQ(hist.Underflow(), 0u);
+  EXPECT_EQ(hist.Overflow(), 0u);
+  EXPECT_EQ(hist.InRangeCount(), 1u);
+  EXPECT_EQ(hist.TotalCount(), 4u);
+  for (size_t i = 0; i < hist.NumBins(); ++i) {
+    EXPECT_LE(hist.BinCount(i), 1u) << "bin " << i;
+  }
+}
+
+TEST(HistogramTest, DensityIntegratesToOneWithOutOfRangeSamples) {
+  // Regression: Density used to divide by TotalCount (which includes
+  // under/overflow and non-finite), so the in-range density integrated to
+  // less than 1 whenever any sample fell outside [lo, hi).
+  auto hist = Histogram::Make(0.0, 1.0, 5).value();
+  for (int i = 0; i < 7; ++i) hist.Add(0.1);
+  for (int i = 0; i < 3; ++i) hist.Add(0.55);
+  for (int i = 0; i < 4; ++i) hist.Add(-1.0);                        // Underflow.
+  for (int i = 0; i < 2; ++i) hist.Add(2.0);                         // Overflow.
+  hist.Add(std::numeric_limits<double>::quiet_NaN());                // Non-finite.
+  double integral = 0.0;
+  for (size_t i = 0; i < hist.NumBins(); ++i) {
+    integral += hist.Density(i) * hist.BinWidth();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BoundaryValues) {
+  // lo is inclusive, hi exclusive; the largest double below hi is in-range.
+  auto hist = Histogram::Make(1.0, 3.0, 8).value();
+  hist.Add(1.0);
+  hist.Add(std::nextafter(3.0, 0.0));
+  hist.Add(3.0);
+  EXPECT_EQ(hist.BinCount(0), 1u);
+  EXPECT_EQ(hist.BinCount(7), 1u);
+  EXPECT_EQ(hist.Overflow(), 1u);
+  EXPECT_EQ(hist.Underflow(), 0u);
+  EXPECT_EQ(hist.InRangeCount(), 2u);
 }
 
 TEST(HistogramTest, AsciiRendering) {

@@ -56,6 +56,15 @@
 //                      detector seconds, FP-safe sketch skips) after the run
 //   --repeat=N         run the solo query N times against the same engine —
 //                      the reuse payoff shows from run 2 on (default: 1)
+//
+// Observability (the engine's unified counter registry and per-stage latency
+// histograms; see the README's observability section):
+//   --stats-json=PATH  after the run, write the engine's versioned stats
+//                      snapshot (counters, gauges, per-stage latency
+//                      quantiles) as JSON to PATH
+//   --stats-every=N    with --stats-json and --concurrent: additionally
+//                      rewrite PATH every N scheduler rounds while the
+//                      workload runs, so progress can be watched live
 
 #include <algorithm>
 #include <cstdio>
@@ -98,6 +107,8 @@ struct CliArgs {
   bool reuse = false;
   std::string reuse_components = "all";
   size_t repeat = 1;
+  std::string stats_json_path;
+  uint64_t stats_every = 0;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -173,6 +184,10 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.reuse_components = value;
     } else if (ParseArg(arg, "--repeat", &value)) {
       args.repeat = std::max<size_t>(1, std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseArg(arg, "--stats-json", &value)) {
+      args.stats_json_path = value;
+    } else if (ParseArg(arg, "--stats-every", &value)) {
+      args.stats_every = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -230,6 +245,20 @@ void PrintReuseStats(engine::SearchEngine& search, double saved_seconds) {
                 static_cast<unsigned long long>(bank.posteriors_recorded),
                 static_cast<unsigned long long>(bank.warm_starts));
   }
+}
+
+// The final --stats-json dump; returns false only when the path cannot be
+// opened (the run itself already succeeded — the caller still fails loudly).
+bool WriteStatsDump(engine::SearchEngine& search, const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << search.StatsJson();
+  std::printf("stats written to %s\n", path.c_str());
+  return true;
 }
 
 std::optional<engine::Method> ParseMethod(const std::string& name) {
@@ -337,6 +366,16 @@ int main(int argc, char** argv) {
   }
   config.scheduler = *scheduler_kind;
   config.scheduler_seed = args.seed;
+  if (args.stats_every > 0) {
+    if (args.stats_json_path.empty()) {
+      std::fprintf(stderr,
+                   "warning: --stats-every needs --stats-json=PATH to know "
+                   "where to dump\n");
+    } else {
+      config.stats_dump_path = args.stats_json_path;
+      config.stats_dump_every_rounds = args.stats_every;
+    }
+  }
   if (args.reuse &&
       !ParseReuseComponents(args.reuse_components, &config.reuse)) {
     std::fprintf(stderr, "unknown --reuse component in '%s' (cache|sketch|warm|all)\n",
@@ -475,7 +514,7 @@ int main(int argc, char** argv) {
       saved_seconds += rs.saved_detector_seconds;
     }
     PrintReuseStats(search, saved_seconds);
-    return 0;
+    return WriteStatsDump(search, args.stats_json_path) ? 0 : 1;
   }
 
   // Solo run(s). --repeat runs the same query repeatedly against the same
@@ -549,5 +588,5 @@ int main(int argc, char** argv) {
     query::WriteTraceCsv(t, csv);
     std::printf("trace written to %s\n", args.csv_path.c_str());
   }
-  return 0;
+  return WriteStatsDump(search, args.stats_json_path) ? 0 : 1;
 }
