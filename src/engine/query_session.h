@@ -67,6 +67,15 @@ class QuerySession {
   /// transport error.
   void AbortStep() { execution_->AbortPendingStep(); }
 
+  /// \brief Administrative cancellation: finishes the session at its last
+  /// completed step without running it to its stop condition. The serving
+  /// layer's load shedder cancels best-effort sessions this way under
+  /// detector saturation (and on tenant budget exhaustion). Fatal while a
+  /// step is pending — cancel only at wave boundaries, where every begun
+  /// step has been finished. `Finish()` afterwards just finalizes the
+  /// truncated trace.
+  void Cancel() { execution_->Terminate(); }
+
   /// \brief True when no further `Step` will make progress.
   bool Done() const { return execution_->Done(); }
 

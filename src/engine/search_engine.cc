@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "engine/wave_driver.h"
 #include "stats/stats_json.h"
 
 namespace exsample {
@@ -487,13 +488,6 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
 
   std::vector<query::SessionSchedulerInfo> infos(sessions.size());
   std::vector<size_t> order;
-  std::vector<size_t> wave;
-  // Sticky transport failure: a shard fleet that died past retries+requeue
-  // cancelled every pending ticket, so the wave's sessions can never finish
-  // their steps. The workload must *surface* that as a non-OK status — the
-  // no-progress replan loop below would otherwise spin or silently return
-  // truncated traces as if the queries had completed.
-  common::Status transport_error;
   // Periodic observability dump: every `stats_dump_every_rounds` scheduler
   // rounds the engine rewrites `stats_dump_path` with a fresh StatsJson()
   // snapshot, from this coordinator thread (so the pull-published component
@@ -508,24 +502,15 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
     std::ofstream out(config_.stats_dump_path, std::ios::trunc);
     if (out) out << StatsJson();
   };
-  const auto check_service = [&]() -> bool {
-    if (service == nullptr || service->transport_status().ok()) return true;
-    transport_error = service->transport_status();
-    return false;
-  };
-  const auto flush_wave = [&]() -> bool {
-    if (wave.empty()) return true;
-    if (service != nullptr) service->Flush();
-    if (!check_service()) return false;
-    for (const size_t idx : wave) {
-      sessions[idx]->FinishStep();
-      if (observer) observer(idx, *sessions[idx]);
-    }
-    wave.clear();
-    return true;
-  };
+  // The wave execution (begin → flush → finish in submission order, sticky
+  // transport failure) lives in the shared `SessionWaveDriver` — the same
+  // machinery the serving layer drives admitted tenant sessions through.
+  SessionWaveDriver driver(service, [&](size_t idx) {
+    sessions[idx]->FinishStep();
+    if (observer) observer(idx, *sessions[idx]);
+  });
 
-  while (transport_error.ok()) {
+  while (driver.status().ok()) {
     size_t live = 0;
     for (size_t i = 0; i < sessions.size(); ++i) {
       const query::DiscoveryPoint& final = sessions[i]->Trace().final;
@@ -545,19 +530,16 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
                              infos.data(), infos.size()),
                          &order);
     if (order.empty()) break;  // A scheduler that refuses to plan live work.
+    bool failed = false;
     for (const size_t idx : order) {
       common::Check(idx < sessions.size(), "scheduler planned an unknown session");
       common::Check(!infos[idx].done, "scheduler planned a finished session");
-      if (sessions[idx]->Done()) continue;  // Finished earlier this round.
-      if (sessions[idx]->DetectPending() && !flush_wave()) break;
-      if (sessions[idx]->BeginStep()) wave.push_back(idx);
-      // Latency-aware flushing (and its failure handling) between grants: a
-      // submit may have filled a wire batch, and queued tickets may have
-      // aged past the deadline while other sessions were stepping.
-      if (service != nullptr) service->Poll();
-      if (!check_service()) break;
+      if (!driver.Grant(idx, sessions[idx].get())) {
+        failed = true;
+        break;
+      }
     }
-    if (!transport_error.ok() || !flush_wave()) break;
+    if (failed || !driver.FlushWave()) break;
     maybe_dump_stats();
     // A round with no progress still terminates the loop eventually: its
     // first grant to a then-live session either progressed or marked that
@@ -565,15 +547,12 @@ common::Result<std::vector<query::QueryTrace>> SearchEngine::RunConcurrent(
     // the next round replans against refreshed tallies.
   }
 
-  if (!transport_error.ok()) {
+  if (!driver.status().ok()) {
     // Release every half-begun step (decode tasks hold spans into the
     // abandoned batches) and whatever the service still queues, then hand
     // the failure to the caller instead of partial traces.
-    for (auto& session : sessions) {
-      if (session->DetectPending()) session->AbortStep();
-    }
-    service->CancelPending();
-    return transport_error;
+    driver.AbortPending(sessions);
+    return driver.status();
   }
 
   std::vector<query::QueryTrace> traces;

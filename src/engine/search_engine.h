@@ -307,6 +307,11 @@ class SearchEngine {
   common::Result<std::unique_ptr<query::SearchStrategy>> MakeStrategy(
       int32_t class_id, const QueryOptions& options);
 
+  /// \brief The engine's configuration (as resolved at construction). The
+  /// serving layer reads this to mirror the scheduler kind/seed and stats
+  /// switches into its per-tenant inner schedulers.
+  const EngineConfig& config() const { return config_; }
+
   /// \brief The engine-wide pool, created lazily on first use. Null when
   /// `config.num_threads == 1` (strictly sequential); 0 yields a
   /// hardware-sized pool.

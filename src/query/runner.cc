@@ -419,6 +419,11 @@ void QueryExecution::AbortPendingStep() {
   }
 }
 
+void QueryExecution::Terminate() {
+  common::Check(!pending_detect_, "Terminate while a step is pending");
+  finished_ = true;
+}
+
 bool QueryExecution::Step() {
   if (!BeginStep()) return false;
   // Standalone stepping under a shared service: flush inline (coalesce width

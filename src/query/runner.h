@@ -208,6 +208,16 @@ class QueryExecution {
   /// trace ends at the last completed step. No-op when nothing is pending.
   void AbortPendingStep();
 
+  /// \brief Administrative termination between steps: marks the execution
+  /// finished so no further `Step` begins work. The serving layer's load
+  /// shedder uses this to cancel a best-effort query under detector
+  /// saturation; the trace ends at the last completed step, and `Finish`
+  /// still finalizes (and unregisters) normally. Fatal while a step is
+  /// pending — a shedder must only cancel quiescent sessions (at wave
+  /// boundaries nothing is pending), because a pending service ticket has no
+  /// owner to collect it after termination.
+  void Terminate();
+
   /// \brief True once no further `Step` will make progress.
   bool Done() const { return finished_; }
 

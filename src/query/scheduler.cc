@@ -127,6 +127,27 @@ void DeadlineScheduler::PlanRound(common::Span<const SessionSchedulerInfo> sessi
                    });
 }
 
+void PlanRoundForSubset(SessionScheduler* inner,
+                        common::Span<const SessionSchedulerInfo> sessions,
+                        common::Span<const size_t> subset,
+                        std::vector<size_t>* order) {
+  std::vector<SessionSchedulerInfo> compact;
+  compact.reserve(subset.size());
+  for (const size_t global : subset) {
+    common::Check(global < sessions.size(),
+                  "subset names an unknown session");
+    compact.push_back(sessions[global]);
+  }
+  std::vector<size_t> local;
+  inner->PlanRound(common::Span<const SessionSchedulerInfo>(compact.data(),
+                                                            compact.size()),
+                   &local);
+  for (const size_t pos : local) {
+    common::Check(pos < subset.size(), "inner scheduler planned out of range");
+    order->push_back(subset[pos]);
+  }
+}
+
 std::unique_ptr<SessionScheduler> MakeSessionScheduler(
     SchedulerKind kind, SessionSchedulerOptions options) {
   switch (kind) {

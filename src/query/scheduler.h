@@ -172,6 +172,23 @@ class DeadlineScheduler : public SessionScheduler {
 std::unique_ptr<SessionScheduler> MakeSessionScheduler(
     SchedulerKind kind, SessionSchedulerOptions options = {});
 
+/// \brief Runs `inner->PlanRound` over the sub-workload `subset` (global
+/// session indices into `sessions`) and appends the planned grants to
+/// `order` as *global* indices.
+///
+/// This is the delegation seam of two-level scheduling (the serving layer's
+/// weighted-fair tenant scheduler plans across tenants, then hands each
+/// tenant's sessions to a per-tenant inner scheduler): the inner scheduler
+/// sees a compacted info array and plans positions into it, which are
+/// translated back here. Stateful inner schedulers key their per-session
+/// state by compact position, so a caller must keep `subset` stable across
+/// rounds (append-only, in increasing global index) — exactly what a
+/// tenant's session list does.
+void PlanRoundForSubset(SessionScheduler* inner,
+                        common::Span<const SessionSchedulerInfo> sessions,
+                        common::Span<const size_t> subset,
+                        std::vector<size_t>* order);
+
 }  // namespace query
 }  // namespace exsample
 

@@ -1,0 +1,123 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace exsample {
+namespace serve {
+
+namespace {
+// Buckets refill in increments (one per Consider/NextTokenTime call), and
+// the increment sum truncates at double precision — a bucket polled right at
+// its computed refill time can land a few ULP short of a full token, with
+// `now + (1 - tokens) / rate` rounding back to `now` and stalling the
+// serving loop on an unreachable target. A token this far from full (worth
+// nanoseconds of simulated time at any realistic rate) counts as full.
+constexpr double kTokenSlack = 1e-9;
+}  // namespace
+
+AdmissionController::AdmissionController(const TenantRegistry* tenants,
+                                         AdmissionOptions options)
+    : tenants_(tenants), options_(options) {
+  common::Check(options_.shed_over_factor >= 1.0,
+                "shed_over_factor must be >= 1");
+}
+
+void AdmissionController::Refill(size_t tenant, double now,
+                                 TokenBucket* bucket) const {
+  const double rate = tenants_->spec(tenant).rate_limit_per_second;
+  if (rate <= 0.0) return;
+  const double capacity = std::max(1.0, rate);
+  if (!bucket->initialized) {
+    // Buckets start full: a tenant may burst its capacity at t=0.
+    bucket->tokens = capacity;
+    bucket->last_refill = now;
+    bucket->initialized = true;
+    return;
+  }
+  if (now > bucket->last_refill) {
+    bucket->tokens =
+        std::min(capacity, bucket->tokens + (now - bucket->last_refill) * rate);
+    bucket->last_refill = now;
+  }
+}
+
+AdmissionVerdict AdmissionController::Consider(size_t tenant, double now,
+                                               size_t queued_here,
+                                               size_t live_sessions,
+                                               double pending_frames) {
+  if (buckets_.size() < tenants_->size()) buckets_.resize(tenants_->size());
+  const TenantSpec& spec = tenants_->spec(tenant);
+  AdmissionVerdict verdict;
+
+  // 1. Budgets: a tenant past its lifetime GPU-second/frame budget is
+  // refused outright — queueing would only defer the same answer.
+  if (tenants_->OverBudget(tenant)) {
+    verdict.decision = AdmissionDecision::kReject;
+    verdict.status = common::Status::FailedPrecondition(
+        "tenant '" + spec.id + "' is over budget");
+    return verdict;
+  }
+
+  // 2. Severe saturation sheds best-effort load at the door.
+  if (spec.slo == SloClass::kBestEffort && SeverelySaturated(pending_frames)) {
+    verdict.decision = AdmissionDecision::kReject;
+    verdict.status = common::Status::FailedPrecondition(
+        "detector saturated: best-effort arrival shed");
+    return verdict;
+  }
+
+  // 3. Cheap per-tenant gates, then the engine-wide ones; the first that
+  // trips decides the queueing reason.
+  common::Status queue_reason;
+  TokenBucket& bucket = buckets_[tenant];
+  Refill(tenant, now, &bucket);
+  if (spec.rate_limit_per_second > 0.0 && bucket.tokens < 1.0 - kTokenSlack) {
+    queue_reason = common::Status::FailedPrecondition(
+        "tenant '" + spec.id + "' rate limited");
+  } else if (spec.max_concurrent_sessions > 0 &&
+             tenants_->usage(tenant).live_sessions >=
+                 spec.max_concurrent_sessions) {
+    queue_reason = common::Status::FailedPrecondition(
+        "tenant '" + spec.id + "' at max concurrent sessions");
+  } else if (options_.max_live_sessions > 0 &&
+             live_sessions >= options_.max_live_sessions) {
+    queue_reason = common::Status::FailedPrecondition(
+        "engine at max live sessions");
+  } else if (spec.slo == SloClass::kBestEffort && Saturated(pending_frames)) {
+    queue_reason = common::Status::FailedPrecondition(
+        "detector saturated: best-effort arrival held");
+  }
+
+  if (!queue_reason.ok()) {
+    // 4. A full admission queue turns the hold into a refusal.
+    if (spec.max_queued > 0 && queued_here >= spec.max_queued) {
+      verdict.decision = AdmissionDecision::kReject;
+      verdict.status = common::Status::OutOfRange(
+          "tenant '" + spec.id + "' admission queue full");
+      return verdict;
+    }
+    verdict.decision = AdmissionDecision::kQueue;
+    verdict.status = queue_reason;
+    return verdict;
+  }
+
+  // 5. Admit, consuming a rate token.
+  if (spec.rate_limit_per_second > 0.0) {
+    bucket.tokens = std::max(0.0, bucket.tokens - 1.0);
+  }
+  verdict.decision = AdmissionDecision::kAdmit;
+  return verdict;
+}
+
+double AdmissionController::NextTokenTime(size_t tenant, double now) const {
+  if (buckets_.size() < tenants_->size()) buckets_.resize(tenants_->size());
+  const double rate = tenants_->spec(tenant).rate_limit_per_second;
+  if (rate <= 0.0) return now;
+  TokenBucket& bucket = buckets_[tenant];
+  Refill(tenant, now, &bucket);
+  if (bucket.tokens >= 1.0 - kTokenSlack) return now;
+  return now + (1.0 - bucket.tokens) / rate;
+}
+
+}  // namespace serve
+}  // namespace exsample

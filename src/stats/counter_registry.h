@@ -39,7 +39,11 @@ enum class MetricKind { kCounter, kGauge };
 /// slab of that registry.
 class CounterSlab {
  public:
-  static constexpr size_t kMaxMetrics = 256;
+  // Sized for the multi-tenant serving layer: every tenant registers its own
+  // `tenant.<id>.*` metric family (~8 names), on top of the engine's fixed
+  // session/service/transport/reuse names. Registration past the cap is a
+  // fatal `Check` in `CounterRegistry::RegisterLocked`, never a silent wrap.
+  static constexpr size_t kMaxMetrics = 512;
 
   explicit CounterSlab(std::string scope);
 

@@ -15,6 +15,8 @@
 #include "query/detector_service.h"
 #include "query/scheduler.h"
 #include "scene/generator.h"
+#include "serve/tenant.h"
+#include "serve/tenant_scheduler.h"
 
 namespace exsample {
 namespace engine {
@@ -500,6 +502,70 @@ TEST(SchedulerTest, DeadlineOrdersBySlackThenIndex) {
       common::Span<const query::SessionSchedulerInfo>(infos.data(), infos.size()),
       &order);
   EXPECT_EQ(order, (std::vector<size_t>{2, 3, 0, 1}));
+}
+
+TEST(SchedulerTest, PriorityStarvationBoundHoldsUnderTenantSkew) {
+  // Tenant-skewed two-level scheduling: one tenant holds 90% of the sessions
+  // (9 of 10), with the priority scheduler ordering sessions inside each
+  // tenant. The inner starvation guard places overdue sessions at the front
+  // of the tenant's plan, and the weighted-fair pick consumes plans from the
+  // front — so every session must keep making progress even when its tenant's
+  // per-round grant share is a fraction of its session count. The bound is
+  // the inner `starvation_rounds` plus one round of slack for the weighted
+  // pick's prefix consumption (a tenant's last plan entry can slip a round
+  // when the WFQ share jitters by one grant).
+  serve::TenantRegistry registry(nullptr);
+  serve::TenantSpec big;
+  big.id = "big";
+  big.weight = 9.0;
+  serve::TenantSpec small;
+  small.id = "small";
+  small.weight = 1.0;
+  const size_t big_t = registry.Register(big).value();
+  const size_t small_t = registry.Register(small).value();
+
+  serve::WeightedTenantSchedulerOptions options;
+  options.inner = query::SchedulerKind::kPriority;
+  options.inner_options.seed = 7;
+  options.inner_options.starvation_rounds = 4;
+  serve::WeightedTenantScheduler scheduler(&registry, options);
+
+  std::vector<query::SessionSchedulerInfo> infos(10);
+  std::vector<size_t> session_tenant(10, big_t);
+  session_tenant[9] = small_t;
+  for (size_t i = 0; i < infos.size(); ++i) {
+    scheduler.BindSession(i, session_tenant[i]);
+    // Skewed observed rates, so the priority tiers are real: session i
+    // reports ~10-i results per unit time.
+    infos[i].steps = 1;
+    infos[i].seconds = 1.0;
+    infos[i].reported_results = 10 - i;
+  }
+
+  std::vector<uint64_t> waited(infos.size(), 0);
+  uint64_t max_wait = 0;
+  for (int round = 0; round < 120; ++round) {
+    std::vector<size_t> order;
+    scheduler.PlanRound(common::Span<const query::SessionSchedulerInfo>(
+                            infos.data(), infos.size()),
+                        &order);
+    ASSERT_FALSE(order.empty());
+    std::vector<bool> granted(infos.size(), false);
+    for (const size_t idx : order) {
+      granted[idx] = true;
+      infos[idx].steps += 1;
+      infos[idx].seconds += 1.0;
+      registry.ChargeStep(session_tenant[idx], 1.0, 1);
+    }
+    for (size_t i = 0; i < infos.size(); ++i) {
+      waited[i] = granted[i] ? 0 : waited[i] + 1;
+      max_wait = std::max(max_wait, waited[i]);
+    }
+  }
+  for (size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_GT(infos[i].steps, 1u) << "session " << i << " never progressed";
+  }
+  EXPECT_LE(max_wait, options.inner_options.starvation_rounds + 1);
 }
 
 TEST(SchedulerTest, KindNamesRoundTrip) {

@@ -189,7 +189,14 @@ TEST(StatsJsonTest, GoldenSnapshotIsByteExact) {
   snap.sync_sequence = 7;
   snap.counters["execution.steps"] = 42;
   snap.counters["service.frames"] = 1280;
+  // The serving layer's per-tenant metric family (scope `tenant/<id>`,
+  // names `tenant.<id>.*`) exports through the same snapshot; the dotted
+  // tenant id segment must survive the deterministic key ordering.
+  snap.counters["tenant.acme.admitted"] = 3;
+  snap.counters["tenant.acme.shed"] = 1;
   snap.gauges["service.fill_rate"] = 0.75;
+  snap.gauges["tenant.acme.charged_seconds"] = 12.5;
+  snap.gauges["tenant.acme.live_sessions"] = 2;
   const std::string json = WriteStatsJson(snap, nullptr);
   const std::string expected =
       "{\n"
@@ -197,10 +204,14 @@ TEST(StatsJsonTest, GoldenSnapshotIsByteExact) {
       "  \"sync_sequence\": 7,\n"
       "  \"counters\": {\n"
       "    \"execution.steps\": 42,\n"
-      "    \"service.frames\": 1280\n"
+      "    \"service.frames\": 1280,\n"
+      "    \"tenant.acme.admitted\": 3,\n"
+      "    \"tenant.acme.shed\": 1\n"
       "  },\n"
       "  \"gauges\": {\n"
-      "    \"service.fill_rate\": 0.75\n"
+      "    \"service.fill_rate\": 0.75,\n"
+      "    \"tenant.acme.charged_seconds\": 12.5,\n"
+      "    \"tenant.acme.live_sessions\": 2\n"
       "  },\n"
       "  \"stages\": {}\n"
       "}\n";

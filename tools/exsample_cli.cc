@@ -57,6 +57,23 @@
 //   --repeat=N         run the solo query N times against the same engine —
 //                      the reuse payoff shows from run 2 on (default: 1)
 //
+// Multi-tenant serving (serve::TenantServer above the engine; needs
+// --concurrent to opt into the multi-session path):
+//   --tenants=SPEC     semicolon-separated tenant entries in the
+//                      ParseTenantSpec grammar `id[:key=value,...]` (keys
+//                      weight, slo=interactive|besteffort, rate, budget,
+//                      frames, maxlive, maxqueue) plus two CLI-side keys:
+//                      queries=K sessions for the tenant (default 1) and
+//                      spacing=S simulated seconds between their arrivals
+//                      (default 0). Queries are admitted per tenant budgets/
+//                      rate limits, scheduled weighted-fair across tenants
+//                      (the --scheduler kind orders sessions within each
+//                      tenant), and shed under overload; prints per-query
+//                      outcomes and a per-tenant usage summary. The
+//                      per-tenant queries= counts define the workload —
+//                      --concurrent's own N is not used. Example:
+//                        --tenants='prod:weight=4,queries=3;batch:slo=besteffort,rate=0.1,queries=5'
+//
 // Observability (the engine's unified counter registry and per-stage latency
 // histograms; see the README's observability section):
 //   --stats-json=PATH  after the run, write the engine's versioned stats
@@ -109,6 +126,7 @@ struct CliArgs {
   size_t repeat = 1;
   std::string stats_json_path;
   uint64_t stats_every = 0;
+  std::string tenants;
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -188,6 +206,8 @@ CliArgs ParseArgs(int argc, char** argv) {
       args.stats_json_path = value;
     } else if (ParseArg(arg, "--stats-every", &value)) {
       args.stats_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "--tenants", &value)) {
+      args.tenants = value;
     } else {
       std::fprintf(stderr, "unknown argument: %s (see header comment)\n", arg);
     }
@@ -247,6 +267,39 @@ void PrintReuseStats(engine::SearchEngine& search, double saved_seconds) {
   }
 }
 
+// The shared detector-service summary (fill rate, latency-aware flushes,
+// wire traffic) printed after any multi-session run that coalesces detect.
+void PrintDetectorStats(engine::SearchEngine& search) {
+  const query::DetectorService* service = search.detector_service();
+  if (service == nullptr) return;
+  const query::DetectorServiceStats& stats = service->stats();
+  std::printf(
+      "detector service: %llu frames in %llu device batches "
+      "(%.0f%% fill of %zu, %llu shared across sessions)\n",
+      static_cast<unsigned long long>(stats.frames),
+      static_cast<unsigned long long>(stats.device_batches),
+      100.0 * service->FillRate(), service->options().device_batch,
+      static_cast<unsigned long long>(stats.shared_batches));
+  if (stats.fill_flushes + stats.deadline_flushes > 0) {
+    std::printf("latency-aware flushes: %llu on batch fill, %llu on deadline\n",
+                static_cast<unsigned long long>(stats.fill_flushes),
+                static_cast<unsigned long long>(stats.deadline_flushes));
+  }
+  if (const query::ShardTransport* transport = search.shard_transport()) {
+    // `wire_batches` counts first sends only — the retried/requeued
+    // parenthetical names the *extra* sends on top of it.
+    const query::TransportStats& wire = transport->stats();
+    std::printf(
+        "%s transport: %llu wire batches (%llu retried, %llu requeued), "
+        "%llu bytes sent / %llu received\n",
+        transport->name(), static_cast<unsigned long long>(stats.wire_batches),
+        static_cast<unsigned long long>(stats.wire_retries),
+        static_cast<unsigned long long>(stats.wire_requeues),
+        static_cast<unsigned long long>(wire.bytes_sent),
+        static_cast<unsigned long long>(wire.bytes_received));
+  }
+}
+
 // The final --stats-json dump; returns false only when the path cannot be
 // opened (the run itself already succeeded — the caller still fails loudly).
 bool WriteStatsDump(engine::SearchEngine& search, const std::string& path) {
@@ -259,6 +312,68 @@ bool WriteStatsDump(engine::SearchEngine& search, const std::string& path) {
   out << search.StatsJson();
   std::printf("stats written to %s\n", path.c_str());
   return true;
+}
+
+// One --tenants entry: the library spec plus the CLI-side workload shape
+// (how many queries the tenant submits, how far apart they arrive).
+struct TenantEntry {
+  serve::TenantSpec spec;
+  size_t queries = 1;
+  double spacing = 0.0;
+};
+
+// Parses the semicolon-separated --tenants list. The CLI-side keys
+// (queries=, spacing=) are stripped out of each entry before the rest is
+// handed to the library's ParseTenantSpec grammar, so unknown keys still
+// fail loudly there.
+std::optional<std::vector<TenantEntry>> ParseTenantEntries(const std::string& list) {
+  std::vector<TenantEntry> entries;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(';', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string entry = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    TenantEntry parsed;
+    std::string spec_text;
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      spec_text = entry;
+    } else {
+      spec_text = entry.substr(0, colon);
+      std::string kept;
+      size_t kb = colon + 1;
+      while (kb <= entry.size()) {
+        size_t ke = entry.find(',', kb);
+        if (ke == std::string::npos) ke = entry.size();
+        const std::string item = entry.substr(kb, ke - kb);
+        kb = ke + 1;
+        if (item.rfind("queries=", 0) == 0) {
+          parsed.queries =
+              std::max<size_t>(1, std::strtoull(item.c_str() + 8, nullptr, 10));
+        } else if (item.rfind("spacing=", 0) == 0) {
+          parsed.spacing = std::strtod(item.c_str() + 8, nullptr);
+        } else if (!item.empty()) {
+          kept += kept.empty() ? item : "," + item;
+        }
+      }
+      if (!kept.empty()) spec_text += ":" + kept;
+    }
+    auto spec = serve::ParseTenantSpec(spec_text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --tenants entry '%s': %s\n", entry.c_str(),
+                   spec.status().ToString().c_str());
+      return std::nullopt;
+    }
+    parsed.spec = std::move(spec).value();
+    entries.push_back(std::move(parsed));
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "--tenants needs at least one tenant entry\n");
+    return std::nullopt;
+  }
+  return entries;
 }
 
 std::optional<engine::Method> ParseMethod(const std::string& name) {
@@ -295,6 +410,11 @@ int ListDatasets() {
 
 int main(int argc, char** argv) {
   const CliArgs args = ParseArgs(argc, argv);
+  if (!args.tenants.empty() && args.concurrent == 0 && !args.list) {
+    std::fprintf(stderr,
+                 "warning: --tenants is ignored without --concurrent (the "
+                 "serving layer drives a multi-session workload)\n");
+  }
   if (args.list || args.dataset.empty()) return ListDatasets();
 
   // Resolve the dataset (case-sensitive prefix match is forgiving enough).
@@ -427,6 +547,95 @@ int main(int argc, char** argv) {
                    "warning: --scheduler=deadline without --deadline=S gives "
                    "every session infinite slack (fair order)\n");
     }
+    if (!args.tenants.empty()) {
+      // Serving path: the tenant spec defines the workload (queries= per
+      // tenant), admitted and scheduled by the TenantServer above the
+      // engine; --concurrent only opts into the multi-session machinery.
+      auto entries = ParseTenantEntries(args.tenants);
+      if (!entries.has_value()) return 1;
+      size_t total_queries = 0;
+      for (const TenantEntry& e : *entries) total_queries += e.queries;
+      if (args.concurrent > 1 && args.concurrent != total_queries) {
+        std::fprintf(stderr,
+                     "warning: --concurrent=%zu is superseded by the --tenants "
+                     "queries= counts (serving %zu queries)\n",
+                     args.concurrent, total_queries);
+      }
+      serve::TenantServer server(&search, serve::ServeOptions{});
+      for (const TenantEntry& e : *entries) {
+        auto added = server.AddTenant(e.spec);
+        if (!added.ok()) {
+          std::fprintf(stderr, "bad tenant '%s': %s\n", e.spec.id.c_str(),
+                       added.status().ToString().c_str());
+          return 1;
+        }
+      }
+      std::vector<serve::TenantQuery> tenant_queries;
+      std::vector<const datasets::QuerySpec*> query_class;
+      for (const TenantEntry& e : *entries) {
+        for (size_t k = 0; k < e.queries; ++k) {
+          const size_t gi = tenant_queries.size();
+          const datasets::QuerySpec& q =
+              query != nullptr ? *query : spec->queries[gi % spec->queries.size()];
+          serve::TenantQuery tq;
+          tq.tenant = e.spec.id;
+          tq.arrival_seconds = e.spacing * static_cast<double>(k);
+          tq.spec.class_id = q.class_id;
+          tq.spec.limit = args.limit;
+          tq.spec.options = options;
+          tq.spec.options.exsample.seed = args.seed + gi;
+          tq.spec.options.batch_size = std::max<size_t>(1, args.batch);
+          tq.spec.deadline_seconds = args.deadline;
+          tenant_queries.push_back(std::move(tq));
+          query_class.push_back(&q);
+        }
+      }
+      std::printf("serving %zu queries from %zu tenants (%s scheduler within "
+                  "tenants%s)...\n",
+                  tenant_queries.size(), entries->size(),
+                  query::SchedulerKindName(*scheduler_kind),
+                  args.coalesce ? ", coalesced detect" : "");
+      auto outcomes = server.Serve(tenant_queries);
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "serving failed: %s\n",
+                     outcomes.status().ToString().c_str());
+        return 1;
+      }
+      common::TextTable table;
+      table.SetHeader({"query", "tenant", "class", "outcome", "frames",
+                       "results", "first result", "detail"});
+      for (size_t i = 0; i < outcomes.value().size(); ++i) {
+        const serve::QueryOutcome& o = outcomes.value()[i];
+        table.AddRow(
+            {std::to_string(i), tenant_queries[i].tenant,
+             query_class[i]->class_name, serve::OutcomeKindName(o.kind),
+             common::FormatCount(o.trace.final.samples),
+             std::to_string(o.trace.final.reported_results),
+             o.first_result_seconds >= 0.0
+                 ? common::FormatDuration(o.first_result_seconds)
+                 : "-",
+             o.status.ok() ? "" : o.status.ToString()});
+      }
+      std::printf("%s", table.ToString().c_str());
+      common::TextTable usage_table;
+      usage_table.SetHeader({"tenant", "weight", "slo", "admitted", "rejected",
+                             "shed", "completed", "charged"});
+      for (size_t t = 0; t < server.tenants().size(); ++t) {
+        const serve::TenantSpec& tspec = server.tenants().spec(t);
+        const serve::TenantUsage& usage = server.tenants().usage(t);
+        char weight_buf[32];
+        std::snprintf(weight_buf, sizeof(weight_buf), "%.1f", tspec.weight);
+        usage_table.AddRow({tspec.id, weight_buf, serve::SloClassName(tspec.slo),
+                            std::to_string(usage.admitted),
+                            std::to_string(usage.rejected),
+                            std::to_string(usage.shed),
+                            std::to_string(usage.completed),
+                            common::FormatDuration(usage.charged_seconds)});
+      }
+      std::printf("%s", usage_table.ToString().c_str());
+      PrintDetectorStats(search);
+      return WriteStatsDump(search, args.stats_json_path) ? 0 : 1;
+    }
     std::vector<engine::QuerySpec> specs;
     for (size_t i = 0; i < args.concurrent; ++i) {
       engine::QuerySpec qspec;
@@ -481,34 +690,7 @@ int main(int argc, char** argv) {
                     common::FormatDuration(t.final.seconds)});
     }
     std::printf("%s", table.ToString().c_str());
-    if (const query::DetectorService* service = search.detector_service()) {
-      const query::DetectorServiceStats& stats = service->stats();
-      std::printf(
-          "detector service: %llu frames in %llu device batches "
-          "(%.0f%% fill of %zu, %llu shared across sessions)\n",
-          static_cast<unsigned long long>(stats.frames),
-          static_cast<unsigned long long>(stats.device_batches),
-          100.0 * service->FillRate(), service->options().device_batch,
-          static_cast<unsigned long long>(stats.shared_batches));
-      if (stats.fill_flushes + stats.deadline_flushes > 0) {
-        std::printf("latency-aware flushes: %llu on batch fill, %llu on deadline\n",
-                    static_cast<unsigned long long>(stats.fill_flushes),
-                    static_cast<unsigned long long>(stats.deadline_flushes));
-      }
-      if (const query::ShardTransport* transport = search.shard_transport()) {
-        // `wire_batches` counts first sends only — the retried/requeued
-        // parenthetical names the *extra* sends on top of it.
-        const query::TransportStats& wire = transport->stats();
-        std::printf(
-            "%s transport: %llu wire batches (%llu retried, %llu requeued), "
-            "%llu bytes sent / %llu received\n",
-            transport->name(), static_cast<unsigned long long>(stats.wire_batches),
-            static_cast<unsigned long long>(stats.wire_retries),
-            static_cast<unsigned long long>(stats.wire_requeues),
-            static_cast<unsigned long long>(wire.bytes_sent),
-            static_cast<unsigned long long>(wire.bytes_received));
-      }
-    }
+    PrintDetectorStats(search);
     double saved_seconds = 0.0;
     for (const reuse::ReuseSessionStats& rs : session_reuse) {
       saved_seconds += rs.saved_detector_seconds;
