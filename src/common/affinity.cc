@@ -1,0 +1,132 @@
+#include "common/affinity.h"
+
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace exsample {
+namespace common {
+namespace affinity {
+
+bool Supported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+int HardwareThreads() {
+  const unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+#if defined(__linux__)
+Status PinHandle(pthread_t handle, int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return Status::InvalidArgument("affinity: cpu index out of range: " +
+                                   std::to_string(cpu));
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  const int rc = pthread_setaffinity_np(handle, sizeof(set), &set);
+  if (rc != 0) {
+    return Status::Internal("affinity: pthread_setaffinity_np(cpu=" +
+                            std::to_string(cpu) +
+                            ") failed: errno=" + std::to_string(rc));
+  }
+  return Status::OK();
+}
+#endif
+
+}  // namespace
+
+Status PinCurrentThread(int cpu) {
+#if defined(__linux__)
+  return PinHandle(pthread_self(), cpu);
+#else
+  (void)cpu;
+  return Status::FailedPrecondition(
+      "affinity: thread pinning unsupported on this platform");
+#endif
+}
+
+Status PinThread(std::thread& thread, int cpu) {
+#if defined(__linux__)
+  return PinHandle(thread.native_handle(), cpu);
+#else
+  (void)thread;
+  (void)cpu;
+  return Status::FailedPrecondition(
+      "affinity: thread pinning unsupported on this platform");
+#endif
+}
+
+Result<std::vector<int>> ParseCpuList(const std::string& spec) {
+  std::vector<int> cpus;
+  std::unordered_set<int> seen;
+  std::size_t pos = 0;
+  if (spec.empty()) {
+    return Status::InvalidArgument("affinity: empty cpu list");
+  }
+  if (spec.back() == ',') {
+    return Status::InvalidArgument("affinity: trailing comma in cpu list '" +
+                                   spec + "'");
+  }
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    if (entry.empty()) {
+      return Status::InvalidArgument("affinity: empty entry in cpu list '" +
+                                     spec + "'");
+    }
+    const std::size_t dash = entry.find('-');
+    long lo = 0;
+    long hi = 0;
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      lo = hi = std::strtol(entry.c_str(), &end, 10);
+      if (end == entry.c_str() || *end != '\0') {
+        return Status::InvalidArgument("affinity: bad cpu entry '" + entry +
+                                       "'");
+      }
+    } else {
+      const std::string lo_str = entry.substr(0, dash);
+      const std::string hi_str = entry.substr(dash + 1);
+      lo = std::strtol(lo_str.c_str(), &end, 10);
+      if (lo_str.empty() || end == lo_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument("affinity: bad cpu range '" + entry +
+                                       "'");
+      }
+      hi = std::strtol(hi_str.c_str(), &end, 10);
+      if (hi_str.empty() || end == hi_str.c_str() || *end != '\0') {
+        return Status::InvalidArgument("affinity: bad cpu range '" + entry +
+                                       "'");
+      }
+    }
+    if (lo < 0 || hi < lo || hi > 1 << 20) {
+      return Status::InvalidArgument("affinity: cpu range out of order '" +
+                                     entry + "'");
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) {
+      const int c = static_cast<int>(cpu);
+      if (seen.insert(c).second) cpus.push_back(c);
+    }
+    pos = comma + 1;
+  }
+  return cpus;
+}
+
+}  // namespace affinity
+}  // namespace common
+}  // namespace exsample

@@ -1,0 +1,53 @@
+#ifndef EXSAMPLE_COMMON_AFFINITY_H_
+#define EXSAMPLE_COMMON_AFFINITY_H_
+
+/// \file affinity.h
+/// \brief CPU affinity / thread placement helpers.
+///
+/// Linux gets real pinning via pthread_setaffinity_np; every other
+/// platform gets a graceful no-op (calls succeed logically but report
+/// Supported() == false, so callers can warn instead of failing).
+/// Placement is always best-effort: a failed pin must never take the
+/// engine down, because correctness does not depend on placement —
+/// only tail latency does.
+///
+/// The string grammar accepted by ParseCpuList matches taskset(1):
+/// comma-separated entries, each a single CPU index or an inclusive
+/// range, e.g. "0-3,8,10-11".
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace exsample {
+namespace common {
+namespace affinity {
+
+/// \brief True when this build can actually pin threads (Linux).
+bool Supported();
+
+/// \brief Number of hardware threads visible to this process.
+/// Falls back to 1 when the runtime reports 0 (unknown).
+int HardwareThreads();
+
+/// \brief Pin the calling thread to \p cpu. Best-effort: returns a
+/// non-OK Status on failure (unsupported platform, cpu out of range,
+/// kernel rejection) and the caller decides whether to warn.
+Status PinCurrentThread(int cpu);
+
+/// \brief Pin \p thread to \p cpu. Same best-effort contract.
+Status PinThread(std::thread& thread, int cpu);
+
+/// \brief Parse a taskset-style CPU list ("0-3,8") into indices.
+/// Duplicates are removed, order of first appearance is preserved so
+/// "2,0" pins thread 0 to CPU 2 and thread 1 to CPU 0.
+Result<std::vector<int>> ParseCpuList(const std::string& spec);
+
+}  // namespace affinity
+}  // namespace common
+}  // namespace exsample
+
+#endif  // EXSAMPLE_COMMON_AFFINITY_H_

@@ -119,7 +119,8 @@ common::Result<std::unique_ptr<query::SearchStrategy>> SearchEngine::MakeStrateg
 common::ThreadPool* SearchEngine::thread_pool() {
   if (config_.num_threads == 1) return nullptr;
   if (pool_ == nullptr) {
-    pool_ = std::make_unique<common::ThreadPool>(config_.num_threads);
+    pool_ = std::make_unique<common::ThreadPool>(common::ThreadPool::Options{
+        config_.num_threads, config_.placement.worker_cpus});
   }
   return pool_.get();
 }
@@ -127,7 +128,8 @@ common::ThreadPool* SearchEngine::thread_pool() {
 common::ThreadPool* SearchEngine::io_pool() {
   if (config_.io_threads == 0) return nullptr;
   if (io_pool_ == nullptr) {
-    io_pool_ = std::make_unique<common::ThreadPool>(config_.io_threads);
+    io_pool_ = std::make_unique<common::ThreadPool>(common::ThreadPool::Options{
+        config_.io_threads, config_.placement.io_cpus});
   }
   return io_pool_.get();
 }
@@ -139,7 +141,8 @@ common::ThreadPool* SearchEngine::shard_pool(uint32_t shard) {
   }
   if (shard_pools_[shard] == nullptr) {
     shard_pools_[shard] =
-        std::make_unique<common::ThreadPool>(config_.threads_per_shard);
+        std::make_unique<common::ThreadPool>(common::ThreadPool::Options{
+            config_.threads_per_shard, config_.placement.worker_cpus});
   }
   return shard_pools_[shard].get();
 }
@@ -172,6 +175,9 @@ query::DetectorService* SearchEngine::detector_service() {
       query::LoopbackTransportOptions loopback = config_.loopback;
       if (loopback.expected_fingerprint == 0) {
         loopback.expected_fingerprint = options.repo_fingerprint;
+      }
+      if (loopback.runner_cpus.empty()) {
+        loopback.runner_cpus = config_.placement.runner_cpus;
       }
       transport_ = std::make_unique<query::LoopbackTransport>(num_shards, pools,
                                                               loopback);
@@ -206,7 +212,8 @@ common::ThreadPool* SearchEngine::shard_io_pool(uint32_t shard) {
   }
   if (shard_io_pools_[shard] == nullptr) {
     shard_io_pools_[shard] =
-        std::make_unique<common::ThreadPool>(config_.io_threads_per_shard);
+        std::make_unique<common::ThreadPool>(common::ThreadPool::Options{
+            config_.io_threads_per_shard, config_.placement.io_cpus});
   }
   return shard_io_pools_[shard].get();
 }

@@ -68,6 +68,28 @@ const char* TransportKindName(TransportKind kind);
 /// \brief Parses a transport name as `TransportKindName` prints it.
 std::optional<TransportKind> ParseTransportKind(const std::string& name);
 
+/// \brief CPU placement of an engine's threads (see common/affinity.h).
+///
+/// Empty lists (the default) leave every thread wherever the OS scheduler
+/// puts it. Non-empty lists pin best-effort: thread `i` of a group goes to
+/// `cpus[i % cpus.size()]`, a failed pin is silently ignored (correctness
+/// never depends on placement, only tail latency does), and non-Linux
+/// builds no-op. `exsample_cli --affinity=SPEC` is the user-facing knob;
+/// it validates the set against the hardware and warns on oversubscription
+/// instead of failing.
+struct PlacementConfig {
+  /// Detect-pool workers — engine-wide and per-shard pools alike.
+  std::vector<int> worker_cpus;
+  /// I/O (decode-prefetch) pool workers, engine-wide and per-shard.
+  std::vector<int> io_cpus;
+  /// Loopback shard-runner threads (runner of shard s -> cpus[s % size]).
+  std::vector<int> runner_cpus;
+
+  bool Any() const {
+    return !worker_cpus.empty() || !io_cpus.empty() || !runner_cpus.empty();
+  }
+};
+
 /// \brief Per-engine configuration: how frames are detected and how distinct
 /// identity is decided. One config serves many queries.
 struct EngineConfig {
@@ -203,6 +225,11 @@ struct EngineConfig {
   /// shard); shards then detect their sub-batches concurrently. 0 (the
   /// default) shares the engine-wide pool across shards, one shard at a time.
   size_t threads_per_shard = 0;
+
+  /// CPU placement of the engine's worker / I/O / shard-runner threads.
+  /// Defaults to no pinning. Placement never changes a trace — it moves
+  /// threads, not work.
+  PlacementConfig placement;
 };
 
 /// \brief Per-query method configuration.

@@ -1,6 +1,7 @@
 #include "query/prefetch.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace exsample {
 namespace query {
@@ -9,6 +10,8 @@ DecodePrefetcher::DecodePrefetcher(video::SimulatedVideoStore* store,
                                    common::ThreadPool* pool, PrefetchOptions options)
     : store_(store), pool_(pool), options_(options) {
   common::Check(store_ != nullptr, "DecodePrefetcher needs a store");
+  completions_ =
+      std::make_unique<common::MpscRingBuffer<size_t>>(options_.depth + 1);
 }
 
 DecodePrefetcher::DecodePrefetcher(ShardDispatcher* dispatcher,
@@ -17,9 +20,19 @@ DecodePrefetcher::DecodePrefetcher(ShardDispatcher* dispatcher,
   common::Check(dispatcher_ != nullptr, "DecodePrefetcher needs a dispatcher");
   common::Check(dispatcher_->HasStores(),
                 "sharded prefetching needs per-shard decode stores");
+  completions_ =
+      std::make_unique<common::MpscRingBuffer<size_t>>(options_.depth + 1);
 }
 
-DecodePrefetcher::~DecodePrefetcher() { Drain(); }
+DecodePrefetcher::~DecodePrefetcher() {
+  Drain();
+  // Drain guarantees every frame is decoded, but a decode task's last act —
+  // waking the parker — can still be in flight after its completion became
+  // visible. Spin out those tails before the parker is destroyed.
+  while (inflight_tasks_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
 
 const std::vector<double>& DecodePrefetcher::SubmitBatch(
     common::Span<video::FrameId> frames, common::Span<const uint32_t> shards) {
@@ -97,20 +110,24 @@ void DecodePrefetcher::EnqueueAheadLocked() {
       continue;
     }
     stats_.async_reads += 1;
+    inflight_tasks_.fetch_add(1, std::memory_order_relaxed);
     slot.pool->Submit([this, i] {
       // The slot vector is stable for the whole batch (SubmitBatch drains
-      // before resizing), and plan/store are immutable once enqueued; only
-      // `ready` is shared, and it is written under mu_.
+      // before resizing), and plan/store are immutable once enqueued; this
+      // task shares nothing mutable with the coordinator — completion is
+      // announced by the ring push below, not by touching the slot.
       Slot& s = slots_[i];
       s.store->PerformRead(s.plan);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        s.ready = true;
-        // Notify under the lock: the moment the waiter can observe `ready`
-        // (and potentially destroy this prefetcher), the task must be done
-        // touching the condition variable.
-        ready_cv_.notify_all();
-      }
+      // The push cannot fail: in-order consumption keeps unconsumed
+      // completions bounded by `depth + 1`, which is the ring's capacity
+      // (see the member comment). A full ring here means the window
+      // invariant broke — die loudly rather than drop a frame.
+      common::Check(completions_->TryPush(size_t{i}),
+                    "prefetch completion ring overflow");
+      // Waiter-counted wake: no syscall (and no mutex) unless the
+      // coordinator is actually parked in WaitFrame/Drain.
+      ready_parker_.WakeOne();
+      inflight_tasks_.fetch_sub(1, std::memory_order_release);
     });
   }
   // Decode-ahead distance is only meaningful when a window exists: in
@@ -118,6 +135,45 @@ void DecodePrefetcher::EnqueueAheadLocked() {
   // `enqueued_ - cursor_` would misreport it as read-ahead.
   if (options_.depth > 0) {
     stats_.max_ahead = std::max(stats_.max_ahead, enqueued_ - cursor_);
+  }
+}
+
+void DecodePrefetcher::DrainCompletionsLocked() {
+  size_t index = 0;
+  while (completions_->TryPop(index)) {
+    slots_[index].ready = true;
+  }
+}
+
+void DecodePrefetcher::WaitReadyLocked(std::unique_lock<std::mutex>& lock,
+                                       size_t index) {
+  DrainCompletionsLocked();
+  int idle_spins = 0;
+  while (!slots_[index].ready) {
+    if (++idle_spins < common::Parker::kSpinIterations) {
+      // Spin without mu_ so observers (Cached) are not starved, and yield
+      // so the decode worker gets the core on an oversubscribed host.
+      lock.unlock();
+      std::this_thread::yield();
+      lock.lock();
+      DrainCompletionsLocked();
+      continue;
+    }
+    idle_spins = 0;
+    lock.unlock();
+    {
+      common::Parker::WaitGuard guard(ready_parker_);
+      // Registered as a waiter — drain once more before sleeping. A task
+      // that pushed after this point sees our registration past its fence
+      // and will notify.
+      lock.lock();
+      DrainCompletionsLocked();
+      const bool ready = slots_[index].ready;
+      lock.unlock();
+      if (!ready) guard.Wait();
+    }
+    lock.lock();
+    DrainCompletionsLocked();
   }
 }
 
@@ -130,7 +186,7 @@ void DecodePrefetcher::WaitFrame(size_t index) {
   // while the caller (and we) wait for this one.
   cursor_ = index + 1;
   EnqueueAheadLocked();
-  ready_cv_.wait(lock, [&] { return slots_[index].ready; });
+  WaitReadyLocked(lock, index);
 }
 
 void DecodePrefetcher::Drain() {
@@ -138,14 +194,20 @@ void DecodePrefetcher::Drain() {
   while (cursor_ < slots_.size()) {
     const size_t index = cursor_++;
     EnqueueAheadLocked();
-    ready_cv_.wait(lock, [&] { return slots_[index].ready; });
+    WaitReadyLocked(lock, index);
   }
 }
 
 bool DecodePrefetcher::Cached(video::FrameId frame) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_.find(frame);
-  return it != cache_.end() && slots_[it->second].ready;
+  if (it == cache_.end()) return false;
+  if (slots_[it->second].ready) return true;
+  // A completion may be queued but not yet consumed; drain so the answer
+  // reflects every decode that has actually finished. Pops are safe from
+  // any thread, and the ready bits are covered by mu_ held here.
+  const_cast<DecodePrefetcher*>(this)->DrainCompletionsLocked();
+  return slots_[it->second].ready;
 }
 
 }  // namespace query

@@ -1,13 +1,16 @@
 #ifndef EXSAMPLE_QUERY_PREFETCH_H_
 #define EXSAMPLE_QUERY_PREFETCH_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/parking.h"
+#include "common/ring_buffer.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
 #include "query/shard_dispatch.h"
@@ -61,6 +64,18 @@ struct PrefetchStats {
 /// `i` is decoded, advancing the window so later frames start decoding while
 /// the caller runs detection on earlier ones. One coordinator thread drives
 /// the prefetcher (submit/wait); only the decode tasks run elsewhere.
+///
+/// ## Completion path (lock-free producers)
+///
+/// A finished decode task pushes its slot index into a bounded MPSC
+/// completion ring and wakes the coordinator through a waiter-counted
+/// `Parker` — when nobody is blocked in `WaitFrame`/`Drain` (the common
+/// case while detection is the bottleneck) a completion costs one ring
+/// push and one fence, no mutex and no condition-variable syscall. The
+/// ring can never overflow: in-order consumption bounds unconsumed
+/// completions by the window depth. `mu_` survives only on the
+/// coordinator/observer side (batch rebuild, `Cached`), where it is
+/// uncontended by design.
 ///
 /// A real decoder backend slots in behind the same seam: implement
 /// `PlanRead` (index the container, price the read) and `PerformRead` (do
@@ -119,12 +134,22 @@ class DecodePrefetcher {
     const video::SimulatedVideoStore* store = nullptr;  // Performs the read.
     common::ThreadPool* pool = nullptr;                 // Runs the read.
     video::ReadPlan plan;
-    bool ready = false;  // Guarded by mu_.
+    bool ready = false;  // Written under mu_ (inline decode or ring drain).
   };
 
   /// Starts decode tasks for every slot inside the window
   /// `[cursor_, cursor_ + depth)` not yet enqueued. Called with mu_ held.
   void EnqueueAheadLocked();
+
+  /// Pops every queued completion and marks its slot ready. Called with
+  /// mu_ held (pops themselves are lock-free; mu_ covers the ready bits).
+  void DrainCompletionsLocked();
+
+  /// Blocks until slots_[index] is ready: spin-drain the completion ring,
+  /// then park on ready_parker_. Called with mu_ held via \p lock; the
+  /// lock is released while parked so observers are never blocked behind
+  /// a sleeping coordinator.
+  void WaitReadyLocked(std::unique_lock<std::mutex>& lock, size_t index);
 
   video::SimulatedVideoStore* store_ = nullptr;  // Unsharded constructor.
   ShardDispatcher* dispatcher_ = nullptr;        // Sharded constructor.
@@ -143,8 +168,21 @@ class DecodePrefetcher {
   size_t enqueued_ = 0;  // Slots handed to a pool (prefix of the batch).
   size_t cursor_ = 0;    // First slot not yet waited on by the consumer.
 
+  // Completion plumbing: decode tasks push their slot index here and wake
+  // the parker; nothing on the producer side takes mu_. Capacity `depth + 1`
+  // is an invariant, not a tuning knob: WaitFrame/Drain advance cursor_ and
+  // enqueue ahead *before* draining the awaited slot, so the unpopped set
+  // spans `[index, index + 1 + depth)` — at most `depth + 1` completions.
+  // Every slot below the awaited index has had its completion popped already
+  // (consumption is in order).
+  std::unique_ptr<common::MpscRingBuffer<size_t>> completions_;
+  common::Parker ready_parker_;
+  // Decode tasks still touch the parker after their completion becomes
+  // visible; the destructor waits for this to hit zero before tearing the
+  // parker down.
+  std::atomic<uint64_t> inflight_tasks_{0};
+
   mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
 };
 
 }  // namespace query

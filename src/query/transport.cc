@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/affinity.h"
 #include "common/hash.h"
 
 namespace exsample {
@@ -133,32 +134,74 @@ common::Result<DetectResponseMsg> LocalTransport::Receive() {
 
 // --- LoopbackTransport ------------------------------------------------------
 
+namespace {
+
+/// Inbox/outbox ring capacities. Sized for the steady state (device batches
+/// in flight per shard), not the worst case — bursts beyond them take the
+/// overflow lock, which is exactly the old behavior for every message.
+constexpr size_t kInboxRingCapacity = 256;
+constexpr size_t kOutboxRingCapacity = 1024;
+
+}  // namespace
+
+void LoopbackTransport::SpillQueue::Push(std::vector<uint8_t> bytes) {
+  // Once anything spilled, later messages follow it through the overflow
+  // until a consumer drains it — keeps per-queue FIFO order cheap (one
+  // relaxed load on the fast path).
+  if (overflow_size.load(std::memory_order_acquire) == 0 &&
+      ring.TryPush(std::move(bytes))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(overflow_mu);
+  overflow.push_back(std::move(bytes));
+  overflow_size.fetch_add(1, std::memory_order_release);
+}
+
+bool LoopbackTransport::SpillQueue::TryPop(std::vector<uint8_t>& out) {
+  if (ring.TryPop(out)) return true;
+  if (overflow_size.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(overflow_mu);
+  if (overflow.empty()) return false;
+  out = std::move(overflow.front());
+  overflow.pop_front();
+  overflow_size.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+bool LoopbackTransport::SpillQueue::Empty() const {
+  return ring.Empty() && overflow_size.load(std::memory_order_acquire) == 0;
+}
+
 LoopbackTransport::LoopbackTransport(size_t num_shards,
                                      std::vector<common::ThreadPool*> pools,
                                      LoopbackTransportOptions options)
-    : options_(options), pools_(std::move(pools)) {
+    : options_(std::move(options)),
+      pools_(std::move(pools)),
+      outbox_(kOutboxRingCapacity) {
   common::Check(num_shards >= 1, "transport needs at least one shard");
   common::Check(pools_.empty() || pools_.size() == num_shards,
                 "per-shard pools must cover every shard");
   if (pools_.empty()) pools_.resize(num_shards, nullptr);
   runners_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    runners_.push_back(std::make_unique<Runner>());
+    runners_.push_back(std::make_unique<Runner>(kInboxRingCapacity));
   }
   // Start the runner threads only after every Runner exists: a runner never
   // touches another's state, but keeping construction fully ordered is free.
   for (uint32_t s = 0; s < num_shards; ++s) {
     runners_[s]->thread = std::thread([this, s] { RunnerLoop(s); });
+    if (!options_.runner_cpus.empty()) {
+      (void)common::affinity::PinThread(
+          runners_[s]->thread,
+          options_.runner_cpus[s % options_.runner_cpus.size()]);
+    }
   }
 }
 
 LoopbackTransport::~LoopbackTransport() {
   for (auto& runner : runners_) {
-    {
-      std::lock_guard<std::mutex> lock(runner->mu);
-      runner->stop = true;
-    }
-    runner->cv.notify_all();
+    runner->stop.store(true, std::memory_order_seq_cst);
+    runner->parker.WakeAll();
   }
   for (auto& runner : runners_) {
     if (runner->thread.joinable()) runner->thread.join();
@@ -182,11 +225,8 @@ common::Status LoopbackTransport::Send(uint32_t runner_shard,
   stats_.bytes_sent += bytes.size();
   in_flight_ += 1;
   Runner& runner = *runners_[runner_shard];
-  {
-    std::lock_guard<std::mutex> lock(runner.mu);
-    runner.inbox.push_back(std::move(bytes));
-  }
-  runner.cv.notify_one();
+  runner.inbox.Push(std::move(bytes));
+  runner.parker.WakeOne();  // Syscall only if the runner actually parked.
   return common::Status::OK();
 }
 
@@ -194,12 +234,19 @@ common::Result<DetectResponseMsg> LoopbackTransport::Receive() {
   if (in_flight_ == 0) {
     return common::Status::FailedPrecondition("no wire batch in flight");
   }
+  // A response is guaranteed to arrive (in_flight_ > 0 and runners answer
+  // everything they accept): spin briefly, then park.
   std::vector<uint8_t> bytes;
-  {
-    std::unique_lock<std::mutex> lock(out_mu_);
-    out_cv_.wait(lock, [this] { return !outbox_.empty(); });
-    bytes = std::move(outbox_.front());
-    outbox_.pop_front();
+  int idle_spins = 0;
+  while (!outbox_.TryPop(bytes)) {
+    if (++idle_spins < common::Parker::kSpinIterations) {
+      std::this_thread::yield();
+      continue;
+    }
+    idle_spins = 0;
+    common::Parker::WaitGuard guard(out_parker_);
+    if (outbox_.TryPop(bytes)) break;
+    guard.Wait();
   }
   in_flight_ -= 1;
   stats_.responses += 1;
@@ -217,18 +264,26 @@ common::Result<DetectResponseMsg> LoopbackTransport::Receive() {
 
 void LoopbackTransport::RunnerLoop(uint32_t shard) {
   Runner& runner = *runners_[shard];
+  int idle_spins = 0;
   while (true) {
     std::vector<uint8_t> bytes;
-    {
-      std::unique_lock<std::mutex> lock(runner.mu);
-      runner.cv.wait(lock,
-                     [&runner] { return runner.stop || !runner.inbox.empty(); });
+    while (!runner.inbox.TryPop(bytes)) {
       // Drain before exiting: a request accepted by Send is always answered,
       // so the coordinator can never block forever in Receive.
-      if (runner.inbox.empty()) return;
-      bytes = std::move(runner.inbox.front());
-      runner.inbox.pop_front();
+      if (runner.stop.load(std::memory_order_seq_cst)) return;
+      if (++idle_spins < common::Parker::kSpinIterations) {
+        std::this_thread::yield();
+        continue;
+      }
+      idle_spins = 0;
+      common::Parker::WaitGuard guard(runner.parker);
+      if (!runner.inbox.Empty() ||
+          runner.stop.load(std::memory_order_seq_cst)) {
+        continue;  // Re-check via TryPop / the stop branch above.
+      }
+      guard.Wait();
     }
+    idle_spins = 0;
 
     auto parsed =
         ParseDetectRequest(common::Span<const uint8_t>(bytes.data(), bytes.size()));
@@ -266,11 +321,8 @@ void LoopbackTransport::RunnerLoop(uint32_t shard) {
     }
 
     std::vector<uint8_t> out_bytes = SerializeDetectResponse(response);
-    {
-      std::lock_guard<std::mutex> lock(out_mu_);
-      outbox_.push_back(std::move(out_bytes));
-    }
-    out_cv_.notify_one();
+    outbox_.Push(std::move(out_bytes));
+    out_parker_.WakeOne();  // Syscall only if the coordinator parked.
   }
 }
 

@@ -1,7 +1,7 @@
 #ifndef EXSAMPLE_QUERY_TRANSPORT_H_
 #define EXSAMPLE_QUERY_TRANSPORT_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/parking.h"
+#include "common/ring_buffer.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "detect/detector.h"
@@ -171,6 +173,12 @@ struct LoopbackTransportOptions {
   /// When non-zero, runners reject requests whose `repo_fingerprint` differs
   /// (deployment-mismatch detection; `kRepoMismatch`, never retried).
   uint64_t expected_fingerprint = 0;
+  /// When non-empty, runner `s` is pinned to `runner_cpus[s % size()]`
+  /// (best-effort, Linux only — see common/affinity.h). Placement keeps a
+  /// shard's runner on the core next to its data instead of wherever the
+  /// scheduler last migrated it; failures are silently ignored because
+  /// correctness never depends on placement.
+  std::vector<int> runner_cpus;
 };
 
 /// \brief The RPC stand-in: per-shard runner threads connected to the
@@ -184,6 +192,18 @@ struct LoopbackTransportOptions {
 /// batches over its own shard pool, or inline on the runner thread), inject
 /// configurable latency, response reordering, and failures, and the
 /// completion queue delivers responses in whatever order they finish.
+///
+/// ## Queue mechanics (lock-free hot path)
+///
+/// Each runner's inbox and the shared completion outbox are bounded MPSC
+/// rings: `Send` costs one ring push plus a waiter-counted wake (no mutex
+/// while the runner is busy), and a completed response travels back the
+/// same way. When a ring fills, the producer spills to a mutex-guarded
+/// overflow deque instead of blocking — the transport keeps the old
+/// unbounded-queue semantics (a Send never waits on a slow runner, a
+/// runner never waits on a slow coordinator, so no cyclic blocking is
+/// possible), while the steady-state path stays lock-free. Idle runners
+/// spin briefly, then park on a per-runner `Parker`.
 class LoopbackTransport : public ShardTransport {
  public:
   /// `pools` — when non-empty, one per shard — give each runner a private
@@ -210,12 +230,30 @@ class LoopbackTransport : public ShardTransport {
   const LoopbackTransportOptions& options() const { return options_; }
 
  private:
+  using ByteRing = common::MpscRingBuffer<std::vector<uint8_t>>;
+
+  /// A bounded ring plus its overflow spill — the two together behave like
+  /// the old unbounded deque, with the lock confined to the (rare) spill.
+  struct SpillQueue {
+    explicit SpillQueue(size_t ring_capacity) : ring(ring_capacity) {}
+
+    void Push(std::vector<uint8_t> bytes);
+    bool TryPop(std::vector<uint8_t>& out);
+    bool Empty() const;
+
+    ByteRing ring;
+    std::mutex overflow_mu;
+    std::deque<std::vector<uint8_t>> overflow;
+    std::atomic<size_t> overflow_size{0};
+  };
+
   struct Runner {
+    explicit Runner(size_t ring_capacity) : inbox(ring_capacity) {}
+
     std::thread thread;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::vector<uint8_t>> inbox;  // Serialized requests.
-    bool stop = false;
+    SpillQueue inbox;          // Serialized requests.
+    common::Parker parker;     // Runner parks here when the inbox is dry.
+    std::atomic<bool> stop{false};
     // Runner-thread state (no locking needed).
     uint64_t requests_served = 0;
   };
@@ -225,16 +263,16 @@ class LoopbackTransport : public ShardTransport {
   LoopbackTransportOptions options_;
   std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
   // Written once by BindDirectory before the first Send; runner threads read
-  // it only while handling requests enqueued afterwards (the inbox mutex
-  // orders the accesses).
+  // it only while handling requests enqueued afterwards (the inbox ring's
+  // release/acquire handoff orders the accesses).
   const SessionDirectory* directory_ = nullptr;
   std::vector<std::unique_ptr<Runner>> runners_;
 
-  // Completion queue: runners push serialized responses, the coordinator
-  // blocks in Receive.
-  std::mutex out_mu_;
-  std::condition_variable out_cv_;
-  std::deque<std::vector<uint8_t>> outbox_;
+  // Completion queue: runners push serialized responses (ring first, spill
+  // under the overflow lock only when full), the coordinator blocks in
+  // Receive by spinning then parking.
+  SpillQueue outbox_;
+  common::Parker out_parker_;
 
   // Coordinator-side bookkeeping (one thread drives Send/Receive).
   size_t in_flight_ = 0;

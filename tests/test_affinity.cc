@@ -1,0 +1,100 @@
+#include "common/affinity.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace exsample {
+namespace common {
+namespace affinity {
+namespace {
+
+TEST(AffinityParseTest, SingleCpu) {
+  auto result = ParseCpuList("3");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value(), (std::vector<int>{3}));
+}
+
+TEST(AffinityParseTest, CommaSeparatedList) {
+  auto result = ParseCpuList("0,2,5");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value(), (std::vector<int>{0, 2, 5}));
+}
+
+TEST(AffinityParseTest, RangeExpands) {
+  auto result = ParseCpuList("1-4");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(AffinityParseTest, MixedRangesAndSingles) {
+  auto result = ParseCpuList("0-2,8,10-11");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value(), (std::vector<int>{0, 1, 2, 8, 10, 11}));
+}
+
+TEST(AffinityParseTest, DeduplicatesPreservingFirstAppearance) {
+  auto result = ParseCpuList("2,0,2,1-2");
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  // "2" first, then "0", then the range contributes only the new "1".
+  EXPECT_EQ(result.value(), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(AffinityParseTest, RejectsGarbage) {
+  for (const char* bad :
+       {"", "a", "1,", ",1", "1-", "-1", "3-1", "1..3", "0x2", "1 2"}) {
+    auto result = ParseCpuList(bad);
+    EXPECT_FALSE(result.ok()) << "accepted: \"" << bad << "\"";
+  }
+}
+
+TEST(AffinityParseTest, RejectsNegativeAndAbsurdRanges) {
+  EXPECT_FALSE(ParseCpuList("-3-1").ok());
+  EXPECT_FALSE(ParseCpuList("0-99999999").ok());
+}
+
+TEST(AffinityTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(AffinityTest, SupportedMatchesPlatform) {
+#ifdef __linux__
+  EXPECT_TRUE(Supported());
+#else
+  EXPECT_FALSE(Supported());
+#endif
+}
+
+TEST(AffinityTest, PinCurrentThreadToCpuZero) {
+  Status status = PinCurrentThread(0);
+  if (Supported()) {
+    // CPU 0 always exists; pinning the caller to it must succeed
+    // (tests may run inside a cpuset, but cpu 0 is present on every
+    // runner this project targets).
+    EXPECT_TRUE(status.ok()) << status.message();
+  } else {
+    EXPECT_FALSE(status.ok());
+  }
+}
+
+TEST(AffinityTest, PinRejectsOutOfRangeCpu) {
+  EXPECT_FALSE(PinCurrentThread(-1).ok());
+  EXPECT_FALSE(PinCurrentThread(1 << 24).ok());
+}
+
+TEST(AffinityTest, PinThreadHandleBestEffort) {
+  std::thread t([] { std::this_thread::yield(); });
+  Status status = PinThread(t, 0);
+  if (Supported()) {
+    EXPECT_TRUE(status.ok()) << status.message();
+  } else {
+    EXPECT_FALSE(status.ok());
+  }
+  t.join();
+}
+
+}  // namespace
+}  // namespace affinity
+}  // namespace common
+}  // namespace exsample

@@ -168,6 +168,37 @@ TEST(ThreadPoolSubmitTest, InterleavesWithParallelForAcrossRounds) {
   EXPECT_EQ(sum.load(), 50u * 136u);
 }
 
+// ParallelFor is documented as non-re-entrant: the pool carries exactly one
+// shared-job slot, so a second concurrent caller must die loudly (via
+// FatalError) instead of silently corrupting the in-flight job. The check
+// guards the shared-job path, so the pool needs workers and the jobs need
+// n >= 2 (tiny jobs run inline and never touch the slot).
+TEST(ThreadPoolDeathTest, ParallelForIsNotReentrant) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        std::atomic<bool> first_job_running{false};
+        std::atomic<bool> second_entering{false};
+        std::thread second_caller([&] {
+          while (!first_job_running.load()) std::this_thread::yield();
+          second_entering.store(true);
+          pool.ParallelFor(8, [](size_t) {});  // Dies here.
+        });
+        pool.ParallelFor(8, [&](size_t) {
+          first_job_running.store(true);
+          // Hold the first job open until the second caller is inside
+          // its ParallelFor call, plus a generous grace period so it
+          // reaches the re-entrancy check (which aborts the process)
+          // while this job is still in flight.
+          while (!second_entering.load()) std::this_thread::yield();
+          for (int i = 0; i < 100000; ++i) std::this_thread::yield();
+        });
+        second_caller.join();
+      },
+      "not re-entrant");
+}
+
 }  // namespace
 }  // namespace common
 }  // namespace exsample

@@ -18,6 +18,17 @@
 //                      frames with detection (implies --decode; 0 = sync)
 //   --io-threads=N     decode worker threads for the prefetcher (implies
 //                      --decode; default: 0 = share the detect pool)
+//   --affinity=SPEC    pin engine threads to CPUs (Linux; best-effort, a
+//                      no-op elsewhere). SPEC is either a bare taskset-style
+//                      list ("0-3,6") applied to the detect workers, or
+//                      ';'-separated group entries workers=LIST, io=LIST,
+//                      runners=LIST — e.g.
+//                        --affinity='workers=0-5;io=6;runners=7'
+//                      pins detect workers, decode I/O workers, and loopback
+//                      shard runners respectively (thread i of a group goes
+//                      to cpus[i % n]). Oversubscribed or impossible pin
+//                      sets warn and proceed unpinned — placement never
+//                      affects results, only latency
 //   --csv=PATH         write the discovery trace as CSV
 //   --oracle           use the oracle discriminator (default: IoU tracker)
 //
@@ -88,6 +99,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "exsample/exsample.h"
@@ -111,6 +123,7 @@ struct CliArgs {
   bool decode = false;
   size_t prefetch = 0;
   size_t io_threads = 0;
+  std::string affinity;
   size_t concurrent = 0;
   size_t batch = 8;
   bool coalesce = false;
@@ -173,6 +186,8 @@ CliArgs ParseArgs(int argc, char** argv) {
     } else if (ParseArg(arg, "--io-threads", &value)) {
       args.io_threads = std::strtoull(value.c_str(), nullptr, 10);
       args.decode = true;  // Decode workers are meaningless without decode.
+    } else if (ParseArg(arg, "--affinity", &value)) {
+      args.affinity = value;
     } else if (ParseArg(arg, "--concurrent", &value)) {
       args.concurrent = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseArg(arg, "--scheduler", &value)) {
@@ -213,6 +228,69 @@ CliArgs ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+// Parses a --affinity spec into placement lists. Accepts a bare CPU list
+// ("0-3,6" -> detect workers) or ';'-separated group entries
+// ("workers=0-3;io=4;runners=5-7"). Returns false with a message on a
+// malformed spec; the caller warns and runs unpinned.
+bool ParseAffinitySpec(const std::string& spec,
+                       engine::PlacementConfig* placement, std::string* error) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    std::string group = "workers";
+    std::string list = entry;
+    const size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      group = entry.substr(0, eq);
+      list = entry.substr(eq + 1);
+    }
+    auto cpus = common::affinity::ParseCpuList(list);
+    if (!cpus.ok()) {
+      *error = cpus.status().message();
+      return false;
+    }
+    if (group == "workers") {
+      placement->worker_cpus = std::move(cpus).value();
+    } else if (group == "io") {
+      placement->io_cpus = std::move(cpus).value();
+    } else if (group == "runners") {
+      placement->runner_cpus = std::move(cpus).value();
+    } else {
+      *error = "unknown affinity group '" + group + "' (workers|io|runners)";
+      return false;
+    }
+  }
+  if (!placement->Any()) {
+    *error = "empty affinity spec";
+    return false;
+  }
+  return true;
+}
+
+// Highest CPU index named by a placement (-1 when none).
+int MaxCpu(const engine::PlacementConfig& placement) {
+  int max_cpu = -1;
+  for (const auto* cpus :
+       {&placement.worker_cpus, &placement.io_cpus, &placement.runner_cpus}) {
+    for (int cpu : *cpus) max_cpu = std::max(max_cpu, cpu);
+  }
+  return max_cpu;
+}
+
+// Number of distinct CPUs named across all placement groups.
+size_t DistinctCpus(const engine::PlacementConfig& placement) {
+  std::set<int> distinct;
+  for (const auto* cpus :
+       {&placement.worker_cpus, &placement.io_cpus, &placement.runner_cpus}) {
+    distinct.insert(cpus->begin(), cpus->end());
+  }
+  return distinct.size();
 }
 
 // Parses a --reuse component list ("cache,warm", "all", ...) into options;
@@ -512,6 +590,45 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "warning: --max-retries is ignored without --coalesce or "
                  "--transport (retries are the detect transport's)\n");
+  }
+  if (!args.affinity.empty()) {
+    engine::PlacementConfig placement;
+    std::string affinity_error;
+    if (!ParseAffinitySpec(args.affinity, &placement, &affinity_error)) {
+      std::fprintf(stderr, "warning: --affinity ignored: %s\n",
+                   affinity_error.c_str());
+    } else {
+      // Validation warns and proceeds — a bad pin set costs latency, never
+      // correctness, so it must not kill a run that would otherwise work.
+      if (!common::affinity::Supported()) {
+        std::fprintf(stderr,
+                     "warning: --affinity is a no-op on this platform (thread "
+                     "pinning needs Linux)\n");
+      }
+      const int hw = common::affinity::HardwareThreads();
+      const size_t distinct = DistinctCpus(placement);
+      if (distinct > static_cast<size_t>(hw) || MaxCpu(placement) >= hw) {
+        std::fprintf(stderr,
+                     "warning: --affinity names %zu CPUs (max index %d) but "
+                     "only %d hardware threads exist; out-of-range pins will "
+                     "fail and threads sharing a CPU will contend\n",
+                     distinct, MaxCpu(placement), hw);
+      }
+      if (!placement.io_cpus.empty() && args.io_threads == 0) {
+        std::fprintf(stderr,
+                     "warning: --affinity io= pins have no pool to apply to "
+                     "with --io-threads=0 (decode shares the detect pool; its "
+                     "workers follow the workers= pins)\n");
+      }
+      if (!placement.runner_cpus.empty() &&
+          *transport_kind != engine::TransportKind::kLoopback) {
+        std::fprintf(stderr,
+                     "warning: --affinity runners= pins apply only with "
+                     "--transport=loopback (no runner threads exist "
+                     "otherwise)\n");
+      }
+      config.placement = placement;
+    }
   }
   // --shards=1 (the default) keeps the zero-overhead single-repository path;
   // traces are identical either way.
