@@ -20,6 +20,12 @@
 //      measure the wall-clock overhead of retry + requeue onto survivors —
 //      with the traces again bit-identical to the no-failure run (exit 3).
 //
+//   4. Real sockets: the same questions against actual `exsample_shardd`
+//      subprocesses over localhost TCP — wire overhead vs local, and
+//      SIGKILL + restart of one server mid-workload (connection drop,
+//      reconnect, registration replay, inferred failures). Traces must stay
+//      bit-identical to the local run through all of it (exit 3).
+//
 // --quick (the default scale; CI passes it explicitly) finishes in seconds;
 // --full scales the workload up. --json=PATH writes the measurements
 // (CI uploads BENCH_dist_transport.json per PR).
@@ -31,6 +37,8 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "datasets/scenarios.h"
+#include "testutil/shardd_harness.h"
 
 namespace exsample {
 namespace bench {
@@ -115,7 +123,7 @@ WirePart RunWireOverhead(Workload& workload, size_t sessions, uint64_t limit,
   common::CheckOk(loopback_traces.status(), "loopback workload failed");
 
   part.identical = SameTraces(local_traces.value(), loopback_traces.value());
-  const query::TransportStats& wire = loopback.shard_transport()->stats();
+  const query::TransportStats wire = loopback.shard_transport()->Stats();
   part.wire_batches = wire.requests;
   part.bytes_sent = wire.bytes_sent;
   part.bytes_received = wire.bytes_received;
@@ -239,6 +247,101 @@ FailurePart RunFailureRecovery(Workload& workload, size_t num_shards,
   return part;
 }
 
+// --- Part 4: real sockets — shardd fleet, kill + restart --------------------
+
+struct SocketPart {
+  bool identical = false;
+  bool disrupted_identical = false;
+  double local_wall = 0.0;
+  double socket_wall = 0.0;
+  double disrupted_wall = 0.0;
+  uint64_t wire_batches = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t control_messages = 0;
+  uint64_t connects = 0;
+  uint64_t reconnects = 0;
+  uint64_t inferred_failures = 0;
+  uint64_t retries = 0;
+  uint64_t requeues = 0;
+};
+
+SocketPart RunSocketProfile(uint64_t frames, uint64_t scenario_seed,
+                            uint64_t spec_seed) {
+  // The shardd fleet rebuilds this exact scenario from (--frames, --seed):
+  // the only state shared with the servers is the recipe.
+  const datasets::DistScenario scenario =
+      datasets::BuildDistScenario(frames, scenario_seed);
+  const size_t kShards = 4;
+  const auto sharded =
+      video::ShardedRepository::ShardByClips(scenario.repo, kShards).value();
+  const std::vector<engine::QuerySpec> specs =
+      MakeSpecs(/*sessions=*/4, /*limit=*/10, spec_seed);
+  SocketPart part;
+
+  engine::SearchEngine local(&sharded, &scenario.chunking, &scenario.truth,
+                             BaseConfig());
+  double start = WallSeconds();
+  auto local_traces = local.RunConcurrent(specs);
+  part.local_wall = WallSeconds() - start;
+  common::CheckOk(local_traces.status(), "local workload failed");
+
+  testutil::ShardServer::Options server_options;
+  server_options.frames = frames;
+  server_options.seed = scenario_seed;
+
+  const auto socket_config = [&](const testutil::ShardFleet& fleet) {
+    engine::EngineConfig config = BaseConfig();
+    config.transport = engine::TransportKind::kSocket;
+    config.socket.hosts = fleet.Hosts();
+    return config;
+  };
+
+  {
+    testutil::ShardFleet fleet(EXSAMPLE_SHARDD_PATH, kShards, server_options);
+    engine::SearchEngine socket(&sharded, &scenario.chunking, &scenario.truth,
+                                socket_config(fleet));
+    start = WallSeconds();
+    auto socket_traces = socket.RunConcurrent(specs);
+    part.socket_wall = WallSeconds() - start;
+    common::CheckOk(socket_traces.status(), "socket workload failed");
+    part.identical = SameTraces(local_traces.value(), socket_traces.value());
+    const query::TransportStats wire = socket.shard_transport()->Stats();
+    part.wire_batches = wire.requests;
+    part.bytes_sent = wire.bytes_sent;
+    part.control_messages = wire.control_messages;
+    part.connects = wire.connects;
+  }
+
+  {
+    // The disruption run: SIGKILL server 2 mid-workload, revive it a few
+    // steps later on the same port. Depending on timing the blip is absorbed
+    // by reconnect + retry or the shard's batches requeue onto survivors —
+    // both recoveries must leave every trace bit-identical to the local run.
+    testutil::ShardFleet fleet(EXSAMPLE_SHARDD_PATH, kShards, server_options);
+    engine::SearchEngine disrupted(&sharded, &scenario.chunking,
+                                   &scenario.truth, socket_config(fleet));
+    size_t steps = 0;
+    start = WallSeconds();
+    auto disrupted_traces = disrupted.RunConcurrent(
+        specs, [&](size_t, const engine::QuerySession&) {
+          ++steps;
+          if (steps == 5) fleet.server(2).Kill();
+          if (steps == 9) fleet.server(2).Restart();
+        });
+    part.disrupted_wall = WallSeconds() - start;
+    common::CheckOk(disrupted_traces.status(),
+                    "socket workload did not survive the kill + restart");
+    part.disrupted_identical =
+        SameTraces(local_traces.value(), disrupted_traces.value());
+    const query::TransportStats wire = disrupted.shard_transport()->Stats();
+    part.reconnects = wire.reconnects;
+    part.inferred_failures = wire.inferred_failures;
+    part.retries = disrupted.detector_service()->stats().wire_retries;
+    part.requeues = disrupted.detector_service()->stats().wire_requeues;
+  }
+  return part;
+}
+
 int Run(const BenchConfig& config, const std::string& json_path) {
   const uint64_t kFrames = config.full ? 120000 : 50000;
   auto workload = Workload::Simulated(kFrames, /*chunks=*/16, /*instances=*/80,
@@ -334,6 +437,37 @@ int Run(const BenchConfig& config, const std::string& json_path) {
                 failure.identical ? "yes" : "NO — BUG");
   }
 
+  // --- Part 4 ---------------------------------------------------------------
+  const SocketPart socket = RunSocketProfile(kFrames, config.seed, config.seed);
+  {
+    common::TextTable table;
+    table.SetHeader({"path", "wall", "wire batches", "bytes sent", "control msgs"});
+    char local_wall[32], socket_wall[32], disrupted_wall[32];
+    std::snprintf(local_wall, sizeof(local_wall), "%.0f ms", 1e3 * socket.local_wall);
+    std::snprintf(socket_wall, sizeof(socket_wall), "%.0f ms",
+                  1e3 * socket.socket_wall);
+    std::snprintf(disrupted_wall, sizeof(disrupted_wall), "%.0f ms",
+                  1e3 * socket.disrupted_wall);
+    table.AddRow({"local (in-process)", local_wall, "-", "-", "-"});
+    table.AddRow({"socket (4x shardd, TCP)", socket_wall,
+                  std::to_string(socket.wire_batches),
+                  std::to_string(socket.bytes_sent),
+                  std::to_string(socket.control_messages)});
+    table.AddRow({"socket, kill+restart one", disrupted_wall, "-", "-", "-"});
+    std::printf("--- real sockets: 4 exsample_shardd servers over localhost ---\n%s",
+                table.ToString().c_str());
+    std::printf("disruption recovery: %llu reconnects, %llu inferred failures, "
+                "%llu retries, %llu requeues\n",
+                static_cast<unsigned long long>(socket.reconnects),
+                static_cast<unsigned long long>(socket.inferred_failures),
+                static_cast<unsigned long long>(socket.retries),
+                static_cast<unsigned long long>(socket.requeues));
+    std::printf("socket traces bit-identical to local: %s\n",
+                socket.identical ? "yes" : "NO — BUG");
+    std::printf("kill+restart traces bit-identical to local: %s\n\n",
+                socket.disrupted_identical ? "yes" : "NO — BUG");
+  }
+
   if (!json_path.empty()) {
     std::ofstream json(json_path);
     if (!json) {
@@ -367,12 +501,30 @@ int Run(const BenchConfig& config, const std::string& json_path) {
          << ", \"healthy_wall_s\": " << failure.healthy_wall
          << ", \"failure_wall_s\": " << failure.failure_wall
          << ", \"retries\": " << failure.retries
-         << ", \"requeues\": " << failure.requeues << "}\n}\n";
+         << ", \"requeues\": " << failure.requeues << "},\n";
+    json << "  \"socket\": {\"traces_bit_identical\": "
+         << (socket.identical ? "true" : "false")
+         << ", \"disrupted_traces_bit_identical\": "
+         << (socket.disrupted_identical ? "true" : "false")
+         << ", \"local_wall_s\": " << socket.local_wall
+         << ", \"socket_wall_s\": " << socket.socket_wall
+         << ", \"disrupted_wall_s\": " << socket.disrupted_wall
+         << ", \"batches\": " << socket.wire_batches
+         << ", \"bytes_sent\": " << socket.bytes_sent
+         << ", \"control_messages\": " << socket.control_messages
+         << ", \"connects\": " << socket.connects
+         << ", \"reconnects\": " << socket.reconnects
+         << ", \"inferred_failures\": " << socket.inferred_failures
+         << ", \"retries\": " << socket.retries
+         << ", \"requeues\": " << socket.requeues << "}\n}\n";
     std::printf("json written to %s\n", json_path.c_str());
   }
 
   // Exit enforcement: bit-identity is a correctness bug, not a perf miss.
-  if (!wire.identical || !policy_traces_identical || !failure.identical) return 3;
+  if (!wire.identical || !policy_traces_identical || !failure.identical ||
+      !socket.identical || !socket.disrupted_identical) {
+    return 3;
+  }
   return p95_improves ? 0 : 1;
 }
 

@@ -1,0 +1,34 @@
+#include "datasets/scenarios.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "scene/generator.h"
+
+namespace exsample {
+namespace datasets {
+
+DistScenario BuildDistScenario(uint64_t frames, uint64_t seed) {
+  common::Rng rng(seed);
+  auto repo = video::VideoRepository::UniformClips(8, frames / 8);
+  auto chunking = video::MakeFixedCountChunks(frames, 16).value();
+  scene::SceneSpec spec;
+  spec.total_frames = frames;
+  scene::ClassPopulationSpec abundant;
+  abundant.class_id = 0;
+  abundant.instance_count = 100;
+  abundant.duration.mean_frames = 150.0;
+  abundant.placement = scene::PlacementSpec::NormalCenter(0.3);
+  spec.classes.push_back(abundant);
+  scene::ClassPopulationSpec rare;
+  rare.class_id = 1;
+  rare.instance_count = 8;
+  rare.duration.mean_frames = 80.0;
+  spec.classes.push_back(rare);
+  auto truth = std::move(scene::GenerateScene(spec, &chunking, rng)).value();
+  return DistScenario{std::move(repo), std::move(chunking), std::move(truth)};
+}
+
+}  // namespace datasets
+}  // namespace exsample

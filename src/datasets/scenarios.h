@@ -1,0 +1,34 @@
+#ifndef EXSAMPLE_DATASETS_SCENARIOS_H_
+#define EXSAMPLE_DATASETS_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "scene/ground_truth.h"
+#include "video/chunking.h"
+#include "video/repository.h"
+
+namespace exsample {
+namespace datasets {
+
+/// \brief A materialized test/bench scenario: repository + chunking + ground
+/// truth, built deterministically from a seed.
+struct DistScenario {
+  video::VideoRepository repo;
+  video::Chunking chunking;
+  scene::GroundTruth truth;
+};
+
+/// \brief The distributed-transport suite's scenario: 8 uniform clips, 16
+/// fixed-count chunks, one abundant class (0) and one rare class (1).
+///
+/// This recipe is shared by the `dist` tests, `bench_dist_transport`, and the
+/// `exsample_shardd` shard server: a coordinator and a shard server that
+/// build it from the same (frames, seed) hold bit-identical ground truth —
+/// the premise that lets a `RegisterSessionMsg` (detector options + seed +
+/// repository fingerprint) fully determine a remote detector's output.
+DistScenario BuildDistScenario(uint64_t frames = 80000, uint64_t seed = 5);
+
+}  // namespace datasets
+}  // namespace exsample
+
+#endif  // EXSAMPLE_DATASETS_SCENARIOS_H_

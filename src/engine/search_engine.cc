@@ -36,6 +36,8 @@ const char* TransportKindName(TransportKind kind) {
       return "local";
     case TransportKind::kLoopback:
       return "loopback";
+    case TransportKind::kSocket:
+      return "socket";
   }
   return "unknown";
 }
@@ -43,6 +45,7 @@ const char* TransportKindName(TransportKind kind) {
 std::optional<TransportKind> ParseTransportKind(const std::string& name) {
   if (name == "local") return TransportKind::kLocal;
   if (name == "loopback") return TransportKind::kLoopback;
+  if (name == "socket") return TransportKind::kSocket;
   return std::nullopt;
 }
 
@@ -181,6 +184,16 @@ query::DetectorService* SearchEngine::detector_service() {
       }
       transport_ = std::make_unique<query::LoopbackTransport>(num_shards, pools,
                                                               loopback);
+      options.transport = transport_.get();
+    } else if (config_.transport == TransportKind::kSocket) {
+      // The real thing: TCP connections to one `exsample_shardd` per shard.
+      // Sessions deploy over the RegisterSessionMsg control plane, and the
+      // fingerprint pins which repository the fleet must serve.
+      options.repo_fingerprint = repo_->Fingerprint();
+      common::Check(config_.socket.hosts.size() == num_shards,
+                    "socket transport needs one shard host per shard");
+      transport_ =
+          std::make_unique<query::SocketTransport>(num_shards, config_.socket);
       options.transport = transport_.get();
     }
     detector_service_ = std::make_unique<query::DetectorService>(
@@ -344,6 +357,9 @@ common::Result<std::unique_ptr<QuerySession>> SearchEngine::MakeSession(
   // 1 — bit-identical, which is the contract the sched suite checks).
   session_options.detector_service = detector_service();
   session_options.service_session_id = next_session_id_++;
+  // The configuration the session's RegisterSessionMsg ships: a remote shard
+  // materializes an equivalent detector from exactly these options.
+  session_options.detector_options = det_opts;
   session_options.session_stats = &session->scheduler_stats_;
   // Observability: the session ticks its own registry slab and its own
   // stage timer from the stepping thread (single-writer both ways);
@@ -394,12 +410,20 @@ std::string SearchEngine::StatsJson() {
         static_cast<double>(detector_service_->PendingFrames());
   }
   if (transport_ != nullptr) {
-    const query::TransportStats& t = transport_->stats();
+    // Snapshot by value: a socket transport's reader threads mutate the
+    // tallies concurrently with this export.
+    const query::TransportStats t = transport_->Stats();
     snapshot.counters["transport.requests"] = t.requests;
     snapshot.counters["transport.responses"] = t.responses;
     snapshot.counters["transport.bytes_sent"] = t.bytes_sent;
     snapshot.counters["transport.bytes_received"] = t.bytes_received;
     snapshot.counters["transport.failures_injected"] = t.failures_injected;
+    snapshot.counters["transport.control_messages"] = t.control_messages;
+    snapshot.counters["transport.connects"] = t.connects;
+    snapshot.counters["transport.reconnects"] = t.reconnects;
+    snapshot.counters["transport.inferred_failures"] = t.inferred_failures;
+    snapshot.counters["transport.late_responses_dropped"] =
+        t.late_responses_dropped;
   }
   if (reuse_manager_ != nullptr) {
     const reuse::DetectionCacheStats c = reuse_manager_->cache().Stats();

@@ -16,6 +16,7 @@
 #include "engine/query_session.h"
 #include "query/detector_service.h"
 #include "query/runner.h"
+#include "query/socket_transport.h"
 #include "query/scheduler.h"
 #include "query/strategy.h"
 #include "query/trace.h"
@@ -60,9 +61,16 @@ enum class TransportKind {
   /// knobs (`EngineConfig::loopback`) exercise the retry/requeue story.
   /// Traces are bit-identical to `kLocal` — the `dist` suite enforces it.
   kLoopback,
+  /// Real TCP sockets to `exsample_shardd` shard servers
+  /// (`query::SocketTransport`): sessions deploy over the
+  /// `RegisterSessionMsg` control plane, failures are inferred from
+  /// connection drops and per-request deadlines, and registrations replay
+  /// on reconnect. Needs `EngineConfig::socket.hosts` (one per shard).
+  /// Traces stay bit-identical to `kLocal`.
+  kSocket,
 };
 
-/// \brief Lowercase name of a transport kind ("local", "loopback").
+/// \brief Lowercase name of a transport kind ("local", "loopback", "socket").
 const char* TransportKindName(TransportKind kind);
 
 /// \brief Parses a transport name as `TransportKindName` prints it.
@@ -170,6 +178,9 @@ struct EngineConfig {
   /// `dist` suite; harmless defaults inject nothing). The engine fills in
   /// `expected_fingerprint` from its repository when left 0.
   query::LoopbackTransportOptions loopback;
+  /// Socket transport endpoints and deadlines (`transport == kSocket` only).
+  /// `socket.hosts` must name one `exsample_shardd` endpoint per shard.
+  query::SocketTransportOptions socket;
 
   /// Which `query::SessionScheduler` orders (and weights) the sessions'
   /// `Step` calls in `RunConcurrent`: fair round-robin (the default,

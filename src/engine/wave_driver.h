@@ -79,11 +79,14 @@ class SessionWaveDriver {
   const common::Status& status() const { return status_; }
 
   /// \brief The failure path's cleanup: releases every half-begun step of
-  /// `sessions` (decode tasks hold spans into the abandoned batches) and
-  /// whatever the service still queues. Call before surfacing `status()`.
+  /// `sessions` (decode tasks hold spans into the abandoned batches), then
+  /// whatever the service still queues. Every session is aborted — not just
+  /// those mid-step — so all of them withdraw their wire registrations and
+  /// no abandoned session id can ever resolve to a dangling detector. Call
+  /// before surfacing `status()`.
   void AbortPending(const std::vector<std::unique_ptr<QuerySession>>& sessions) {
     for (const auto& session : sessions) {
-      if (session != nullptr && session->DetectPending()) session->AbortStep();
+      if (session != nullptr) session->AbortStep();
     }
     if (service_ != nullptr) service_->CancelPending();
     wave_.clear();

@@ -48,7 +48,7 @@ DetectorService::DetectorService(DetectorServiceOptions options, size_t num_shar
   queues_.resize(num_shards);
   shard_down_.assign(num_shards, false);
   if (options_.transport != nullptr) {
-    options_.transport->BindDirectory(&directory_);
+    options_.transport->BindLocalResolver(&directory_);
   }
 }
 
@@ -59,10 +59,12 @@ DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
   common::Check(request.dispatcher != nullptr || request.detector != nullptr,
                 "detect request needs a detector or a dispatcher");
 
-  // First submit of a session over a transport: publish its detector
-  // contexts in the runner directory under the ids the wire carries — the
-  // in-process stand-in for "the shard machines loaded this session's model"
-  // — before any wire batch can reference them.
+  // First submit of a session over a transport: deploy its detector state to
+  // the runners before any wire batch can reference it. Two halves — publish
+  // the in-process detector pointers in the local directory (what the bound
+  // resolver serves local/loopback runners), and ship the session's
+  // `RegisterSessionMsg` through the transport's control plane (what a
+  // remote runner materializes an equivalent detector from).
   if (options_.transport != nullptr &&
       registered_sessions_.insert(request.session_id).second) {
     if (request.dispatcher != nullptr) {
@@ -78,6 +80,19 @@ DetectorService::Ticket DetectorService::Submit(const DetectRequest& request) {
       for (uint32_t s = 0; s < queues_.size(); ++s) {
         directory_.Register(request.session_id, s, request.detector);
       }
+    }
+    RegisterSessionMsg reg;
+    reg.session_id = request.session_id;
+    reg.repo_fingerprint = options_.repo_fingerprint;
+    reg.detector_options = request.detector_options;
+    const common::Status deployed = options_.transport->RegisterSession(reg);
+    if (!deployed.ok() && transport_status_.ok()) {
+      // A rejected registration (repository mismatch, unrecoverable control
+      // failure) poisons the fleet the same way a failed flush does: sticky,
+      // so the driver surfaces it instead of queueing work that can never
+      // execute.
+      transport_status_ = deployed;
+      CancelPending();
     }
   }
 
@@ -264,6 +279,9 @@ void DetectorService::FlushShards(const std::vector<uint32_t>& shards,
 void DetectorService::UnregisterSession(uint64_t session_id) {
   if (registered_sessions_.erase(session_id) > 0) {
     directory_.Unregister(session_id);
+    if (options_.transport != nullptr) {
+      options_.transport->UnregisterSession(session_id);
+    }
   }
 }
 

@@ -209,6 +209,12 @@ class DetectorService {
     /// The session's detector (unsharded sessions). Ignored when
     /// `dispatcher` is set.
     detect::ObjectDetector* detector = nullptr;
+    /// The configuration the session's detectors were built from. Shipped in
+    /// the session's `RegisterSessionMsg` on first submit: a remote runner
+    /// materializes an equivalent detector from it (`SimulatedDetector` is a
+    /// pure function of ground truth + options), where the in-process
+    /// transports resolve the pointers above.
+    detect::DetectorOptions detector_options;
     /// The session's shard dispatcher: per-shard detectors + stats. When
     /// set, each frame is detected by `dispatcher->Context(shard).detector`
     /// and the dispatcher's per-shard stats are updated as if it had
@@ -288,12 +294,12 @@ class DetectorService {
   /// workload; an engine-lifetime service must not grow without bound).
   static constexpr size_t kTicketLatencyCap = size_t{1} << 16;
 
-  /// \brief Forgets a session's wire registrations (directory entries hold
-  /// raw detector pointers, which dangle once the session dies). Called by
-  /// `QueryExecution::Finish` and `AbortPendingStep` — deliberately never
-  /// from a destructor, so a session object that outlives its engine stays
-  /// destructible; a session abandoned without `Finish` leaves one stale,
-  /// never-again-resolved entry behind (ids are not reused). No-op for ids
+  /// \brief Forgets a session's wire registrations — the local directory
+  /// entries hold raw detector pointers, which dangle once the session dies,
+  /// and the transport's runners are told to drop their deployed state.
+  /// Called on every session exit path (`Finish`, `AbortPendingStep`,
+  /// `Terminate`) — deliberately never from a destructor, so a session object
+  /// that outlives its engine stays destructible. Idempotent; no-op for ids
   /// never registered.
   void UnregisterSession(uint64_t session_id);
 

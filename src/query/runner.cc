@@ -285,6 +285,7 @@ bool QueryExecution::BeginStep() {
     }
     request.prefetcher = prefetcher_.get();
     request.session_stats = options_.session_stats;
+    request.detector_options = options_.detector_options;
     pending_ticket_ = options_.detector_service->Submit(request);
     pending_ticket_valid_ = true;
   }
@@ -401,18 +402,22 @@ void QueryExecution::FinishStep() {
 }
 
 void QueryExecution::AbortPendingStep() {
-  if (!pending_detect_) return;
-  pending_detect_ = false;
-  // Stop the decode tasks holding spans into the abandoned batch before
-  // releasing it.
-  if (prefetcher_ != nullptr) prefetcher_->Drain();
-  pending_frames_.clear();
-  miss_frames_.clear();
-  miss_shards_.clear();
-  reuse_outcomes_.clear();
-  reuse_detections_.clear();
-  pending_ticket_ = 0;
-  pending_ticket_valid_ = false;
+  if (pending_detect_) {
+    pending_detect_ = false;
+    // Stop the decode tasks holding spans into the abandoned batch before
+    // releasing it.
+    if (prefetcher_ != nullptr) prefetcher_->Drain();
+    pending_frames_.clear();
+    miss_frames_.clear();
+    miss_shards_.clear();
+    reuse_outcomes_.clear();
+    reuse_detections_.clear();
+    pending_ticket_ = 0;
+    pending_ticket_valid_ = false;
+  }
+  // Unregister unconditionally, not just when a step was pending: an aborted
+  // session's detectors die with it, and a directory (or remote worker) entry
+  // left behind would let a later wire batch resolve to a dangling pointer.
   finished_ = true;
   if (options_.detector_service != nullptr) {
     options_.detector_service->UnregisterSession(options_.service_session_id);
@@ -422,6 +427,12 @@ void QueryExecution::AbortPendingStep() {
 void QueryExecution::Terminate() {
   common::Check(!pending_detect_, "Terminate while a step is pending");
   finished_ = true;
+  // Shed/cancelled sessions exit through here without Finish: withdraw the
+  // wire registration so the session id can never again resolve to detectors
+  // owned by this (about-to-die) execution.
+  if (options_.detector_service != nullptr) {
+    options_.detector_service->UnregisterSession(options_.service_session_id);
+  }
 }
 
 bool QueryExecution::Step() {

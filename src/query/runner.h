@@ -125,6 +125,13 @@ struct RunnerOptions {
   /// Stable identity of this execution's session for the service's
   /// stats attribution (which device batches were shared across sessions).
   uint64_t service_session_id = 0;
+  /// Detector configuration shipped to remote shard workers in this session's
+  /// `RegisterSessionMsg` (first submit). In-process transports resolve
+  /// detectors through the runner-side directory and ignore it; a socket
+  /// transport materializes an equivalent detector on the worker from exactly
+  /// these options, so they must match the detector the session was built
+  /// with or remote traces diverge.
+  detect::DetectorOptions detector_options;
   /// Optional scheduler/coalescing tallies for this session, filled in by
   /// the service at flush time (`frames_submitted`, `frames_coalesced`,
   /// `batches_shared`); the driver counts `steps_granted`.

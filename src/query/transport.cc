@@ -61,8 +61,9 @@ size_t SessionDirectory::NumSessions() const {
 // --- Runner-side execution --------------------------------------------------
 
 DetectResponseMsg ExecuteWireRequest(const DetectRequestMsg& request,
-                                     const SessionDirectory& directory,
-                                     common::ThreadPool* pool) {
+                                     const SessionResolver& resolver,
+                                     common::ThreadPool* pool,
+                                     UnresolvedSlotPolicy policy) {
   DetectResponseMsg response;
   response.wire_seq = request.wire_seq;
   response.origin_shard = request.origin_shard;
@@ -70,16 +71,24 @@ DetectResponseMsg ExecuteWireRequest(const DetectRequestMsg& request,
   response.status = WireStatus::kOk;
   response.detections.resize(request.slots.size());
 
-  // Resolve on the driving thread (the directory lock is cheap, but taking
+  // Resolve on the driving thread (the resolver lock is cheap, but taking
   // it from every pool worker would serialize the fan-out), then detect
   // data-parallel: slots are independent and results land in fixed indices,
   // so pool size cannot change the response.
   std::vector<detect::ObjectDetector*> detectors(request.slots.size(), nullptr);
   for (size_t i = 0; i < request.slots.size(); ++i) {
     detectors[i] =
-        directory.Resolve(request.slots[i].session_id, request.origin_shard);
-    common::Check(detectors[i] != nullptr,
-                  "wire request names an unregistered (session, shard)");
+        resolver.Resolve(request.slots[i].session_id, request.origin_shard);
+    if (detectors[i] == nullptr) {
+      if (policy == UnresolvedSlotPolicy::kUnavailable) {
+        response.status = WireStatus::kUnavailable;
+        response.charged_seconds = 0.0;
+        response.detections.clear();
+        return response;
+      }
+      common::Check(false,
+                    "wire request names an unregistered (session, shard)");
+    }
     response.charged_seconds += detectors[i]->SecondsPerFrame();
   }
   const auto detect_one = [&](size_t i) {
@@ -105,19 +114,38 @@ LocalTransport::LocalTransport(size_t num_shards,
   if (pools_.empty()) pools_.resize(num_shards, nullptr);
 }
 
-void LocalTransport::BindDirectory(const SessionDirectory* directory) {
-  directory_ = directory;
+void LocalTransport::BindLocalResolver(const SessionResolver* resolver) {
+  resolver_ = resolver;
+}
+
+common::Status LocalTransport::RegisterSession(const RegisterSessionMsg& msg) {
+  registered_sessions_.insert(msg.session_id);
+  stats_.control_messages += 1;
+  return common::Status::OK();
+}
+
+void LocalTransport::UnregisterSession(uint64_t session_id) {
+  registered_sessions_.erase(session_id);
+  stats_.control_messages += 1;
 }
 
 common::Status LocalTransport::Send(uint32_t runner_shard,
                                     const DetectRequestMsg& request) {
-  common::Check(directory_ != nullptr, "transport used before BindDirectory");
+  common::Check(resolver_ != nullptr, "transport used before BindLocalResolver");
   if (runner_shard >= pools_.size()) {
     return common::Status::InvalidArgument("wire batch sent past the shards");
   }
+  // The control-plane contract holds even in-process: a batch naming a
+  // session that was never deployed would be rejected by a remote runner, so
+  // it must fail here too — loudly, because in-process it is a service bug.
+  for (const WireSlot& slot : request.slots) {
+    common::Check(registered_sessions_.count(slot.session_id) != 0,
+                  "wire batch references a session never registered with "
+                  "the transport");
+  }
   common::ThreadPool* pool =
       pools_[runner_shard] != nullptr ? pools_[runner_shard] : default_pool_;
-  completed_.push_back(ExecuteWireRequest(request, *directory_, pool));
+  completed_.push_back(ExecuteWireRequest(request, *resolver_, pool));
   stats_.requests += 1;
   return common::Status::OK();
 }
@@ -208,13 +236,41 @@ LoopbackTransport::~LoopbackTransport() {
   }
 }
 
-void LoopbackTransport::BindDirectory(const SessionDirectory* directory) {
-  directory_ = directory;
+void LoopbackTransport::BindLocalResolver(const SessionResolver* resolver) {
+  resolver_ = resolver;
+}
+
+common::Status LoopbackTransport::RegisterSession(const RegisterSessionMsg& msg) {
+  // Broadcast to every runner: requeues may route any session's batch to any
+  // surviving runner, so all of them need the session deployed. FIFO inbox
+  // order makes the registration visible before any later detect batch.
+  const std::vector<uint8_t> bytes = SerializeRegisterSession(msg);
+  for (auto& runner : runners_) {
+    std::vector<uint8_t> copy = bytes;
+    stats_.control_messages += 1;
+    stats_.bytes_sent += copy.size();
+    runner->inbox.Push(std::move(copy));
+    runner->parker.WakeOne();
+  }
+  return common::Status::OK();
+}
+
+void LoopbackTransport::UnregisterSession(uint64_t session_id) {
+  UnregisterSessionMsg msg;
+  msg.session_id = session_id;
+  const std::vector<uint8_t> bytes = SerializeUnregisterSession(msg);
+  for (auto& runner : runners_) {
+    std::vector<uint8_t> copy = bytes;
+    stats_.control_messages += 1;
+    stats_.bytes_sent += copy.size();
+    runner->inbox.Push(std::move(copy));
+    runner->parker.WakeOne();
+  }
 }
 
 common::Status LoopbackTransport::Send(uint32_t runner_shard,
                                        const DetectRequestMsg& request) {
-  common::Check(directory_ != nullptr, "transport used before BindDirectory");
+  common::Check(resolver_ != nullptr, "transport used before BindLocalResolver");
   if (runner_shard >= runners_.size()) {
     return common::Status::InvalidArgument("wire batch sent past the shards");
   }
@@ -285,10 +341,36 @@ void LoopbackTransport::RunnerLoop(uint32_t shard) {
     }
     idle_spins = 0;
 
-    auto parsed =
-        ParseDetectRequest(common::Span<const uint8_t>(bytes.data(), bytes.size()));
+    // One envelope, many kinds: control frames and detect batches share the
+    // inbox, dispatched by the framed header — exactly what a socket server
+    // does with the same helpers.
+    const common::Span<const uint8_t> frame(bytes.data(), bytes.size());
+    auto kind = PeekWireKind(frame);
+    common::CheckOk(kind.status(), "loopback frame failed to parse");
+    if (kind.value() == WireKind::kRegisterSession) {
+      auto reg = ParseRegisterSession(frame);
+      common::CheckOk(reg.status(), "loopback registration failed to parse");
+      runner.registered_sessions.insert(reg.value().session_id);
+      continue;
+    }
+    if (kind.value() == WireKind::kUnregisterSession) {
+      auto unreg = ParseUnregisterSession(frame);
+      common::CheckOk(unreg.status(), "loopback unregister failed to parse");
+      runner.registered_sessions.erase(unreg.value().session_id);
+      continue;
+    }
+    common::Check(kind.value() == WireKind::kDetectRequest,
+                  "unexpected wire kind in a loopback runner inbox");
+    auto parsed = ParseDetectRequest(frame);
     common::CheckOk(parsed.status(), "loopback request failed to parse");
     const DetectRequestMsg& request = parsed.value();
+    // The control-plane contract: every slot's session must have been
+    // deployed to this runner before the batch referencing it.
+    for (const WireSlot& slot : request.slots) {
+      common::Check(runner.registered_sessions.count(slot.session_id) != 0,
+                    "wire batch references a session never registered with "
+                    "this runner");
+    }
     runner.requests_served += 1;
 
     SleepSeconds(options_.latency_seconds);
@@ -312,7 +394,7 @@ void LoopbackTransport::RunnerLoop(uint32_t shard) {
     } else if (shard_dead || transient_failure) {
       response.status = WireStatus::kUnavailable;
     } else {
-      response = ExecuteWireRequest(request, *directory_, pools_[shard]);
+      response = ExecuteWireRequest(request, *resolver_, pools_[shard]);
     }
 
     if (options_.reorder_jitter_seconds > 0.0) {

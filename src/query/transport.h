@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/parking.h"
@@ -20,19 +21,41 @@
 namespace exsample {
 namespace query {
 
-/// \brief Runner-side registry resolving a wire slot's (session, shard) ids
-/// to the detector context that serves it.
+/// \brief Runner-side lookup resolving a wire slot's (session, shard) ids to
+/// the detector context that serves it.
 ///
 /// Wire messages carry ids, never pointers: a remote machine cannot
-/// dereference the coordinator's memory. The directory is the stand-in for
-/// the deployment step that makes ids meaningful remotely — "the shard
-/// machine loaded this session's model configuration" — and in this
-/// reproduction it simply holds the in-process detector pointers under their
-/// ids. The `DetectorService` registers every session's per-shard detectors
-/// on first submit, before any wire batch referencing them is sent.
+/// dereference the coordinator's memory. Each runner resolves ids against
+/// *its own* session state — deployed to it by `RegisterSessionMsg` control
+/// messages for a real remote transport, or shared in-process through a
+/// `SessionDirectory` for the local/loopback ones. The interface is what the
+/// shared execution core (`ExecuteWireRequest`) depends on, so a shard
+/// server's message-materialized registry and the coordinator's pointer
+/// directory run the exact same detect path.
+///
+/// Implementations must tolerate concurrent `Resolve` calls (runner threads)
+/// interleaved with whatever registration mechanism they use.
+class SessionResolver {
+ public:
+  virtual ~SessionResolver() = default;
+
+  /// \brief The detector serving (`session_id`, `shard`), or null when the
+  /// pair is unknown to this runner.
+  virtual detect::ObjectDetector* Resolve(uint64_t session_id,
+                                          uint32_t shard) const = 0;
+};
+
+/// \brief The in-process `SessionResolver`: a registry of raw detector
+/// pointers under their (session, shard) ids.
+///
+/// This is the stand-in for the deployment step that makes ids meaningful
+/// remotely — "the shard machine loaded this session's model configuration" —
+/// collapsed to pointer sharing because coordinator and runners share an
+/// address space. The `DetectorService` registers every session's per-shard
+/// detectors on first submit, before any wire batch referencing them is sent.
 ///
 /// Thread-safe: the coordinator registers while shard runner threads resolve.
-class SessionDirectory {
+class SessionDirectory : public SessionResolver {
  public:
   /// \brief Associates `detector` with (`session_id`, `shard`). Idempotent
   /// for an identical registration; re-registering a *different* detector
@@ -43,7 +66,8 @@ class SessionDirectory {
 
   /// \brief The detector serving (`session_id`, `shard`), or null when the
   /// pair was never registered.
-  detect::ObjectDetector* Resolve(uint64_t session_id, uint32_t shard) const;
+  detect::ObjectDetector* Resolve(uint64_t session_id,
+                                  uint32_t shard) const override;
 
   /// \brief Drops every registration of `session_id` — the session is gone
   /// and its detector pointers are about to dangle. No-op for unknown ids.
@@ -70,6 +94,22 @@ struct TransportStats {
   uint64_t bytes_received = 0;
   /// Failures the transport injected (loopback fault injection only).
   uint64_t failures_injected = 0;
+  /// Control-plane frames shipped (session register/unregister, heartbeats)
+  /// — counted apart from `requests` so the exact send accounting
+  /// (requests == batches + retries + requeues) survives the control plane.
+  uint64_t control_messages = 0;
+  /// Connections established / re-established after a drop (socket only).
+  uint64_t connects = 0;
+  uint64_t reconnects = 0;
+  /// Failures *inferred* rather than reported: a per-request deadline
+  /// expired, a connection dropped with batches in flight, or a connect
+  /// failed — each synthesized as a `kUnavailable` completion so the
+  /// service's retry → requeue machinery sees the same signal an explicit
+  /// runner failure produces.
+  uint64_t inferred_failures = 0;
+  /// Responses discarded because their batch was already given up on (the
+  /// deadline fired and a retry superseded the attempt).
+  uint64_t late_responses_dropped = 0;
 };
 
 /// \brief The transport boundary between the `DetectorService`'s per-shard
@@ -88,14 +128,44 @@ class ShardTransport {
  public:
   virtual ~ShardTransport() = default;
 
-  /// \brief Transport name for reports ("local", "loopback").
+  /// \brief Transport name for reports ("local", "loopback", "socket").
   virtual const char* name() const = 0;
 
-  /// \brief Binds the directory runners resolve wire slots against. Must be
-  /// called (by the owning `DetectorService`) before the first `Send`.
-  virtual void BindDirectory(const SessionDirectory* directory) = 0;
+  /// \brief Binds the resolver *in-process* runners resolve wire slots
+  /// against. Remote transports ignore it — their runners resolve against
+  /// session state deployed by `RegisterSession` messages, which is the whole
+  /// point of the control plane: nothing pointer-shaped crosses the seam.
+  /// Called by the owning `DetectorService` before the first `Send`.
+  virtual void BindLocalResolver(const SessionResolver* resolver) {
+    (void)resolver;
+  }
+
+  /// \brief Deploys one session's detector configuration to every runner,
+  /// before the first detect batch referencing the session is sent.
+  ///
+  /// In-process transports record the id (their runners resolve through the
+  /// bound resolver); a socket transport ships the message and fails on a
+  /// negative ack — `FailedPrecondition` for a repository-fingerprint
+  /// mismatch (a mis-deployment, never retryable). Unreachable runners are
+  /// *not* an error here: the registration is replayed on reconnect, and an
+  /// unreachable runner surfaces through the detect path's failure inference,
+  /// where retry/requeue can actually handle it.
+  virtual common::Status RegisterSession(const RegisterSessionMsg& msg) {
+    (void)msg;
+    return common::Status::OK();
+  }
+
+  /// \brief Drops a session's runner-side state (fire-and-forget; the session
+  /// is gone and its id must stop resolving).
+  virtual void UnregisterSession(uint64_t session_id) { (void)session_id; }
 
   /// \brief Submits one wire batch for execution on `runner_shard`'s runner.
+  ///
+  /// Never fails for *environmental* reasons: a transport that cannot
+  /// currently reach the runner synthesizes a `kUnavailable` completion for
+  /// `Receive` instead, so connection weather flows through the same
+  /// retry → requeue machinery as a runner-reported failure. A non-OK return
+  /// is a caller bug (e.g. a shard index past the fleet).
   virtual common::Status Send(uint32_t runner_shard,
                               const DetectRequestMsg& request) = 0;
 
@@ -106,20 +176,33 @@ class ShardTransport {
   /// \brief Batches sent but not yet received.
   virtual size_t InFlight() const = 0;
 
-  virtual const TransportStats& stats() const = 0;
+  /// \brief Snapshot of the transfer tallies, by value: a socket transport's
+  /// receive thread mutates the counters concurrently with readers, so
+  /// handing out a reference would be a latent data race for every transport
+  /// that isn't single-threaded.
+  virtual TransportStats Stats() const = 0;
 };
 
-/// \brief Executes one wire request against a directory: resolves every
+/// \brief What `ExecuteWireRequest` does with a slot whose (session, shard)
+/// the resolver does not know.
+enum class UnresolvedSlotPolicy {
+  /// In-process: an unregistered id is a protocol bug — crash loudly.
+  kFatal,
+  /// A shard server: the request may have raced a reconnect past the
+  /// registration replay, and remote input must never crash the server —
+  /// answer `kUnavailable` and let the coordinator re-register and retry.
+  kUnavailable,
+};
+
+/// \brief Executes one wire request against a resolver: resolves every
 /// slot's detector, fans the `Detect` calls over `pool` (inline when null),
 /// and returns the `kOk` response with per-slot detections and the charged
-/// detector seconds. This is the runner-side core both transports share —
-/// and the function a real RPC shard server would wrap.
-///
-/// Fatal when a slot names an unregistered (session, shard): in-process that
-/// is a protocol bug, not an environmental failure.
-DetectResponseMsg ExecuteWireRequest(const DetectRequestMsg& request,
-                                     const SessionDirectory& directory,
-                                     common::ThreadPool* pool);
+/// detector seconds. This is the runner-side core every transport shares —
+/// local, loopback, and the `exsample_shardd` socket server all wrap it.
+DetectResponseMsg ExecuteWireRequest(
+    const DetectRequestMsg& request, const SessionResolver& resolver,
+    common::ThreadPool* pool,
+    UnresolvedSlotPolicy policy = UnresolvedSlotPolicy::kFatal);
 
 /// \brief The in-process transport: `Send` executes the batch synchronously
 /// on the caller (fanning over the shard's pool) and queues the response for
@@ -135,15 +218,21 @@ class LocalTransport : public ShardTransport {
                           common::ThreadPool* default_pool = nullptr);
 
   const char* name() const override { return "local"; }
-  void BindDirectory(const SessionDirectory* directory) override;
+  void BindLocalResolver(const SessionResolver* resolver) override;
+  common::Status RegisterSession(const RegisterSessionMsg& msg) override;
+  void UnregisterSession(uint64_t session_id) override;
   common::Status Send(uint32_t runner_shard,
                       const DetectRequestMsg& request) override;
   common::Result<DetectResponseMsg> Receive() override;
   size_t InFlight() const override { return completed_.size(); }
-  const TransportStats& stats() const override { return stats_; }
+  TransportStats Stats() const override { return stats_; }
 
  private:
-  const SessionDirectory* directory_ = nullptr;
+  const SessionResolver* resolver_ = nullptr;
+  // Sessions the control plane deployed; Send enforces that every slot names
+  // one, so a service that skipped `RegisterSession` fails in-process exactly
+  // where a remote runner would reject the batch.
+  std::unordered_set<uint64_t> registered_sessions_;
   std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
   common::ThreadPool* default_pool_ = nullptr;
   std::deque<DetectResponseMsg> completed_;
@@ -219,12 +308,17 @@ class LoopbackTransport : public ShardTransport {
   LoopbackTransport& operator=(const LoopbackTransport&) = delete;
 
   const char* name() const override { return "loopback"; }
-  void BindDirectory(const SessionDirectory* directory) override;
+  void BindLocalResolver(const SessionResolver* resolver) override;
+  /// Ships the serialized registration through every runner's inbox: the
+  /// per-queue FIFO order guarantees a runner processes it before any detect
+  /// batch sent afterwards, so no ack round-trip is needed in-process.
+  common::Status RegisterSession(const RegisterSessionMsg& msg) override;
+  void UnregisterSession(uint64_t session_id) override;
   common::Status Send(uint32_t runner_shard,
                       const DetectRequestMsg& request) override;
   common::Result<DetectResponseMsg> Receive() override;
   size_t InFlight() const override { return in_flight_; }
-  const TransportStats& stats() const override { return stats_; }
+  TransportStats Stats() const override { return stats_; }
 
   size_t NumShards() const { return runners_.size(); }
   const LoopbackTransportOptions& options() const { return options_; }
@@ -251,21 +345,24 @@ class LoopbackTransport : public ShardTransport {
     explicit Runner(size_t ring_capacity) : inbox(ring_capacity) {}
 
     std::thread thread;
-    SpillQueue inbox;          // Serialized requests.
+    SpillQueue inbox;          // Serialized requests and control frames.
     common::Parker parker;     // Runner parks here when the inbox is dry.
     std::atomic<bool> stop{false};
     // Runner-thread state (no locking needed).
     uint64_t requests_served = 0;
+    // Sessions the control plane deployed to this runner; detect slots must
+    // name one (the protocol contract a remote runner would enforce).
+    std::unordered_set<uint64_t> registered_sessions;
   };
 
   void RunnerLoop(uint32_t shard);
 
   LoopbackTransportOptions options_;
   std::vector<common::ThreadPool*> pools_;  // Per shard; may hold nulls.
-  // Written once by BindDirectory before the first Send; runner threads read
-  // it only while handling requests enqueued afterwards (the inbox ring's
-  // release/acquire handoff orders the accesses).
-  const SessionDirectory* directory_ = nullptr;
+  // Written once by BindLocalResolver before the first Send; runner threads
+  // read it only while handling requests enqueued afterwards (the inbox
+  // ring's release/acquire handoff orders the accesses).
+  const SessionResolver* resolver_ = nullptr;
   std::vector<std::unique_ptr<Runner>> runners_;
 
   // Completion queue: runners push serialized responses (ring first, spill

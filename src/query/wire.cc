@@ -164,6 +164,27 @@ common::Status CheckFullyConsumed(const WireReader& reader) {
   return common::Status::OK();
 }
 
+/// Shared body of the four control messages whose payload is one u64 after
+/// the header (acks, unregister, heartbeats).
+std::vector<uint8_t> SerializeU64Body(WireKind kind, uint8_t flags,
+                                      uint64_t value) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + 8);
+  AppendHeader(&out, kind, flags);
+  AppendU64(&out, value);
+  return out;
+}
+
+common::Status ParseU64Body(common::Span<const uint8_t> bytes, WireKind kind,
+                            uint8_t* flags, uint64_t* value) {
+  WireReader reader(bytes);
+  common::Status s = ParseHeader(&reader, kind, flags);
+  if (!s.ok()) return s;
+  s = reader.ReadU64(value);
+  if (!s.ok()) return s;
+  return CheckFullyConsumed(reader);
+}
+
 void AppendDetection(std::vector<uint8_t>* out, const detect::Detection& det) {
   AppendF64(out, det.box.x);
   AppendF64(out, det.box.y);
@@ -313,6 +334,162 @@ common::Result<DetectResponseMsg> ParseDetectResponse(
   }
   s = CheckFullyConsumed(reader);
   if (!s.ok()) return s;
+  return msg;
+}
+
+common::Result<WireKind> PeekWireKind(common::Span<const uint8_t> bytes) {
+  // The contract is "validates the framed header": a buffer shorter than the
+  // full 8-byte header is rejected even though the kind byte sits at offset
+  // 6 — every parser will demand the flags byte anyway.
+  if (bytes.size() < 8) {
+    return common::Status::InvalidArgument("wire header truncated");
+  }
+  WireReader reader(bytes);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t kind = 0;
+  common::Status s = reader.ReadU32(&magic);
+  if (!s.ok()) return s;
+  if (magic != kWireMagic) {
+    return common::Status::InvalidArgument("bad wire magic");
+  }
+  s = reader.ReadU16(&version);
+  if (!s.ok()) return s;
+  if (version != kWireVersion) {
+    return common::Status::InvalidArgument("unsupported wire version");
+  }
+  s = reader.ReadU8(&kind);
+  if (!s.ok()) return s;
+  if (kind < static_cast<uint8_t>(WireKind::kDetectRequest) ||
+      kind > static_cast<uint8_t>(WireKind::kUnregisterSession)) {
+    return common::Status::InvalidArgument("unknown wire message kind");
+  }
+  return static_cast<WireKind>(kind);
+}
+
+std::vector<uint8_t> SerializeRegisterSession(const RegisterSessionMsg& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + 8 + 8 + 4 + 8 * 6 + 8);
+  AppendHeader(&out, WireKind::kRegisterSession, /*flags=*/0);
+  AppendU64(&out, msg.session_id);
+  AppendU64(&out, msg.repo_fingerprint);
+  const detect::DetectorOptions& opts = msg.detector_options;
+  AppendI32(&out, opts.target_class);
+  AppendF64(&out, opts.miss_prob);
+  AppendF64(&out, opts.edge_ramp_fraction);
+  AppendF64(&out, opts.edge_min_factor);
+  AppendF64(&out, opts.localization_sigma);
+  AppendF64(&out, opts.false_positive_rate);
+  AppendF64(&out, opts.seconds_per_frame);
+  AppendU64(&out, opts.seed);
+  return out;
+}
+
+common::Result<RegisterSessionMsg> ParseRegisterSession(
+    common::Span<const uint8_t> bytes) {
+  WireReader reader(bytes);
+  uint8_t flags = 0;
+  common::Status s = ParseHeader(&reader, WireKind::kRegisterSession, &flags);
+  if (!s.ok()) return s;
+  if (flags != 0) {
+    return common::Status::InvalidArgument("reserved register flags set");
+  }
+
+  RegisterSessionMsg msg;
+  s = reader.ReadU64(&msg.session_id);
+  if (!s.ok()) return s;
+  s = reader.ReadU64(&msg.repo_fingerprint);
+  if (!s.ok()) return s;
+  detect::DetectorOptions& opts = msg.detector_options;
+  s = reader.ReadI32(&opts.target_class);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.miss_prob);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.edge_ramp_fraction);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.edge_min_factor);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.localization_sigma);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.false_positive_rate);
+  if (!s.ok()) return s;
+  s = reader.ReadF64(&opts.seconds_per_frame);
+  if (!s.ok()) return s;
+  s = reader.ReadU64(&opts.seed);
+  if (!s.ok()) return s;
+  s = CheckFullyConsumed(reader);
+  if (!s.ok()) return s;
+  return msg;
+}
+
+std::vector<uint8_t> SerializeSessionAck(const SessionAckMsg& msg) {
+  return SerializeU64Body(WireKind::kSessionAck,
+                          static_cast<uint8_t>(msg.status), msg.session_id);
+}
+
+common::Result<SessionAckMsg> ParseSessionAck(
+    common::Span<const uint8_t> bytes) {
+  SessionAckMsg msg;
+  uint8_t flags = 0;
+  common::Status s =
+      ParseU64Body(bytes, WireKind::kSessionAck, &flags, &msg.session_id);
+  if (!s.ok()) return s;
+  if (flags > static_cast<uint8_t>(WireStatus::kRepoMismatch)) {
+    return common::Status::InvalidArgument("unknown session ack status");
+  }
+  msg.status = static_cast<WireStatus>(flags);
+  return msg;
+}
+
+std::vector<uint8_t> SerializeUnregisterSession(
+    const UnregisterSessionMsg& msg) {
+  return SerializeU64Body(WireKind::kUnregisterSession, /*flags=*/0,
+                          msg.session_id);
+}
+
+common::Result<UnregisterSessionMsg> ParseUnregisterSession(
+    common::Span<const uint8_t> bytes) {
+  UnregisterSessionMsg msg;
+  uint8_t flags = 0;
+  common::Status s = ParseU64Body(bytes, WireKind::kUnregisterSession, &flags,
+                                  &msg.session_id);
+  if (!s.ok()) return s;
+  if (flags != 0) {
+    return common::Status::InvalidArgument("reserved unregister flags set");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> SerializeHeartbeat(const HeartbeatMsg& msg) {
+  return SerializeU64Body(WireKind::kHeartbeat, /*flags=*/0, msg.nonce);
+}
+
+common::Result<HeartbeatMsg> ParseHeartbeat(common::Span<const uint8_t> bytes) {
+  HeartbeatMsg msg;
+  uint8_t flags = 0;
+  common::Status s =
+      ParseU64Body(bytes, WireKind::kHeartbeat, &flags, &msg.nonce);
+  if (!s.ok()) return s;
+  if (flags != 0) {
+    return common::Status::InvalidArgument("reserved heartbeat flags set");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> SerializeHeartbeatAck(const HeartbeatAckMsg& msg) {
+  return SerializeU64Body(WireKind::kHeartbeatAck, /*flags=*/0, msg.nonce);
+}
+
+common::Result<HeartbeatAckMsg> ParseHeartbeatAck(
+    common::Span<const uint8_t> bytes) {
+  HeartbeatAckMsg msg;
+  uint8_t flags = 0;
+  common::Status s =
+      ParseU64Body(bytes, WireKind::kHeartbeatAck, &flags, &msg.nonce);
+  if (!s.ok()) return s;
+  if (flags != 0) {
+    return common::Status::InvalidArgument("reserved heartbeat flags set");
+  }
   return msg;
 }
 

@@ -7,6 +7,7 @@
 #include "common/span.h"
 #include "common/status.h"
 #include "detect/detection.h"
+#include "detect/detector.h"
 #include "video/repository.h"
 
 namespace exsample {
@@ -18,10 +19,15 @@ namespace query {
 /// The `DetectorService`'s per-shard submission queues are the transport unit
 /// the ROADMAP names for cross-machine execution: a remote shard runner
 /// drains its queue's sliced device batches over RPC instead of a local
-/// pool. These are the two messages that cross that wire — a *detect
-/// request* (one sliced device batch: wire sequence number, origin shard,
-/// and the (session, frame) slots to detect) and its *detect response*
-/// (per-slot detection lists plus the detector seconds the runner charged).
+/// pool. Every message shares one framed envelope — the 8-byte header below,
+/// whose kind byte separates *data* messages (a *detect request*: one sliced
+/// device batch of (session, frame) slots; its *detect response*: per-slot
+/// detection lists plus the detector seconds the runner charged) from
+/// *control* messages (session registration shipping the detector
+/// configuration a remote runner materializes its session state from, the
+/// matching ack, unregistration, and heartbeats). Control and data parse
+/// through the same bounds-checked reader; `PeekWireKind` dispatches a
+/// received frame without trusting anything past the header.
 ///
 /// The encoding is a versioned, deterministic binary layout: fixed-width
 /// little-endian integers, doubles as raw IEEE-754 bit patterns (so a
@@ -39,10 +45,18 @@ inline constexpr uint32_t kWireMagic = 0x4d575358;
 /// version.
 inline constexpr uint16_t kWireVersion = 1;
 
-/// \brief Message kinds, tagged in the header byte after the version.
+/// \brief Message kinds, tagged in the header byte after the version. Kinds
+/// 1–2 are the data plane; 3–7 are the control plane a real transport needs
+/// to deploy session state and probe liveness. Parsers reject kinds they do
+/// not know: a frame from a newer coordinator fails cleanly, never silently.
 enum class WireKind : uint8_t {
   kDetectRequest = 1,
   kDetectResponse = 2,
+  kRegisterSession = 3,
+  kSessionAck = 4,
+  kHeartbeat = 5,
+  kHeartbeatAck = 6,
+  kUnregisterSession = 7,
 };
 
 /// \brief Outcome a shard runner reports for one wire batch.
@@ -121,6 +135,72 @@ std::vector<uint8_t> SerializeDetectResponse(const DetectResponseMsg& msg);
 /// \brief Parses a buffer produced by `SerializeDetectResponse`; same error
 /// contract as `ParseDetectRequest`.
 common::Result<DetectResponseMsg> ParseDetectResponse(
+    common::Span<const uint8_t> bytes);
+
+/// \brief Control-plane message deploying one session's detector state to a
+/// shard runner, sent once per (session, connection) before the first detect
+/// batch that references the session.
+///
+/// Where the in-process directory shares detector *pointers*, this ships the
+/// *configuration* a remote runner needs to materialize an equivalent
+/// detector: `SimulatedDetector` is a pure per-frame function of (ground
+/// truth, options), so the options (seed included) plus the repository
+/// fingerprint — pinning which ground truth the runner must already hold —
+/// fully determine the remote detector's output. That purity is what lets a
+/// registration message replace shared memory without touching the
+/// bit-identical trace contract.
+struct RegisterSessionMsg {
+  uint64_t session_id = 0;
+  /// Fingerprint of the repository the session queries; a runner serving a
+  /// different repository acks `kRepoMismatch` (0 disables the check).
+  uint64_t repo_fingerprint = 0;
+  detect::DetectorOptions detector_options;
+};
+
+/// \brief A runner's answer to one `RegisterSessionMsg` (status rides the
+/// header's flags byte, like detect responses).
+struct SessionAckMsg {
+  uint64_t session_id = 0;
+  WireStatus status = WireStatus::kOk;
+};
+
+/// \brief Control-plane message dropping one session's runner-side state; no
+/// ack (the coordinator never blocks on teardown).
+struct UnregisterSessionMsg {
+  uint64_t session_id = 0;
+};
+
+/// \brief Liveness probe; the runner echoes the nonce in a `HeartbeatAckMsg`.
+struct HeartbeatMsg {
+  uint64_t nonce = 0;
+};
+
+struct HeartbeatAckMsg {
+  uint64_t nonce = 0;
+};
+
+/// \brief Validates the framed header of a received buffer (magic, version,
+/// known kind) and returns its kind without consuming the message — the
+/// dispatch step of every runner/coordinator receive loop. `InvalidArgument`
+/// for short buffers, bad magic, version mismatches, and unknown kinds.
+common::Result<WireKind> PeekWireKind(common::Span<const uint8_t> bytes);
+
+std::vector<uint8_t> SerializeRegisterSession(const RegisterSessionMsg& msg);
+common::Result<RegisterSessionMsg> ParseRegisterSession(
+    common::Span<const uint8_t> bytes);
+
+std::vector<uint8_t> SerializeSessionAck(const SessionAckMsg& msg);
+common::Result<SessionAckMsg> ParseSessionAck(common::Span<const uint8_t> bytes);
+
+std::vector<uint8_t> SerializeUnregisterSession(const UnregisterSessionMsg& msg);
+common::Result<UnregisterSessionMsg> ParseUnregisterSession(
+    common::Span<const uint8_t> bytes);
+
+std::vector<uint8_t> SerializeHeartbeat(const HeartbeatMsg& msg);
+common::Result<HeartbeatMsg> ParseHeartbeat(common::Span<const uint8_t> bytes);
+
+std::vector<uint8_t> SerializeHeartbeatAck(const HeartbeatAckMsg& msg);
+common::Result<HeartbeatAckMsg> ParseHeartbeatAck(
     common::Span<const uint8_t> bytes);
 
 }  // namespace query

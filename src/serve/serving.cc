@@ -335,8 +335,11 @@ common::Result<std::vector<QueryOutcome>> TenantServer::Serve(
   if (!driver.status().ok()) {
     // Transport death: release every half-begun step and the service's
     // queued tickets, then surface the failure instead of partial outcomes.
+    // Abort every admitted session, mid-step or not: each must withdraw its
+    // wire registration before the transport failure is surfaced, or its id
+    // would keep resolving to detectors the session is about to destroy.
     for (Admitted& a : admitted) {
-      if (a.session->DetectPending()) a.session->AbortStep();
+      a.session->AbortStep();
     }
     if (service != nullptr) service->CancelPending();
     return driver.status();

@@ -13,15 +13,20 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <set>
 #include <thread>
 
 #include "engine/search_engine.h"
 #include "query/detector_service.h"
+#include "query/socket_transport.h"
 #include "query/transport.h"
 #include "query/wire.h"
 #include "scene/generator.h"
+#include "testutil/shardd_harness.h"
 
 namespace exsample {
 namespace engine {
@@ -142,7 +147,7 @@ TEST_P(LoopbackEquivalenceTest, AllMethodsMatchSoloRuns) {
   // The wire path really ran: batches crossed as serialized bytes, and the
   // transient failure injection exercised retries.
   ASSERT_NE(loopback.shard_transport(), nullptr);
-  const query::TransportStats& wire = loopback.shard_transport()->stats();
+  const query::TransportStats wire = loopback.shard_transport()->Stats();
   EXPECT_GT(wire.requests, 0u);
   EXPECT_GT(wire.bytes_sent, 0u);
   EXPECT_GT(wire.bytes_received, 0u);
@@ -336,7 +341,7 @@ TEST(DistTransportTest, FullPipelineLoopbackMatchesLocal) {
                     std::string("full pipeline loopback vs local: ") +
                         MethodName(specs[i].options.method));
   }
-  EXPECT_GT(loopback.shard_transport()->stats().bytes_sent, 0u);
+  EXPECT_GT(loopback.shard_transport()->Stats().bytes_sent, 0u);
 }
 
 // --- DetectorService flush policies (unit level) ----------------------------
@@ -483,8 +488,8 @@ TEST(DistTransportTest, LocalTransportMatchesInProcessExecution) {
                 wire_results[i][j].source_instance);
     }
   }
-  EXPECT_EQ(transport.stats().requests, 3u);  // ceil(5 / 2) slices.
-  EXPECT_EQ(transport.stats().bytes_sent, 0u);  // Local never serializes.
+  EXPECT_EQ(transport.Stats().requests, 3u);  // ceil(5 / 2) slices.
+  EXPECT_EQ(transport.Stats().bytes_sent, 0u);  // Local never serializes.
   fixture.ExpectDirectDetections(frames, wire_results);
 }
 
@@ -503,9 +508,9 @@ TEST(DistTransportTest, LoopbackServiceRoundTripsOverBytes) {
   service.Flush();
   ASSERT_TRUE(service.Ready(ticket));
   fixture.ExpectDirectDetections(frames, service.Take(ticket));
-  EXPECT_EQ(transport.stats().requests, 3u);  // ceil(7 / 3) slices.
-  EXPECT_GT(transport.stats().bytes_sent, 0u);
-  EXPECT_GT(transport.stats().bytes_received, 0u);
+  EXPECT_EQ(transport.Stats().requests, 3u);  // ceil(7 / 3) slices.
+  EXPECT_GT(transport.Stats().bytes_sent, 0u);
+  EXPECT_GT(transport.Stats().bytes_received, 0u);
   EXPECT_EQ(transport.InFlight(), 0u);
 }
 
@@ -516,8 +521,8 @@ TEST(DistTransportTest, LoopbackServiceRoundTripsOverBytes) {
 class ScriptedTransport : public query::ShardTransport {
  public:
   const char* name() const override { return "scripted"; }
-  void BindDirectory(const query::SessionDirectory* directory) override {
-    directory_ = directory;
+  void BindLocalResolver(const query::SessionResolver* resolver) override {
+    resolver_ = resolver;
   }
   common::Status Send(uint32_t runner_shard,
                       const query::DetectRequestMsg& request) override {
@@ -528,7 +533,7 @@ class ScriptedTransport : public query::ShardTransport {
     if (runner_shard == 0 || failed_once_.insert(request.wire_seq).second) {
       response.status = query::WireStatus::kUnavailable;
     } else {
-      response = query::ExecuteWireRequest(request, *directory_, nullptr);
+      response = query::ExecuteWireRequest(request, *resolver_, nullptr);
     }
     completed_.push_back(std::move(response));
     return common::Status::OK();
@@ -542,10 +547,10 @@ class ScriptedTransport : public query::ShardTransport {
     return response;
   }
   size_t InFlight() const override { return completed_.size(); }
-  const query::TransportStats& stats() const override { return stats_; }
+  query::TransportStats Stats() const override { return stats_; }
 
  private:
-  const query::SessionDirectory* directory_ = nullptr;
+  const query::SessionResolver* resolver_ = nullptr;
   std::vector<query::DetectResponseMsg> completed_;
   std::set<uint64_t> failed_once_;
   query::TransportStats stats_;
@@ -597,6 +602,207 @@ TEST(DistTransportTest, SessionDirectoryResolvesAndRejects) {
   EXPECT_EQ(directory.Resolve(1, 2), nullptr);
   EXPECT_EQ(directory.Resolve(2, 0), nullptr);
   EXPECT_EQ(directory.NumSessions(), 1u);
+}
+
+// --- Socket transport: real servers, real TCP --------------------------------
+//
+// The lane the loopback suite above rehearses for: `exsample_shardd`
+// subprocesses materialize sessions from RegisterSessionMsg frames (no shared
+// memory at all), detect batches cross localhost TCP, and the traces must
+// still be bit-identical to the solo in-process runs — including when a
+// server is killed or wedged mid-query.
+
+TEST(SocketFramingTest, FramesRoundTripOverASocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 0, 7};
+  ASSERT_TRUE(query::WriteFrame(
+                  fds[0], common::Span<const uint8_t>(payload.data(),
+                                                      payload.size()))
+                  .ok());
+  auto frame = query::ReadFrame(fds[1], query::kMaxFrameBytes);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value(), payload);
+
+  // A frame past the receiver's bound is rejected before any allocation.
+  ASSERT_TRUE(query::WriteFrame(
+                  fds[0], common::Span<const uint8_t>(payload.data(),
+                                                      payload.size()))
+                  .ok());
+  auto bounded = query::ReadFrame(fds[1], /*max_frame_bytes=*/2);
+  EXPECT_FALSE(bounded.ok());
+
+  // EOF mid-stream is a clean error, not a hang or a garbage frame.
+  ::close(fds[0]);
+  EXPECT_FALSE(query::ReadFrame(fds[1], query::kMaxFrameBytes).ok());
+  ::close(fds[1]);
+}
+
+EngineConfig SocketConfig(std::vector<std::string> hosts) {
+  EngineConfig config = OracleConfig();
+  config.num_threads = 2;
+  config.coalesce_detect = true;
+  config.device_batch = 16;
+  config.transport = TransportKind::kSocket;
+  config.socket.hosts = std::move(hosts);
+  config.flush_deadline_seconds = 0.0005;
+  return config;
+}
+
+class SocketEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SocketEquivalenceTest, AllMethodsMatchSoloRuns) {
+  const size_t num_shards = GetParam();
+  auto fx = DistFixture::Make(num_shards);
+  // The servers rebuild the fixture's scenario from the same (frames, seed)
+  // recipe — their only coupling to this process is the flag pair.
+  testutil::ShardFleet fleet(EXSAMPLE_SHARDD_PATH, num_shards);
+
+  SearchEngine socket = MakeEngine(*fx, num_shards, SocketConfig(fleet.Hosts()));
+  SearchEngine reference = MakeEngine(*fx, num_shards, OracleConfig());
+
+  const std::vector<QuerySpec> specs = AllMethodSpecs(/*limit=*/10);
+  auto concurrent = socket.RunConcurrent(specs);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+  ASSERT_EQ(concurrent.value().size(), specs.size());
+
+  // Real bytes crossed real sockets, and the control plane deployed every
+  // session before its first batch.
+  ASSERT_NE(socket.shard_transport(), nullptr);
+  const query::TransportStats wire = socket.shard_transport()->Stats();
+  EXPECT_GT(wire.requests, 0u);
+  EXPECT_GT(wire.bytes_sent, 0u);
+  EXPECT_GT(wire.bytes_received, 0u);
+  EXPECT_GE(wire.control_messages, specs.size() * num_shards)
+      << "every session registers on every shard";
+  EXPECT_GE(wire.connects, num_shards);
+  const query::DetectorServiceStats& stats = socket.detector_service()->stats();
+  EXPECT_EQ(wire.requests,
+            stats.wire_batches + stats.wire_retries + stats.wire_requeues);
+  EXPECT_TRUE(socket.detector_service()->transport_status().ok());
+  EXPECT_EQ(socket.detector_service()->directory().NumSessions(), 0u);
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto solo = reference.FindDistinct(specs[i].class_id, specs[i].limit,
+                                       specs[i].options);
+    ASSERT_TRUE(solo.ok());
+    ExpectSameTrace(solo.value(), concurrent.value()[i],
+                    std::string("socket vs solo: ") +
+                        MethodName(specs[i].options.method) + " at " +
+                        std::to_string(num_shards) + " shards");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SocketEquivalenceTest,
+                         ::testing::Values(1, 2, 5),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards_" + std::to_string(info.param);
+                         });
+
+TEST(SocketTransportTest, KilledServerIsInferredAndItsBatchesRequeue) {
+  // SIGKILL one of two servers mid-query: the coordinator gets no goodbye,
+  // only a dropped connection (and connect-refused on retry). Failure
+  // inference must synthesize kUnavailable completions, the service must
+  // exhaust retries and requeue onto the survivor, and — because requeues
+  // preserve origin_shard — every trace must stay bit-identical to the
+  // solo runs.
+  const size_t num_shards = 2;
+  auto fx = DistFixture::Make(num_shards);
+  testutil::ShardFleet fleet(EXSAMPLE_SHARDD_PATH, num_shards);
+
+  EngineConfig config = SocketConfig(fleet.Hosts());
+  config.transport_max_retries = 1;
+  config.socket.request_deadline_seconds = 1.0;
+  SearchEngine engine = MakeEngine(*fx, num_shards, config);
+  SearchEngine reference = MakeEngine(*fx, num_shards, OracleConfig());
+
+  const std::vector<QuerySpec> specs = AllMethodSpecs(/*limit=*/10);
+  size_t steps = 0;
+  auto concurrent = engine.RunConcurrent(specs, [&](size_t, const QuerySession&) {
+    if (++steps == 5 && fleet.server(1).running()) fleet.server(1).Kill();
+  });
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+
+  const query::TransportStats wire = engine.shard_transport()->Stats();
+  EXPECT_GT(wire.inferred_failures, 0u)
+      << "the kill must be noticed by inference, not reported";
+  const query::DetectorServiceStats& stats = engine.detector_service()->stats();
+  EXPECT_EQ(stats.shards_down, 1u);
+  EXPECT_GE(stats.wire_requeues, 1u);
+  EXPECT_TRUE(engine.detector_service()->transport_status().ok());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto solo = reference.FindDistinct(specs[i].class_id, specs[i].limit,
+                                       specs[i].options);
+    ASSERT_TRUE(solo.ok());
+    ExpectSameTrace(solo.value(), concurrent.value()[i],
+                    std::string("socket kill mid-query: ") +
+                        MethodName(specs[i].options.method));
+  }
+}
+
+TEST(SocketTransportTest, WedgedServerIsCaughtByTheRequestDeadline) {
+  // The nastier failure: a server that stays connected, keeps reading, and
+  // never answers (--hang-after). No socket event ever fires — the
+  // per-request deadline is the only signal, and its synthesized failures
+  // must drive the same retry → requeue recovery with traces intact.
+  const size_t num_shards = 2;
+  auto fx = DistFixture::Make(num_shards);
+  testutil::ShardFleet healthy(EXSAMPLE_SHARDD_PATH, 1);
+  testutil::ShardServer::Options wedged_options;
+  wedged_options.hang_after = 2;  // Serves two batches, then goes silent.
+  testutil::ShardServer wedged(EXSAMPLE_SHARDD_PATH, wedged_options);
+
+  EngineConfig config =
+      SocketConfig({healthy.server(0).host(), wedged.host()});
+  config.transport_max_retries = 1;
+  // Governs only how long the test waits out the wedge (the server never
+  // answers) — generous enough that a sanitizer-slowed healthy batch is
+  // never misjudged as wedged.
+  config.socket.request_deadline_seconds = 0.5;
+  SearchEngine engine = MakeEngine(*fx, num_shards, config);
+  SearchEngine reference = MakeEngine(*fx, num_shards, OracleConfig());
+
+  const std::vector<QuerySpec> specs = AllMethodSpecs(/*limit=*/6);
+  auto concurrent = engine.RunConcurrent(specs);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+
+  const query::TransportStats wire = engine.shard_transport()->Stats();
+  EXPECT_GT(wire.inferred_failures, 0u);
+  const query::DetectorServiceStats& stats = engine.detector_service()->stats();
+  EXPECT_EQ(stats.shards_down, 1u);
+  EXPECT_GE(stats.wire_requeues, 1u);
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto solo = reference.FindDistinct(specs[i].class_id, specs[i].limit,
+                                       specs[i].options);
+    ASSERT_TRUE(solo.ok());
+    ExpectSameTrace(solo.value(), concurrent.value()[i],
+                    std::string("socket wedged server: ") +
+                        MethodName(specs[i].options.method));
+  }
+}
+
+TEST(SocketTransportTest, RepositoryMismatchAckFailsRegistrationByName) {
+  // Servers built over a different scenario (different seed, different
+  // fingerprint) must refuse the session at *registration* time with a
+  // kRepoMismatch ack — surfaced as FailedPrecondition before a single
+  // detect batch ships, never buried under availability errors.
+  const size_t num_shards = 2;
+  auto fx = DistFixture::Make(num_shards);
+  testutil::ShardServer::Options wrong;
+  // A different frame count yields a different *repository* — which is what
+  // the fingerprint covers. (The scenario seed only shapes ground truth, the
+  // simulation's stand-in for the video content itself.)
+  wrong.frames = 40000;
+  testutil::ShardFleet fleet(EXSAMPLE_SHARDD_PATH, num_shards, wrong);
+
+  SearchEngine engine = MakeEngine(*fx, num_shards, SocketConfig(fleet.Hosts()));
+  auto result = engine.RunConcurrent(AllMethodSpecs(/*limit=*/5));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("fingerprint"), std::string::npos)
+      << result.status().ToString();
 }
 
 }  // namespace

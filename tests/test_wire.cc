@@ -257,7 +257,165 @@ TEST(WireRequestTest, RandomGarbageNeverCrashes) {
     // sanitizer configs of the dist CI lane are the real assertion here.
     (void)ParseDetectRequest(BytesOf(junk));
     (void)ParseDetectResponse(BytesOf(junk));
+    (void)ParseRegisterSession(BytesOf(junk));
+    (void)ParseSessionAck(BytesOf(junk));
+    (void)ParseUnregisterSession(BytesOf(junk));
+    (void)ParseHeartbeat(BytesOf(junk));
+    (void)ParseHeartbeatAck(BytesOf(junk));
+    (void)PeekWireKind(BytesOf(junk));
   }
+}
+
+// --- Control plane ----------------------------------------------------------
+
+detect::DetectorOptions RandomDetectorOptions(common::Rng& rng) {
+  detect::DetectorOptions options;
+  options.target_class = static_cast<int32_t>(rng.UniformInt(-1, 40));
+  options.miss_prob = rng.NextDouble();
+  options.edge_ramp_fraction = rng.NextDouble();
+  options.edge_min_factor = rng.NextDouble();
+  options.localization_sigma = rng.NextDouble() * 0.1;
+  options.false_positive_rate = rng.NextDouble() * 0.01;
+  options.seconds_per_frame = rng.NextDouble();
+  options.seed = rng.NextU64();
+  return options;
+}
+
+TEST(WireControlTest, RegisterSessionFuzzRoundTrip) {
+  common::Rng rng(43);
+  for (int iter = 0; iter < 200; ++iter) {
+    RegisterSessionMsg msg;
+    msg.session_id = rng.NextU64();
+    msg.repo_fingerprint = rng.NextU64();
+    msg.detector_options = RandomDetectorOptions(rng);
+    auto parsed = ParseRegisterSession(BytesOf(SerializeRegisterSession(msg)));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().session_id, msg.session_id);
+    EXPECT_EQ(parsed.value().repo_fingerprint, msg.repo_fingerprint);
+    // The options hash folds in every field bit-for-bit — the exact identity
+    // the remote detector materialization depends on.
+    EXPECT_EQ(detect::DetectorOptionsHash(parsed.value().detector_options),
+              detect::DetectorOptionsHash(msg.detector_options));
+  }
+}
+
+TEST(WireControlTest, SessionAckRoundTripsEveryStatus) {
+  for (const WireStatus status :
+       {WireStatus::kOk, WireStatus::kUnavailable, WireStatus::kRepoMismatch}) {
+    SessionAckMsg ack;
+    ack.session_id = 0x1234567890abcdefull;
+    ack.status = status;
+    auto parsed = ParseSessionAck(BytesOf(SerializeSessionAck(ack)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().session_id, ack.session_id);
+    EXPECT_EQ(parsed.value().status, status);
+  }
+}
+
+TEST(WireControlTest, SessionAckUnknownStatusRejected) {
+  std::vector<uint8_t> bytes = SerializeSessionAck(SessionAckMsg{});
+  bytes[7] = 9;  // Flags byte carries the status; 9 is past kRepoMismatch.
+  EXPECT_FALSE(ParseSessionAck(BytesOf(bytes)).ok());
+}
+
+TEST(WireControlTest, UnregisterAndHeartbeatsRoundTrip) {
+  UnregisterSessionMsg unreg;
+  unreg.session_id = 77;
+  auto parsed_unreg =
+      ParseUnregisterSession(BytesOf(SerializeUnregisterSession(unreg)));
+  ASSERT_TRUE(parsed_unreg.ok());
+  EXPECT_EQ(parsed_unreg.value().session_id, 77u);
+
+  HeartbeatMsg hb;
+  hb.nonce = 0xfeedface;
+  auto parsed_hb = ParseHeartbeat(BytesOf(SerializeHeartbeat(hb)));
+  ASSERT_TRUE(parsed_hb.ok());
+  EXPECT_EQ(parsed_hb.value().nonce, 0xfeedfaceu);
+
+  HeartbeatAckMsg hback;
+  hback.nonce = 0xdeadbeef;
+  auto parsed_hback = ParseHeartbeatAck(BytesOf(SerializeHeartbeatAck(hback)));
+  ASSERT_TRUE(parsed_hback.ok());
+  EXPECT_EQ(parsed_hback.value().nonce, 0xdeadbeefu);
+}
+
+TEST(WireControlTest, ControlTruncationsFailCleanly) {
+  common::Rng rng(47);
+  RegisterSessionMsg msg;
+  msg.session_id = rng.NextU64();
+  msg.repo_fingerprint = rng.NextU64();
+  msg.detector_options = RandomDetectorOptions(rng);
+  const std::vector<uint8_t> bytes = SerializeRegisterSession(msg);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed =
+        ParseRegisterSession(common::Span<const uint8_t>(bytes.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kInvalidArgument);
+  }
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(ParseRegisterSession(BytesOf(trailing)).ok());
+}
+
+TEST(WireControlTest, PeekDispatchesEveryKind) {
+  common::Rng rng(53);
+  const auto expect_kind = [](const std::vector<uint8_t>& bytes, WireKind want) {
+    auto kind = PeekWireKind(
+        common::Span<const uint8_t>(bytes.data(), bytes.size()));
+    ASSERT_TRUE(kind.ok()) << kind.status().ToString();
+    EXPECT_EQ(kind.value(), want);
+  };
+  expect_kind(SerializeDetectRequest(RandomRequest(rng, 4)),
+              WireKind::kDetectRequest);
+  expect_kind(SerializeDetectResponse(RandomResponse(rng, 4)),
+              WireKind::kDetectResponse);
+  expect_kind(SerializeRegisterSession(RegisterSessionMsg{}),
+              WireKind::kRegisterSession);
+  expect_kind(SerializeSessionAck(SessionAckMsg{}), WireKind::kSessionAck);
+  expect_kind(SerializeHeartbeat(HeartbeatMsg{}), WireKind::kHeartbeat);
+  expect_kind(SerializeHeartbeatAck(HeartbeatAckMsg{}),
+              WireKind::kHeartbeatAck);
+  expect_kind(SerializeUnregisterSession(UnregisterSessionMsg{}),
+              WireKind::kUnregisterSession);
+}
+
+TEST(WireControlTest, PeekRejectsUnknownKindsAndBadHeaders) {
+  std::vector<uint8_t> bytes = SerializeHeartbeat(HeartbeatMsg{});
+
+  std::vector<uint8_t> unknown_kind = bytes;
+  unknown_kind[6] = 0;  // Kind byte: 0 was never assigned.
+  EXPECT_FALSE(PeekWireKind(BytesOf(unknown_kind)).ok());
+  unknown_kind[6] = 8;  // One past the last known kind.
+  EXPECT_FALSE(PeekWireKind(BytesOf(unknown_kind)).ok());
+
+  std::vector<uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(PeekWireKind(BytesOf(bad_magic)).ok());
+
+  std::vector<uint8_t> bad_version = bytes;
+  bad_version[4] = static_cast<uint8_t>(kWireVersion + 1);
+  auto version_result = PeekWireKind(BytesOf(bad_version));
+  EXPECT_FALSE(version_result.ok());
+  EXPECT_NE(version_result.status().message().find("version"),
+            std::string::npos);
+
+  // Shorter than a header: nothing to dispatch on.
+  EXPECT_FALSE(
+      PeekWireKind(common::Span<const uint8_t>(bytes.data(), 7)).ok());
+}
+
+TEST(WireControlTest, ParsersRejectWrongControlKinds) {
+  // Every control parser must refuse a well-formed frame of a different
+  // kind — kind confusion is how a coordinator ends up reading an ack as a
+  // registration.
+  const std::vector<uint8_t> reg = SerializeRegisterSession(RegisterSessionMsg{});
+  const std::vector<uint8_t> ack = SerializeSessionAck(SessionAckMsg{});
+  const std::vector<uint8_t> hb = SerializeHeartbeat(HeartbeatMsg{});
+  EXPECT_FALSE(ParseRegisterSession(BytesOf(ack)).ok());
+  EXPECT_FALSE(ParseSessionAck(BytesOf(reg)).ok());
+  EXPECT_FALSE(ParseUnregisterSession(BytesOf(hb)).ok());
+  EXPECT_FALSE(ParseHeartbeat(BytesOf(ack)).ok());
+  EXPECT_FALSE(ParseHeartbeatAck(BytesOf(hb)).ok());
 }
 
 }  // namespace

@@ -48,10 +48,15 @@
 //   --batch=B          frames per session step          (default: 8)
 //
 // Distributed transport (implies --coalesce; traces are identical):
-//   --transport=KIND   local | loopback (default: local). Loopback executes
-//                      every device batch through the serialized wire format
-//                      on per-shard runner threads — the RPC stand-in —
-//                      and prints the wire traffic
+//   --transport=KIND   local | loopback | socket (default: local). Loopback
+//                      executes every device batch through the serialized
+//                      wire format on per-shard runner threads — the RPC
+//                      stand-in — and prints the wire traffic. Socket speaks
+//                      the same wire format over TCP to one exsample_shardd
+//                      per shard (see --shard-hosts)
+//   --shard-hosts=LIST comma-separated host:port of each shard's
+//                      exsample_shardd, one per shard, in shard order
+//                      (required with --transport=socket)
 //   --flush-deadline=MS latency-aware flush: ship a shard's queue when a
 //                      wire batch fills or its oldest ticket has waited MS
 //                      milliseconds, instead of only at round barriers
@@ -131,6 +136,7 @@ struct CliArgs {
   double deadline = 0.0;
   std::string scheduler = "fair";
   std::string transport = "local";
+  std::string shard_hosts;
   double flush_deadline_ms = 0.0;
   size_t max_retries = 2;
   bool max_retries_set = false;
@@ -204,6 +210,8 @@ CliArgs ParseArgs(int argc, char** argv) {
     } else if (ParseArg(arg, "--transport", &value)) {
       args.transport = value;
       if (value != "local") args.coalesce = true;  // Transport rides the service.
+    } else if (ParseArg(arg, "--shard-hosts", &value)) {
+      args.shard_hosts = value;
     } else if (ParseArg(arg, "--flush-deadline", &value)) {
       args.flush_deadline_ms = std::strtod(value.c_str(), nullptr);
       args.coalesce = true;  // Flush policy is the service's.
@@ -366,7 +374,7 @@ void PrintDetectorStats(engine::SearchEngine& search) {
   if (const query::ShardTransport* transport = search.shard_transport()) {
     // `wire_batches` counts first sends only — the retried/requeued
     // parenthetical names the *extra* sends on top of it.
-    const query::TransportStats& wire = transport->stats();
+    const query::TransportStats wire = transport->Stats();
     std::printf(
         "%s transport: %llu wire batches (%llu retried, %llu requeued), "
         "%llu bytes sent / %llu received\n",
@@ -528,7 +536,7 @@ int main(int argc, char** argv) {
   }
   const auto transport_kind = engine::ParseTransportKind(args.transport);
   if (!transport_kind.has_value()) {
-    std::fprintf(stderr, "unknown transport '%s' (local|loopback)\n",
+    std::fprintf(stderr, "unknown transport '%s' (local|loopback|socket)\n",
                  args.transport.c_str());
     return 1;
   }
@@ -586,6 +594,21 @@ int main(int argc, char** argv) {
     config.transport = *transport_kind;
     config.flush_deadline_seconds = args.flush_deadline_ms / 1000.0;
     config.transport_max_retries = args.max_retries;
+    if (*transport_kind == engine::TransportKind::kSocket) {
+      std::string rest = args.shard_hosts;
+      while (!rest.empty()) {
+        const size_t comma = rest.find(',');
+        config.socket.hosts.push_back(rest.substr(0, comma));
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      }
+      if (config.socket.hosts.size() != std::max<size_t>(1, args.shards)) {
+        std::fprintf(stderr,
+                     "--transport=socket needs --shard-hosts with one "
+                     "host:port per shard (%zu given, %zu shards)\n",
+                     config.socket.hosts.size(), std::max<size_t>(1, args.shards));
+        return 1;
+      }
+    }
   } else if (args.max_retries_set) {
     std::fprintf(stderr,
                  "warning: --max-retries is ignored without --coalesce or "

@@ -1,0 +1,331 @@
+// exsample_shardd — standalone shard server of the socket transport.
+//
+// Speaks the versioned wire format over TCP: length-prefixed frames, the
+// kinded envelope dispatched by PeekWireKind. Sessions are *materialized
+// from messages*, never shared memory: a RegisterSessionMsg carries the
+// detector options (seed included) and the repository fingerprint, and
+// because SimulatedDetector is a pure per-frame function of (ground truth,
+// options), a server that built the same scenario from the same
+// (--frames, --seed) produces detections bit-identical to the
+// coordinator's in-process run — the property the dist suite's
+// socket lane enforces.
+//
+//   exsample_shardd --port=0 --port-file=/tmp/shard.port \
+//                   --frames=80000 --seed=5 [--threads=N] [--hang-after=K]
+//   exsample_shardd --port=7001 --dataset=night-street --scale=0.1 --seed=1
+//
+//   --port=N        TCP port to listen on (0: ephemeral; see --port-file)
+//   --port-file=P   write the bound port to P (temp file + rename, so a
+//                   waiting coordinator never reads a partial write)
+//   --frames=N      scenario size   (must match the coordinator's; default
+//   --seed=N        scenario seed    80000 / 5 — datasets::BuildDistScenario)
+//   --dataset=NAME  serve one of the evaluation datasets instead (substring
+//                   match, like exsample_cli); with --scale and --seed it
+//                   must mirror the coordinator's `--dataset --scale --seed`
+//                   exactly — the repository fingerprint enforces that
+//   --scale=S       dataset scale (default 0.1, exsample_cli's default)
+//   --threads=N     per-connection detect pool width (default 1: inline)
+//   --hang-after=K  fault injection: after serving K detect requests
+//                   (across all connections), keep reading but stop
+//                   answering — the up-but-wedged server only the
+//                   coordinator's per-request deadline can detect
+//
+// One thread per connection; each connection owns its session registry, so
+// a reconnecting coordinator starts from a clean slate and must replay its
+// registrations (which the SocketTransport does on every connect).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/thread_pool.h"
+#include "datasets/presets.h"
+#include "datasets/scenarios.h"
+#include "detect/detector.h"
+#include "query/socket_transport.h"
+#include "query/transport.h"
+#include "query/wire.h"
+
+namespace {
+
+using namespace exsample;
+
+struct ServerConfig {
+  int port = 0;
+  std::string port_file;
+  uint64_t frames = 80000;
+  uint64_t seed = 5;
+  std::string dataset;
+  double scale = 0.1;
+  size_t threads = 1;
+  // < 0: never hang.
+  int64_t hang_after = -1;
+};
+
+ServerConfig g_config;
+const scene::GroundTruth* g_truth = nullptr;
+uint64_t g_fingerprint = 0;
+std::atomic<uint64_t> g_detects_served{0};
+
+/// Per-connection session state: ids resolve to detectors this connection's
+/// RegisterSessionMsg frames materialized. Shard-independent on purpose —
+/// a SimulatedDetector's output depends only on (ground truth, options,
+/// frame), so one detector serves whatever origin shard a request names
+/// (including batches requeued off another shard).
+class ConnectionRegistry : public query::SessionResolver {
+ public:
+  detect::ObjectDetector* Resolve(uint64_t session_id,
+                                  uint32_t /*shard*/) const override {
+    const auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
+
+  void Register(uint64_t session_id, const detect::DetectorOptions& options) {
+    sessions_[session_id] =
+        std::make_unique<detect::SimulatedDetector>(g_truth, options);
+  }
+
+  void Unregister(uint64_t session_id) { sessions_.erase(session_id); }
+
+ private:
+  std::unordered_map<uint64_t, std::unique_ptr<detect::SimulatedDetector>>
+      sessions_;
+};
+
+bool Reply(int fd, const std::vector<uint8_t>& bytes) {
+  return query::WriteFrame(
+             fd, common::Span<const uint8_t>(bytes.data(), bytes.size()))
+      .ok();
+}
+
+void HandleConnection(int fd) {
+  ConnectionRegistry registry;
+  std::unique_ptr<common::ThreadPool> pool;
+  if (g_config.threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(
+        common::ThreadPool::Options{g_config.threads, {}});
+  }
+  for (;;) {
+    auto frame = query::ReadFrame(fd, query::kMaxFrameBytes);
+    if (!frame.ok()) break;  // Peer gone (or hostile framing): drop it.
+    const common::Span<const uint8_t> bytes(frame.value().data(),
+                                            frame.value().size());
+    const auto kind = query::PeekWireKind(bytes);
+    if (!kind.ok()) break;  // Unknown/corrupt envelope: drop the connection.
+    bool ok = true;
+    switch (kind.value()) {
+      case query::WireKind::kRegisterSession: {
+        const auto msg = query::ParseRegisterSession(bytes);
+        if (!msg.ok()) { ok = false; break; }
+        query::SessionAckMsg ack;
+        ack.session_id = msg.value().session_id;
+        if (msg.value().repo_fingerprint != 0 &&
+            msg.value().repo_fingerprint != g_fingerprint) {
+          // Mis-deployment: this server was built over a different
+          // repository than the coordinator queries. Refuse loudly — a
+          // detector materialized here would silently diverge.
+          ack.status = query::WireStatus::kRepoMismatch;
+        } else {
+          registry.Register(msg.value().session_id,
+                            msg.value().detector_options);
+          ack.status = query::WireStatus::kOk;
+        }
+        ok = Reply(fd, query::SerializeSessionAck(ack));
+        break;
+      }
+      case query::WireKind::kUnregisterSession: {
+        const auto msg = query::ParseUnregisterSession(bytes);
+        if (!msg.ok()) { ok = false; break; }
+        registry.Unregister(msg.value().session_id);
+        break;  // Fire-and-forget: no ack.
+      }
+      case query::WireKind::kHeartbeat: {
+        const auto msg = query::ParseHeartbeat(bytes);
+        if (!msg.ok()) { ok = false; break; }
+        query::HeartbeatAckMsg ack;
+        ack.nonce = msg.value().nonce;
+        ok = Reply(fd, query::SerializeHeartbeatAck(ack));
+        break;
+      }
+      case query::WireKind::kDetectRequest: {
+        const auto msg = query::ParseDetectRequest(bytes);
+        if (!msg.ok()) { ok = false; break; }
+        const uint64_t served = g_detects_served.fetch_add(1) + 1;
+        if (g_config.hang_after >= 0 &&
+            served > static_cast<uint64_t>(g_config.hang_after)) {
+          // Wedged-server fault injection: swallow the request. The
+          // coordinator's per-request deadline is the only thing that can
+          // notice — exactly the inference path under test.
+          break;
+        }
+        query::DetectResponseMsg response;
+        if (msg.value().repo_fingerprint != 0 &&
+            msg.value().repo_fingerprint != g_fingerprint) {
+          response.wire_seq = msg.value().wire_seq;
+          response.origin_shard = msg.value().origin_shard;
+          response.attempt = msg.value().attempt;
+          response.status = query::WireStatus::kRepoMismatch;
+        } else {
+          // kUnavailable (not a crash) for unregistered ids: a batch may
+          // race a reconnect past the registration replay, and remote input
+          // must never take the server down.
+          response = query::ExecuteWireRequest(
+              msg.value(), registry, pool.get(),
+              query::UnresolvedSlotPolicy::kUnavailable);
+        }
+        ok = Reply(fd, query::SerializeDetectResponse(response));
+        break;
+      }
+      default:
+        ok = false;  // Response kinds arriving at a server: protocol bug.
+        break;
+    }
+    if (!ok) break;
+  }
+  ::close(fd);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      g_config.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--port-file", &value)) {
+      g_config.port_file = value;
+    } else if (ParseFlag(argv[i], "--frames", &value)) {
+      g_config.frames = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      g_config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--dataset", &value)) {
+      g_config.dataset = value;
+    } else if (ParseFlag(argv[i], "--scale", &value)) {
+      g_config.scale = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      g_config.threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--hang-after", &value)) {
+      g_config.hang_after = std::strtoll(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+
+  // Two recipes, one contract: (--frames, --seed) rebuilds the dist-suite
+  // scenario, (--dataset, --scale, --seed) rebuilds an evaluation dataset the
+  // way exsample_cli does. Either way the coordinator's fingerprint check
+  // verifies this server holds the repository its queries address.
+  static std::unique_ptr<datasets::DistScenario> scenario;
+  static std::unique_ptr<datasets::BuiltDataset> dataset;
+  if (!g_config.dataset.empty()) {
+    const datasets::DatasetSpec* spec = nullptr;
+    static const std::vector<datasets::DatasetSpec> all =
+        datasets::AllDatasetSpecs();
+    for (const datasets::DatasetSpec& candidate : all) {
+      if (candidate.name.find(g_config.dataset) != std::string::npos) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", g_config.dataset.c_str());
+      return 1;
+    }
+    auto built =
+        datasets::BuiltDataset::Build(*spec, g_config.seed, g_config.scale);
+    if (!built.ok()) {
+      std::fprintf(stderr, "dataset build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    dataset =
+        std::make_unique<datasets::BuiltDataset>(std::move(built).value());
+    g_truth = &dataset->truth();
+    g_fingerprint = dataset->repo().Fingerprint();
+  } else {
+    scenario = std::make_unique<datasets::DistScenario>(
+        datasets::BuildDistScenario(g_config.frames, g_config.seed));
+    g_truth = &scenario->truth;
+    g_fingerprint = scenario->repo.Fingerprint();
+  }
+
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(g_config.port));
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listener, 64) != 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = ntohs(addr.sin_port);
+
+  if (!g_config.port_file.empty()) {
+    // Temp file + rename: a coordinator polling for the file never observes
+    // a partially written port.
+    const std::string tmp = g_config.port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::perror("port-file");
+      return 1;
+    }
+    std::fprintf(f, "%d\n", port);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), g_config.port_file.c_str()) != 0) {
+      std::perror("rename port-file");
+      return 1;
+    }
+  }
+  if (!g_config.dataset.empty()) {
+    std::printf("exsample_shardd listening on 127.0.0.1:%d (dataset=%s "
+                "scale=%.2f seed=%llu fingerprint=%llx)\n",
+                port, g_config.dataset.c_str(), g_config.scale,
+                static_cast<unsigned long long>(g_config.seed),
+                static_cast<unsigned long long>(g_fingerprint));
+  } else {
+    std::printf("exsample_shardd listening on 127.0.0.1:%d (frames=%llu "
+                "seed=%llu fingerprint=%llx)\n",
+                port, static_cast<unsigned long long>(g_config.frames),
+                static_cast<unsigned long long>(g_config.seed),
+                static_cast<unsigned long long>(g_fingerprint));
+  }
+  std::fflush(stdout);
+
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    std::thread(HandleConnection, fd).detach();
+  }
+}
